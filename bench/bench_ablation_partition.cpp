@@ -1,0 +1,36 @@
+// Ablation: DC-FP partition sweep. The paper fixes the PC/AC split at
+// 50%/50% and bounds DC-LAP in [25%, 75%]; this harness sweeps the fixed
+// partition to expose the sensitivity those bounds guard against.
+#include "bench_common.h"
+
+using namespace pscd;
+using namespace pscd::bench;
+
+int main() {
+  printHeader("Ablation: fixed PC/AC partition sweep (DC-FP)",
+              "the design choice behind DC-LAP's [25%, 75%] bounds");
+  ExperimentContext ctx;
+  AsciiTable table({"PC fraction", "NEWS 5%", "NEWS 10%", "ALT 5%"});
+  for (const double frac :
+       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    table.row().cell(formatFixed(100 * frac, 0) + "%");
+    for (const auto& [trace, cap] :
+         {std::pair{TraceKind::kNews, 0.05},
+          std::pair{TraceKind::kNews, 0.10},
+          std::pair{TraceKind::kAlternative, 0.05}}) {
+      SimConfig c;
+      c.strategy = StrategyKind::kDCFP;
+      c.beta = paperBeta(StrategyKind::kDCFP, trace, cap);
+      c.capacityFraction = cap;
+      c.dcInitialPcFraction = frac;
+      Simulator sim(ctx.workload(trace, 1.0), ctx.network(), c);
+      table.cell(pct(sim.run().hitRatio()));
+    }
+  }
+  std::printf("DC-FP hit ratio (%%) by push-cache fraction (SQ = 1):\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "Reading: performance is flat near the middle and falls off at the\n"
+      "extremes, which is why DC-LAP bounds the adaptive partition.\n");
+  return 0;
+}

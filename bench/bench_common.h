@@ -1,0 +1,27 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pscd/pscd.h"
+
+namespace pscd::bench {
+
+/// Strategies shown in figures 4 and 5.
+inline constexpr StrategyKind kFigureStrategies[] = {
+    StrategyKind::kGDStar, StrategyKind::kSUB, StrategyKind::kSG1,
+    StrategyKind::kSG2,    StrategyKind::kSR,  StrategyKind::kDCLAP,
+};
+
+inline std::string pct(double ratio) { return formatFixed(100.0 * ratio, 1); }
+
+inline void printHeader(const std::string& title, const std::string& paper) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s of Chen, LaPaugh & Singh, Middleware 2003)\n",
+              paper.c_str());
+  std::printf("==================================================\n\n");
+}
+
+}  // namespace pscd::bench

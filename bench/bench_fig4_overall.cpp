@@ -1,0 +1,46 @@
+// Figure 4 (a, b): overall hit ratios of GD*, SUB, SG1, SG2, SR and
+// DC-LAP with perfect subscriptions (SQ = 1) under the three capacity
+// settings, for both the NEWS and the ALTERNATIVE traces.
+#include "bench_common.h"
+
+using namespace pscd;
+using namespace pscd::bench;
+
+int main() {
+  printHeader("Overall hit ratios with perfect subscriptions",
+              "figure 4 (a, b)");
+  ExperimentContext ctx;
+  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
+    AsciiTable table(
+        {"capacity", "GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"});
+    for (const double cap : kCapacityFractions) {
+      table.row().cell(formatFixed(100 * cap, 0) + "%");
+      for (const StrategyKind kind : kFigureStrategies) {
+        table.cell(pct(ctx.run(trace, 1.0, kind, cap).hitRatio()));
+      }
+    }
+    std::printf("Hit ratio (%%), trace %s, SQ = 1:\n%s\n",
+                std::string(traceName(trace)).c_str(),
+                table.render().c_str());
+  }
+  // The paper's conclusion ties the hit ratio to the motivating metric:
+  // "the improvement in hit ratio translates into a reduction in user
+  // perceived response time". Report it under the simulator's latency
+  // model (hit: 5 ms local; miss: +100 ms x normalized distance).
+  AsciiTable rt({"trace", "GD*", "SUB", "SG1", "SG2", "SR", "DC-LAP"});
+  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
+    rt.row().cell(std::string(traceName(trace)));
+    for (const StrategyKind kind : kFigureStrategies) {
+      rt.cell(formatFixed(
+          ctx.run(trace, 1.0, kind, 0.05).meanResponseTime(), 1));
+    }
+  }
+  std::printf("Mean user-perceived response time (ms), capacity = 5%%:\n%s\n",
+              rt.render().c_str());
+  std::printf(
+      "Paper shape: SG2/SR highest, then DC-LAP ~ SG1, SUB lowest of the\n"
+      "pushing schemes; ranks stable across capacities; GD* degrades\n"
+      "sharply on ALTERNATIVE (alpha = 1.0); response time is the mirror\n"
+      "image of the hit ratio.\n");
+  return 0;
+}

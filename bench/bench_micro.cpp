@@ -1,0 +1,178 @@
+// Substrate micro-benchmarks (google-benchmark): value-cache operations,
+// matching-engine throughput, per-strategy event costs, and workload
+// generation.
+#include <benchmark/benchmark.h>
+
+#include "pscd/pscd.h"
+
+namespace pscd {
+namespace {
+
+void BM_ValueCacheInsertEvict(benchmark::State& state) {
+  const auto capacity = static_cast<Bytes>(state.range(0));
+  ValueCache cache(capacity);
+  Rng rng(1);
+  PageId next = 0;
+  for (auto _ : state) {
+    CacheEntry e;
+    e.page = next++;
+    e.size = 10 + rng.uniformInt(std::uint64_t{50});
+    const double v = rng.uniform();
+    if (auto evicted = cache.evictFor(e.size)) {
+      cache.insertNoEvict(e, v);
+    }
+    benchmark::DoNotOptimize(cache.used());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueCacheInsertEvict)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ValueCacheLookup(benchmark::State& state) {
+  ValueCache cache(1 << 20);
+  for (PageId p = 0; p < 10000; ++p) {
+    CacheEntry e;
+    e.page = p;
+    e.size = 32;
+    cache.insertNoEvict(e, static_cast<double>(p));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.find(static_cast<PageId>(rng.uniformInt(std::uint64_t{10000}))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueCacheLookup);
+
+void BM_MatcherThroughput(benchmark::State& state) {
+  const auto numSubs = static_cast<std::uint64_t>(state.range(0));
+  MatchingEngine engine;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < numSubs; ++i) {
+    Subscription s;
+    s.proxy = static_cast<ProxyId>(rng.uniformInt(std::uint64_t{100}));
+    s.conjuncts.push_back(
+        {Predicate::Kind::kCategoryEq,
+         static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{50}))});
+    if (rng.bernoulli(0.5)) {
+      s.conjuncts.push_back(
+          {Predicate::Kind::kKeywordContains,
+           static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{200}))});
+    }
+    engine.addSubscription(std::move(s));
+  }
+  ContentAttributes attrs;
+  for (auto _ : state) {
+    attrs.page = static_cast<PageId>(rng.uniformInt(std::uint64_t{1000}));
+    attrs.category =
+        static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{50}));
+    attrs.keywords = {
+        static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{200}))};
+    benchmark::DoNotOptimize(engine.match(attrs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_StrategyRequest(benchmark::State& state) {
+  const auto kind = static_cast<StrategyKind>(state.range(0));
+  StrategyParams params;
+  params.capacity = 1 << 16;
+  params.fetchCost = 1.0;
+  params.beta = 2.0;
+  const auto strategy = makeStrategy(kind, params);
+  Rng rng(4);
+  for (auto _ : state) {
+    RequestContext ctx;
+    ctx.page = static_cast<PageId>(rng.uniformInt(std::uint64_t{2000}));
+    ctx.size = 100 + rng.uniformInt(std::uint64_t{2000});
+    ctx.subCount = 1 + static_cast<std::uint32_t>(
+                           rng.uniformInt(std::uint64_t{10}));
+    benchmark::DoNotOptimize(strategy->onRequest(ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(strategyName(kind)));
+}
+BENCHMARK(BM_StrategyRequest)
+    ->Arg(static_cast<int>(StrategyKind::kGDStar))
+    ->Arg(static_cast<int>(StrategyKind::kSG2))
+    ->Arg(static_cast<int>(StrategyKind::kDM))
+    ->Arg(static_cast<int>(StrategyKind::kDCLAP))
+    ->Arg(static_cast<int>(StrategyKind::kLRU));
+
+void BM_StrategyPush(benchmark::State& state) {
+  const auto kind = static_cast<StrategyKind>(state.range(0));
+  StrategyParams params;
+  params.capacity = 1 << 16;
+  params.fetchCost = 1.0;
+  params.beta = 2.0;
+  const auto strategy = makeStrategy(kind, params);
+  Rng rng(5);
+  for (auto _ : state) {
+    PushContext ctx;
+    ctx.page = static_cast<PageId>(rng.uniformInt(std::uint64_t{2000}));
+    ctx.size = 100 + rng.uniformInt(std::uint64_t{2000});
+    ctx.subCount = 1 + static_cast<std::uint32_t>(
+                           rng.uniformInt(std::uint64_t{10}));
+    benchmark::DoNotOptimize(strategy->onPush(ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(strategyName(kind)));
+}
+BENCHMARK(BM_StrategyPush)
+    ->Arg(static_cast<int>(StrategyKind::kSUB))
+    ->Arg(static_cast<int>(StrategyKind::kSG2))
+    ->Arg(static_cast<int>(StrategyKind::kDCLAP));
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadParams p = newsTraceParams();
+    p.publishing.numPages = static_cast<std::uint32_t>(state.range(0));
+    p.publishing.numUpdatedPages = p.publishing.numPages / 3;
+    p.request.totalRequests = static_cast<std::uint64_t>(state.range(0)) * 30;
+    p.request.numProxies = 20;
+    benchmark::DoNotOptimize(buildWorkload(p));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FullSimulation(benchmark::State& state) {
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 1000;
+  p.publishing.numUpdatedPages = 400;
+  p.request.totalRequests = 30000;
+  p.request.numProxies = 20;
+  const Workload w = buildWorkload(p);
+  Rng rng(6);
+  const Network net(NetworkParams{.numProxies = 20}, rng);
+  for (auto _ : state) {
+    SimConfig c;
+    c.strategy = static_cast<StrategyKind>(state.range(0));
+    c.beta = 2.0;
+    c.capacityFraction = 0.05;
+    benchmark::DoNotOptimize(Simulator(w, net, c).run().hits());
+  }
+  state.SetLabel(
+      std::string(strategyName(static_cast<StrategyKind>(state.range(0)))));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.requests.size()));
+}
+BENCHMARK(BM_FullSimulation)
+    ->Arg(static_cast<int>(StrategyKind::kGDStar))
+    ->Arg(static_cast<int>(StrategyKind::kSG2))
+    ->Arg(static_cast<int>(StrategyKind::kDCLAP))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(7);
+  const auto topo = generateWaxman(
+      {.numNodes = static_cast<std::uint32_t>(state.range(0))}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shortestPaths(topo.graph, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace pscd

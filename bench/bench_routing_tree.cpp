@@ -1,0 +1,71 @@
+// Substrate study: distributed notification routing. The paper's
+// architecture allows the matching/routing engines to be distributed
+// (section 2, citing Siena); this bench quantifies what the broker tree
+// and the covering optimization buy on the NEWS subscription workload:
+// control traffic (subscription advertisements) and event traffic
+// (per-link transmissions) versus naive flooding.
+#include "bench_common.h"
+
+using namespace pscd;
+using namespace pscd::bench;
+
+int main() {
+  printHeader("Distributed broker tree: covering & routing savings",
+              "the distributed-engine option of section 2");
+  ExperimentContext ctx;
+  const Workload& w = ctx.workload(TraceKind::kNews, 1.0);
+
+  AsciiTable table({"brokers", "fanout", "covering", "subs", "control msgs",
+                    "event msgs", "flood msgs", "saving"});
+  for (const auto& [brokers, fanout] :
+       {std::pair{7u, 2u}, std::pair{15u, 2u}, std::pair{31u, 2u},
+        std::pair{13u, 3u}}) {
+    for (const bool covering : {false, true}) {
+      BrokerTree tree = BrokerTree::balanced(brokers, fanout, covering);
+      // Proxies attach to the leaf brokers round-robin.
+      std::vector<BrokerId> leaves;
+      for (BrokerId b = 0; b < tree.numBrokers(); ++b) {
+        if (tree.isLeaf(b)) leaves.push_back(b);
+      }
+      for (ProxyId p = 0; p < w.numProxies(); ++p) {
+        tree.attachProxy(p, leaves[p % leaves.size()]);
+      }
+      // Register the workload's aggregated subscriptions as page-id
+      // subscriptions (one per subscribed (page, proxy) pair).
+      for (PageId page = 0; page < w.numPages(); ++page) {
+        for (const auto& n : w.subscriptions(page)) {
+          Subscription s;
+          s.proxy = n.proxy;
+          s.conjuncts = {{Predicate::Kind::kPageIdEq, page}};
+          tree.subscribe(s);
+        }
+      }
+      // Route the whole publishing stream.
+      for (const auto& e : w.publishes) {
+        ContentAttributes attrs;
+        attrs.page = e.page;
+        tree.publish(attrs);
+      }
+      const double saving =
+          100.0 * (1.0 - static_cast<double>(tree.eventMessages()) /
+                             static_cast<double>(tree.floodEventMessages()));
+      table.row()
+          .cell(std::to_string(brokers))
+          .cell(std::to_string(fanout))
+          .cell(covering ? "yes" : "no")
+          .cell(std::to_string(tree.subscriptionCount()))
+          .cell(std::to_string(tree.controlMessages()))
+          .cell(std::to_string(tree.eventMessages()))
+          .cell(std::to_string(tree.floodEventMessages()))
+          .cell(formatFixed(saving, 1) + "%");
+    }
+  }
+  std::printf("NEWS subscriptions routed over broker trees:\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "Reading: subscription-based routing sends events only down links\n"
+      "with interested subtrees (large saving vs flooding); covering\n"
+      "additionally collapses duplicate page-id advertisements, cutting\n"
+      "control traffic without changing deliveries (verified by test).\n");
+  return 0;
+}

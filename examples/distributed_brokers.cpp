@@ -1,0 +1,76 @@
+// Distributed pub/sub demo: run the same subscription set through the
+// centralized Broker and a BrokerTree overlay, verify they deliver the
+// same notifications, and show what subscription covering saves.
+//
+//   $ ./distributed_brokers
+#include <cstdio>
+
+#include "pscd/pscd.h"
+
+using namespace pscd;
+
+int main() {
+  // A 7-broker binary tree; broker 0 is the publisher's broker, proxies
+  // attach to the four leaves.
+  auto tree = BrokerTree::balanced(/*numBrokers=*/7, /*fanout=*/2,
+                                   /*useCovering=*/true);
+  Broker flat(/*numProxies=*/8);
+  for (ProxyId p = 0; p < 8; ++p) tree.attachProxy(p, 3 + p % 4);
+
+  // Users subscribe: category interests plus a few page-specific ones.
+  // Proxy 0's users ask for sports (category 1) at several granularities
+  // — covering collapses the narrower ones on the way up.
+  const auto subscribe = [&](ProxyId proxy, std::vector<Predicate> preds) {
+    Subscription s;
+    s.proxy = proxy;
+    s.conjuncts = std::move(preds);
+    tree.subscribe(s);
+    flat.subscribe(s);
+  };
+  subscribe(0, {{Predicate::Kind::kCategoryEq, 1}});
+  subscribe(0, {{Predicate::Kind::kCategoryEq, 1},
+                {Predicate::Kind::kKeywordContains, 42}});
+  subscribe(0, {{Predicate::Kind::kCategoryEq, 1},
+                {Predicate::Kind::kKeywordContains, 7}});
+  subscribe(1, {{Predicate::Kind::kCategoryEq, 2}});
+  subscribe(5, {{Predicate::Kind::kPageIdEq, 99}});
+  subscribe(5, {{Predicate::Kind::kCategoryEq, 1}});
+
+  std::printf("6 subscriptions registered; covering reduced upstream\n"
+              "advertisements to %llu control messages.\n\n",
+              static_cast<unsigned long long>(tree.controlMessages()));
+
+  // Publish a few events and compare the two delivery paths.
+  const auto publish = [&](PageId page, std::uint32_t category,
+                           std::vector<std::uint32_t> keywords) {
+    ContentAttributes a;
+    a.page = page;
+    a.category = category;
+    a.keywords = std::move(keywords);
+    const auto fromTree = tree.publish(a);
+    const auto fromFlat = flat.publish(a);
+    std::printf("publish page %u (cat %u): ", page, category);
+    for (const auto& n : fromTree) {
+      std::printf("proxy %u x%u  ", n.proxy, n.matchCount);
+    }
+    if (fromTree.empty()) std::printf("(no subscribers)");
+    std::printf("%s\n", fromTree.size() == fromFlat.size()
+                            ? ""
+                            : "  [MISMATCH vs centralized!]");
+  };
+  publish(99, 3, {});
+  publish(10, 1, {42});
+  publish(11, 1, {7, 42});
+  publish(12, 2, {});
+  publish(13, 5, {});
+
+  std::printf("\nEvent routing used %llu link transmissions; flooding the\n"
+              "same events down every link would have used %llu (%.0f%%\n"
+              "saved by subscription-based routing).\n",
+              static_cast<unsigned long long>(tree.eventMessages()),
+              static_cast<unsigned long long>(tree.floodEventMessages()),
+              100.0 * (1.0 - static_cast<double>(tree.eventMessages()) /
+                                 static_cast<double>(
+                                     tree.floodEventMessages())));
+  return 0;
+}

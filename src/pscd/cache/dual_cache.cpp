@@ -1,0 +1,239 @@
+#include "pscd/cache/dual_cache.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pscd {
+
+namespace {
+Bytes pcBytesFor(double fraction, Bytes total) {
+  return static_cast<Bytes>(fraction * static_cast<double>(total) + 0.5);
+}
+}  // namespace
+
+DualCacheStrategy::DualCacheStrategy(Bytes capacity, double fetchCost,
+                                     const DualCacheConfig& config)
+    : config_(config),
+      totalCapacity_(capacity),
+      fetchCost_(fetchCost),
+      pc_(pcBytesFor(config.initialPcFraction, capacity)),
+      ac_(capacity - pcBytesFor(config.initialPcFraction, capacity)) {
+  if (fetchCost <= 0 || config.beta <= 0) {
+    throw std::invalid_argument("DualCacheStrategy: bad fetchCost/beta");
+  }
+  if (config.initialPcFraction < 0 || config.initialPcFraction > 1 ||
+      config.minPcFraction < 0 || config.maxPcFraction > 1 ||
+      config.minPcFraction > config.maxPcFraction) {
+    throw std::invalid_argument("DualCacheStrategy: bad fractions");
+  }
+  if (config.mode == PartitionMode::kLimitedAdaptive &&
+      (config.initialPcFraction < config.minPcFraction ||
+       config.initialPcFraction > config.maxPcFraction)) {
+    throw std::invalid_argument(
+        "DualCacheStrategy: initial fraction outside LAP bounds");
+  }
+}
+
+std::string DualCacheStrategy::name() const {
+  switch (config_.mode) {
+    case PartitionMode::kFixed:
+      return "DC-FP";
+    case PartitionMode::kAdaptive:
+      return "DC-AP";
+    case PartitionMode::kLimitedAdaptive:
+      return "DC-LAP";
+  }
+  return "DC";
+}
+
+double DualCacheStrategy::subValue(std::uint32_t subCount, Bytes size) const {
+  return static_cast<double>(subCount) * fetchCost_ /
+         static_cast<double>(size);
+}
+
+double DualCacheStrategy::gdValue(std::uint32_t accessCount,
+                                  Bytes size) const {
+  const double utility =
+      static_cast<double>(accessCount) * fetchCost_ / static_cast<double>(size);
+  return inflation_ + std::pow(utility, 1.0 / config_.beta);
+}
+
+bool DualCacheStrategy::acForceInsert(CacheEntry entry, SimTime now) {
+  const auto evicted = ac_.evictFor(entry.size);
+  if (!evicted) return false;
+  if (!evicted->empty()) {
+    inflation_ = evicted->back().value;
+    lastAcReplacement_ = now;
+  }
+  ac_.insertNoEvict(entry, gdValue(entry.accessCount, entry.size));
+  return true;
+}
+
+bool DualCacheStrategy::pcInsert(const CacheEntry& entry) {
+  const double v = subValue(entry.subCount, entry.size);
+  if (const auto evicted = pc_.tryEvictLowerThan(v, entry.size)) {
+    pc_.insertNoEvict(entry, v);
+    return true;
+  }
+  return false;
+}
+
+bool DualCacheStrategy::claimFromAccessCache(Bytes size) {
+  // LAP bound: PC capacity may grow at most to maxPcFraction of the
+  // total. (AP is unbounded.)
+  Bytes claimLimit = totalCapacity_ - pc_.capacity();
+  if (config_.mode == PartitionMode::kLimitedAdaptive) {
+    const Bytes maxPc = pcBytesFor(config_.maxPcFraction, totalCapacity_);
+    claimLimit = maxPc > pc_.capacity() ? maxPc - pc_.capacity() : 0;
+  }
+  // Pages in AC not referenced since the last replacement in AC are
+  // assumed less important than the incoming page; claim the least
+  // valuable ones first. The claim set is computed up front so an
+  // infeasible claim has no side effects.
+  std::vector<PageId> claim;
+  Bytes claimed = 0;
+  ac_.forEachByValue([&](const ValueCache::StoredEntry& e) {
+    if (pc_.free() + claimed >= size) return false;
+    if (e.lastAccess <= lastAcReplacement_ &&
+        claimed + e.size <= claimLimit) {
+      claim.push_back(e.page);
+      claimed += e.size;
+    }
+    return true;
+  });
+  if (pc_.free() + claimed < size) return false;
+  for (const PageId page : claim) {
+    const auto victim = ac_.erase(page);
+    ac_.setCapacity(ac_.capacity() - victim->size);
+    pc_.setCapacity(pc_.capacity() + victim->size);
+  }
+  return true;
+}
+
+bool DualCacheStrategy::shiftBudgetToAc(Bytes size) {
+  if (config_.mode == PartitionMode::kFixed) return false;
+  if (config_.mode == PartitionMode::kLimitedAdaptive) {
+    const Bytes minPc = pcBytesFor(config_.minPcFraction, totalCapacity_);
+    if (pc_.capacity() < minPc + size) return false;
+  }
+  if (pc_.capacity() < size) return false;
+  pc_.setCapacity(pc_.capacity() - size);
+  ac_.setCapacity(ac_.capacity() + size);
+  return true;
+}
+
+PushOutcome DualCacheStrategy::onPush(const PushContext& ctx) {
+  // A new version of a page already under access-time management stays
+  // in AC and is refreshed there.
+  if (ac_.contains(ctx.page)) {
+    CacheEntry entry = *ac_.erase(ctx.page);
+    entry.version = ctx.version;
+    entry.size = ctx.size;
+    entry.subCount = ctx.subCount;
+    return {acForceInsert(entry, ctx.now)};
+  }
+  CacheEntry entry;
+  if (const auto prior = pc_.erase(ctx.page)) entry = *prior;
+  entry.page = ctx.page;
+  entry.version = ctx.version;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  if (pcInsert(entry)) return {true};
+  // "Placing in DC-AP": claim idle AC storage for the push cache.
+  if (config_.mode != PartitionMode::kFixed &&
+      claimFromAccessCache(ctx.size)) {
+    pc_.insertNoEvict(entry, subValue(entry.subCount, entry.size));
+    return {true};
+  }
+  return {false};
+}
+
+RequestOutcome DualCacheStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+
+  if (const auto* inPc = pc_.find(ctx.page)) {
+    if (inPc->version == ctx.latestVersion) {
+      // First access of a pushed page: henceforth evaluate it by access
+      // pattern. AP/LAP relabel the storage (budget shift); FP (or a
+      // bound violation) moves the page, possibly evicting in AC.
+      out.hit = true;
+      CacheEntry entry = *pc_.erase(ctx.page);
+      ++entry.accessCount;
+      entry.lastAccess = ctx.now;
+      if (shiftBudgetToAc(entry.size)) {
+        ac_.insertNoEvict(entry, gdValue(entry.accessCount, entry.size));
+      } else {
+        acForceInsert(entry, ctx.now);  // page dropped if it cannot fit
+      }
+      return out;
+    }
+    // Stale pushed copy: miss; refetch and hand the fresh copy to the
+    // access module (the user has now shown interest in it).
+    out.stale = true;
+    CacheEntry entry = *pc_.erase(ctx.page);
+    entry.version = ctx.latestVersion;
+    entry.size = ctx.size;
+    ++entry.accessCount;
+    entry.lastAccess = ctx.now;
+    out.storedAfterMiss = acForceInsert(entry, ctx.now);
+    return out;
+  }
+
+  if (const auto* inAc = ac_.find(ctx.page)) {
+    if (inAc->version == ctx.latestVersion) {
+      const auto& entry = ac_.recordAccess(ctx.page, ctx.now);
+      ac_.updateValue(ctx.page, gdValue(entry.accessCount, entry.size));
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+    CacheEntry entry = *ac_.erase(ctx.page);
+    entry.version = ctx.latestVersion;
+    entry.size = ctx.size;
+    ++entry.accessCount;
+    entry.lastAccess = ctx.now;
+    out.storedAfterMiss = acForceInsert(entry, ctx.now);
+    return out;
+  }
+
+  // Cold miss: classic GD* placement in AC.
+  CacheEntry entry;
+  entry.page = ctx.page;
+  entry.version = ctx.latestVersion;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  entry.accessCount = 1;
+  entry.lastAccess = ctx.now;
+  out.storedAfterMiss = acForceInsert(entry, ctx.now);
+  return out;
+}
+
+void DualCacheStrategy::checkInvariants() const {
+  pc_.checkInvariants();
+  ac_.checkInvariants();
+  if (pc_.capacity() + ac_.capacity() != totalCapacity_) {
+    throw std::logic_error("DualCacheStrategy: budgets do not sum");
+  }
+  if (config_.mode == PartitionMode::kFixed) {
+    if (pc_.capacity() != pcBytesFor(config_.initialPcFraction,
+                                     totalCapacity_)) {
+      throw std::logic_error("DualCacheStrategy: FP partition moved");
+    }
+  }
+  if (config_.mode == PartitionMode::kLimitedAdaptive) {
+    const Bytes minPc = pcBytesFor(config_.minPcFraction, totalCapacity_);
+    const Bytes maxPc = pcBytesFor(config_.maxPcFraction, totalCapacity_);
+    if (pc_.capacity() < minPc || pc_.capacity() > maxPc) {
+      throw std::logic_error("DualCacheStrategy: LAP bounds violated");
+    }
+  }
+  // A page must never be in both portions.
+  pc_.forEach([&](const ValueCache::StoredEntry& e) {
+    if (ac_.contains(e.page)) {
+      throw std::logic_error("DualCacheStrategy: page in both caches");
+    }
+  });
+}
+
+}  // namespace pscd

@@ -1,0 +1,137 @@
+#include "pscd/cache/dual_methods.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd {
+
+DualMethodsStrategy::DualMethodsStrategy(Bytes capacity, double fetchCost,
+                                         double beta)
+    : capacity_(capacity), fetchCost_(fetchCost), beta_(beta) {
+  if (fetchCost <= 0 || beta <= 0) {
+    throw std::invalid_argument("DualMethodsStrategy: bad fetchCost/beta");
+  }
+}
+
+double DualMethodsStrategy::subValue(std::uint32_t subCount,
+                                     Bytes size) const {
+  return static_cast<double>(subCount) * fetchCost_ /
+         static_cast<double>(size);
+}
+
+double DualMethodsStrategy::gdValue(std::uint32_t accessCount,
+                                    Bytes size) const {
+  const double utility =
+      static_cast<double>(accessCount) * fetchCost_ / static_cast<double>(size);
+  return inflation_ + std::pow(utility, 1.0 / beta_);
+}
+
+void DualMethodsStrategy::removeEntry(
+    std::unordered_map<PageId, DmEntry>::iterator it) {
+  subIndex_.erase({it->second.subValue, it->first});
+  gdIndex_.erase({it->second.gdValue, it->first});
+  used_ -= it->second.size;
+  entries_.erase(it);
+}
+
+void DualMethodsStrategy::store(const DmEntry& entry) {
+  assert(used_ + entry.size <= capacity_);
+  entries_.emplace(entry.page, entry);
+  subIndex_.emplace(entry.subValue, entry.page);
+  gdIndex_.emplace(entry.gdValue, entry.page);
+  used_ += entry.size;
+}
+
+PushOutcome DualMethodsStrategy::onPush(const PushContext& ctx) {
+  DmEntry entry;
+  if (const auto it = entries_.find(ctx.page); it != entries_.end()) {
+    entry = it->second;  // refresh in place, keep access history
+    removeEntry(it);
+  }
+  entry.page = ctx.page;
+  entry.version = ctx.version;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  entry.subValue = subValue(ctx.subCount, ctx.size);
+  entry.gdValue = gdValue(entry.accessCount, ctx.size);
+
+  // SUB admission over the subscription ordering.
+  Bytes reclaimable = capacity_ - used_;
+  bool feasible = reclaimable >= ctx.size;
+  for (auto it = subIndex_.begin();
+       !feasible && it != subIndex_.end() && it->first < entry.subValue;
+       ++it) {
+    reclaimable += entries_.at(it->second).size;
+    feasible = reclaimable >= ctx.size;
+  }
+  if (!feasible) return {false};
+  while (capacity_ - used_ < ctx.size) {
+    const auto low = subIndex_.begin();
+    assert(low != subIndex_.end() && low->first < entry.subValue);
+    removeEntry(entries_.find(low->second));
+  }
+  store(entry);
+  return {true};
+}
+
+RequestOutcome DualMethodsStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+  DmEntry entry;
+  if (const auto it = entries_.find(ctx.page); it != entries_.end()) {
+    if (it->second.version == ctx.latestVersion) {
+      // Hit: the access module re-evaluates under the current L.
+      gdIndex_.erase({it->second.gdValue, ctx.page});
+      ++it->second.accessCount;
+      it->second.lastAccess = ctx.now;
+      it->second.gdValue = gdValue(it->second.accessCount, it->second.size);
+      gdIndex_.emplace(it->second.gdValue, ctx.page);
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+    entry = it->second;
+    removeEntry(it);
+  }
+  // Miss: classic GD* placement over the access ordering (always admit).
+  if (ctx.size > capacity_) return out;
+  while (capacity_ - used_ < ctx.size) {
+    const auto low = gdIndex_.begin();
+    inflation_ = low->first;
+    removeEntry(entries_.find(low->second));
+  }
+  entry.page = ctx.page;
+  entry.version = ctx.latestVersion;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  ++entry.accessCount;
+  entry.lastAccess = ctx.now;
+  entry.subValue = subValue(ctx.subCount, ctx.size);
+  entry.gdValue = gdValue(entry.accessCount, ctx.size);
+  store(entry);
+  out.storedAfterMiss = true;
+  return out;
+}
+
+void DualMethodsStrategy::checkInvariants() const {
+  if (entries_.size() != subIndex_.size() ||
+      entries_.size() != gdIndex_.size()) {
+    throw std::logic_error("DualMethodsStrategy: index size mismatch");
+  }
+  Bytes total = 0;
+  for (const auto& [page, e] : entries_) {
+    if (!subIndex_.contains({e.subValue, page}) ||
+        !gdIndex_.contains({e.gdValue, page})) {
+      throw std::logic_error("DualMethodsStrategy: index missing entry");
+    }
+    total += e.size;
+  }
+  if (total != used_) {
+    throw std::logic_error("DualMethodsStrategy: used mismatch");
+  }
+  if (used_ > capacity_) {
+    throw std::logic_error("DualMethodsStrategy: over capacity");
+  }
+}
+
+}  // namespace pscd

@@ -1,0 +1,56 @@
+// DM — Dual-Methods (section 3.3): a single shared cache in which the
+// push-time placement module runs SUB (eviction ordered by the
+// subscription value) and the access-time module runs classic GD*
+// (eviction ordered by the access value). Each cached page therefore
+// carries two values, and each module considers only its own ordering —
+// which is exactly the overlap problem that motivates the Dual-Caches
+// schemes.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "pscd/cache/entry.h"
+#include "pscd/cache/strategy.h"
+
+namespace pscd {
+
+class DualMethodsStrategy final : public DistributionStrategy {
+ public:
+  DualMethodsStrategy(Bytes capacity, double fetchCost, double beta);
+
+  bool pushCapable() const override { return true; }
+  PushOutcome onPush(const PushContext& ctx) override;
+  RequestOutcome onRequest(const RequestContext& ctx) override;
+  Bytes usedBytes() const override { return used_; }
+  Bytes capacityBytes() const override { return capacity_; }
+  std::string name() const override { return "DM"; }
+  void checkInvariants() const override;
+
+  std::size_t size() const { return entries_.size(); }
+  double inflation() const { return inflation_; }
+
+ private:
+  struct DmEntry : CacheEntry {
+    double subValue = 0.0;  // SUB ordering (push module)
+    double gdValue = 0.0;   // GD* ordering (access module)
+  };
+  using Key = std::pair<double, PageId>;
+
+  double subValue(std::uint32_t subCount, Bytes size) const;
+  double gdValue(std::uint32_t accessCount, Bytes size) const;
+  void removeEntry(std::unordered_map<PageId, DmEntry>::iterator it);
+  void store(const DmEntry& entry);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  double fetchCost_;
+  double beta_;
+  double inflation_ = 0.0;  // L of the access-time GD* module
+  std::unordered_map<PageId, DmEntry> entries_;
+  std::set<Key> subIndex_;
+  std::set<Key> gdIndex_;
+};
+
+}  // namespace pscd

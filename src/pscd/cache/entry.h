@@ -1,0 +1,21 @@
+// Cached-page bookkeeping shared by all replacement strategies.
+#pragma once
+
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// Metadata of one cached page at one proxy. The counters follow the
+/// paper's In-Cache semantics: accessCount is discarded when the page is
+/// evicted; subCount is the (static) number of end-user subscriptions at
+/// this proxy matching the page.
+struct CacheEntry {
+  PageId page = kInvalidPage;
+  Version version = 0;
+  Bytes size = 0;
+  std::uint32_t accessCount = 0;  // a: in-cache accesses
+  std::uint32_t subCount = 0;     // s: matching subscriptions at the proxy
+  SimTime lastAccess = 0.0;
+};
+
+}  // namespace pscd

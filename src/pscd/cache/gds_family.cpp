@@ -1,0 +1,190 @@
+#include "pscd/cache/gds_family.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd {
+
+GdsFamilyConfig gdStarConfig(double beta) {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kAccessOnly;
+  c.beta = beta;
+  c.displayName = "GD*";
+  return c;
+}
+
+GdsFamilyConfig sg1Config(double beta) {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kSubPlusAccess;
+  c.pushEnabled = true;
+  c.valueBasedAdmission = true;
+  c.persistentAccessCounts = true;
+  c.beta = beta;
+  c.displayName = "SG1";
+  return c;
+}
+
+GdsFamilyConfig sg2Config(double beta) {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kSubMinusAccess;
+  c.pushEnabled = true;
+  c.valueBasedAdmission = true;
+  c.persistentAccessCounts = true;
+  c.beta = beta;
+  c.displayName = "SG2";
+  return c;
+}
+
+GdsFamilyConfig srConfig() {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kSubMinusAccess;
+  c.pushEnabled = true;
+  c.valueBasedAdmission = true;
+  c.persistentAccessCounts = true;
+  c.useInflation = false;
+  c.beta = 1.0;
+  c.displayName = "SR";
+  return c;
+}
+
+GdsFamilyConfig gdsConfig() {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kConstantOne;
+  c.beta = 1.0;
+  c.displayName = "GDS";
+  return c;
+}
+
+GdsFamilyConfig lfuDaConfig() {
+  GdsFamilyConfig c;
+  c.freqMode = GdsFamilyConfig::FreqMode::kAccessOnly;
+  c.beta = 1.0;
+  c.useCost = false;
+  c.useSize = false;
+  c.displayName = "LFU-DA";
+  return c;
+}
+
+GdsFamilyStrategy::GdsFamilyStrategy(Bytes capacity, double fetchCost,
+                                     const GdsFamilyConfig& config)
+    : config_(config), fetchCost_(fetchCost), cache_(capacity) {
+  if (config.beta <= 0) {
+    throw std::invalid_argument("GdsFamilyStrategy: beta must be > 0");
+  }
+  if (fetchCost <= 0) {
+    throw std::invalid_argument("GdsFamilyStrategy: fetchCost must be > 0");
+  }
+}
+
+double GdsFamilyStrategy::frequency(std::uint32_t subCount,
+                                    std::uint32_t accessCount) const {
+  using FreqMode = GdsFamilyConfig::FreqMode;
+  switch (config_.freqMode) {
+    case FreqMode::kAccessOnly:
+      return accessCount;
+    case FreqMode::kSubPlusAccess:
+      return static_cast<double>(subCount) + accessCount;
+    case FreqMode::kSubMinusAccess:
+      return std::max(static_cast<double>(subCount) - accessCount, 0.0);
+    case FreqMode::kConstantOne:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double GdsFamilyStrategy::value(double frequency, Bytes size) const {
+  double utility = frequency;
+  if (config_.useCost) utility *= fetchCost_;
+  if (config_.useSize) utility /= static_cast<double>(size);
+  const double term = std::pow(std::max(utility, 0.0), 1.0 / config_.beta);
+  return (config_.useInflation ? inflation_ : 0.0) + term;
+}
+
+void GdsFamilyStrategy::noteEvictions(
+    const std::vector<ValueCache::StoredEntry>& evicted) {
+  // GD* pseudo-code: L ends up as the value of the page evicted last.
+  if (config_.useInflation && !evicted.empty()) {
+    inflation_ = evicted.back().value;
+  }
+}
+
+std::uint32_t GdsFamilyStrategy::effectiveAccessCount(
+    const CacheEntry& entry) const {
+  if (!config_.persistentAccessCounts) return entry.accessCount;
+  const auto it = accessHistory_.find(entry.page);
+  return it == accessHistory_.end() ? 0 : it->second;
+}
+
+void GdsFamilyStrategy::noteAccess(PageId page) {
+  if (config_.persistentAccessCounts) ++accessHistory_[page];
+}
+
+bool GdsFamilyStrategy::insert(const CacheEntry& entry) {
+  const double v =
+      value(frequency(entry.subCount, effectiveAccessCount(entry)),
+            entry.size);
+  std::optional<std::vector<ValueCache::StoredEntry>> evicted;
+  if (config_.valueBasedAdmission) {
+    evicted = cache_.tryEvictLowerThan(v, entry.size);
+  } else {
+    evicted = cache_.evictFor(entry.size);
+  }
+  if (!evicted) return false;
+  noteEvictions(*evicted);
+  // Assign the value with the post-eviction inflation, as in the
+  // pseudo-code (evict first, then V(p) <- L + ...).
+  cache_.insertNoEvict(
+      entry, value(frequency(entry.subCount, effectiveAccessCount(entry)),
+                   entry.size));
+  return true;
+}
+
+PushOutcome GdsFamilyStrategy::onPush(const PushContext& ctx) {
+  if (!config_.pushEnabled) return {false};
+  CacheEntry entry;
+  if (const auto prior = cache_.erase(ctx.page)) {
+    // A version update of a cached page: refresh content in place,
+    // keeping the in-cache access history.
+    entry = *prior;
+  }
+  entry.page = ctx.page;
+  entry.version = ctx.version;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  return {insert(entry)};
+}
+
+RequestOutcome GdsFamilyStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+  noteAccess(ctx.page);
+  if (const auto* cached = cache_.find(ctx.page)) {
+    if (cached->version == ctx.latestVersion) {
+      // Hit: bump f(p) and re-evaluate with the current inflation value.
+      const auto& entry = cache_.recordAccess(ctx.page, ctx.now);
+      cache_.updateValue(
+          ctx.page,
+          value(frequency(entry.subCount, effectiveAccessCount(entry)),
+                entry.size));
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+  }
+  // Miss (page absent or stale): fetch from the publisher, then evaluate
+  // the fresh copy for placement. A stale copy is refreshed in place,
+  // keeping its access history.
+  CacheEntry entry;
+  if (const auto prior = cache_.erase(ctx.page)) entry = *prior;
+  entry.page = ctx.page;
+  entry.version = ctx.latestVersion;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  ++entry.accessCount;
+  entry.lastAccess = ctx.now;
+  out.storedAfterMiss = insert(entry);
+  return out;
+}
+
+void GdsFamilyStrategy::checkInvariants() const { cache_.checkInvariants(); }
+
+}  // namespace pscd

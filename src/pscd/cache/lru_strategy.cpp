@@ -1,0 +1,63 @@
+#include "pscd/cache/lru_strategy.h"
+
+#include <stdexcept>
+
+namespace pscd {
+
+LruStrategy::LruStrategy(Bytes capacity) : capacity_(capacity) {}
+
+PushOutcome LruStrategy::onPush(const PushContext&) { return {false}; }
+
+void LruStrategy::evictUntil(Bytes size) {
+  while (capacity_ - used_ < size) {
+    const CacheEntry& victim = lru_.back();
+    used_ -= victim.size;
+    map_.erase(victim.page);
+    lru_.pop_back();
+  }
+}
+
+RequestOutcome LruStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+  const auto it = map_.find(ctx.page);
+  if (it != map_.end()) {
+    if (it->second->version == ctx.latestVersion) {
+      ++it->second->accessCount;
+      it->second->lastAccess = ctx.now;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      out.hit = true;
+      return out;
+    }
+    // Stale: drop and refetch.
+    out.stale = true;
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  if (ctx.size > capacity_) return out;
+  evictUntil(ctx.size);
+  CacheEntry entry;
+  entry.page = ctx.page;
+  entry.version = ctx.latestVersion;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  entry.accessCount = 1;
+  entry.lastAccess = ctx.now;
+  lru_.push_front(entry);
+  map_[ctx.page] = lru_.begin();
+  used_ += ctx.size;
+  out.storedAfterMiss = true;
+  return out;
+}
+
+void LruStrategy::checkInvariants() const {
+  if (map_.size() != lru_.size()) {
+    throw std::logic_error("LruStrategy: map/list size mismatch");
+  }
+  Bytes total = 0;
+  for (const auto& e : lru_) total += e.size;
+  if (total != used_) throw std::logic_error("LruStrategy: used mismatch");
+  if (used_ > capacity_) throw std::logic_error("LruStrategy: over capacity");
+}
+
+}  // namespace pscd

@@ -1,0 +1,39 @@
+// Classic LRU web cache, provided as an extra access-time-only baseline
+// for the ablation benches (the paper adopts GD* because it beats LRU,
+// GDS and LFU-DA in Jin & Bestavros's study; bench_ablation_baselines
+// re-checks that premise on our workload).
+#pragma once
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "pscd/cache/entry.h"
+#include "pscd/cache/strategy.h"
+
+namespace pscd {
+
+class LruStrategy final : public DistributionStrategy {
+ public:
+  explicit LruStrategy(Bytes capacity);
+
+  bool pushCapable() const override { return false; }
+  PushOutcome onPush(const PushContext& ctx) override;
+  RequestOutcome onRequest(const RequestContext& ctx) override;
+  Bytes usedBytes() const override { return used_; }
+  Bytes capacityBytes() const override { return capacity_; }
+  std::string name() const override { return "LRU"; }
+  void checkInvariants() const override;
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  void evictUntil(Bytes size);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<CacheEntry> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<CacheEntry>::iterator> map_;
+};
+
+}  // namespace pscd

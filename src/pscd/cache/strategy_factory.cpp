@@ -1,0 +1,105 @@
+#include "pscd/cache/strategy_factory.h"
+
+#include <stdexcept>
+
+#include "pscd/cache/dual_cache.h"
+#include "pscd/cache/dual_methods.h"
+#include "pscd/cache/gds_family.h"
+#include "pscd/cache/lru_strategy.h"
+#include "pscd/cache/sub_strategy.h"
+
+namespace pscd {
+
+namespace {
+std::unique_ptr<DistributionStrategy> makeDualCache(PartitionMode mode,
+                                                    const StrategyParams& p) {
+  DualCacheConfig config;
+  config.mode = mode;
+  config.initialPcFraction = p.dcInitialPcFraction;
+  config.minPcFraction = p.dcMinPcFraction;
+  config.maxPcFraction = p.dcMaxPcFraction;
+  config.beta = p.beta;
+  return std::make_unique<DualCacheStrategy>(p.capacity, p.fetchCost, config);
+}
+}  // namespace
+
+std::unique_ptr<DistributionStrategy> makeStrategy(StrategyKind kind,
+                                                   const StrategyParams& p) {
+  switch (kind) {
+    case StrategyKind::kGDStar:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 gdStarConfig(p.beta));
+    case StrategyKind::kSUB:
+      return std::make_unique<SubStrategy>(p.capacity, p.fetchCost);
+    case StrategyKind::kSG1:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 sg1Config(p.beta));
+    case StrategyKind::kSG2:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 sg2Config(p.beta));
+    case StrategyKind::kSR:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 srConfig());
+    case StrategyKind::kDM:
+      return std::make_unique<DualMethodsStrategy>(p.capacity, p.fetchCost,
+                                                   p.beta);
+    case StrategyKind::kDCFP:
+      return makeDualCache(PartitionMode::kFixed, p);
+    case StrategyKind::kDCAP:
+      return makeDualCache(PartitionMode::kAdaptive, p);
+    case StrategyKind::kDCLAP:
+      return makeDualCache(PartitionMode::kLimitedAdaptive, p);
+    case StrategyKind::kLRU:
+      return std::make_unique<LruStrategy>(p.capacity);
+    case StrategyKind::kGDS:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 gdsConfig());
+    case StrategyKind::kLFUDA:
+      return std::make_unique<GdsFamilyStrategy>(p.capacity, p.fetchCost,
+                                                 lfuDaConfig());
+  }
+  throw std::invalid_argument("makeStrategy: unknown kind");
+}
+
+std::string_view strategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kGDStar:
+      return "GD*";
+    case StrategyKind::kSUB:
+      return "SUB";
+    case StrategyKind::kSG1:
+      return "SG1";
+    case StrategyKind::kSG2:
+      return "SG2";
+    case StrategyKind::kSR:
+      return "SR";
+    case StrategyKind::kDM:
+      return "DM";
+    case StrategyKind::kDCFP:
+      return "DC-FP";
+    case StrategyKind::kDCAP:
+      return "DC-AP";
+    case StrategyKind::kDCLAP:
+      return "DC-LAP";
+    case StrategyKind::kLRU:
+      return "LRU";
+    case StrategyKind::kGDS:
+      return "GDS";
+    case StrategyKind::kLFUDA:
+      return "LFU-DA";
+  }
+  return "?";
+}
+
+StrategyKind parseStrategyKind(std::string_view name) {
+  for (const StrategyKind kind :
+       {StrategyKind::kGDStar, StrategyKind::kSUB, StrategyKind::kSG1,
+        StrategyKind::kSG2, StrategyKind::kSR, StrategyKind::kDM,
+        StrategyKind::kDCFP, StrategyKind::kDCAP, StrategyKind::kDCLAP,
+        StrategyKind::kLRU, StrategyKind::kGDS, StrategyKind::kLFUDA}) {
+    if (strategyName(kind) == name) return kind;
+  }
+  throw std::invalid_argument("parseStrategyKind: unknown strategy name");
+}
+
+}  // namespace pscd

@@ -1,0 +1,36 @@
+// SUB (section 3.2): push-time-only placement driven purely by
+// subscription matching. Page value is V(p) = f_S(p) * c(p) / s(p)
+// (eq. 2) where f_S is the number of matching subscriptions at the
+// proxy. On a cache miss the requested page is fetched and forwarded to
+// the user WITHOUT being cached locally.
+#pragma once
+
+#include <string>
+
+#include "pscd/cache/strategy.h"
+#include "pscd/cache/value_cache.h"
+
+namespace pscd {
+
+class SubStrategy final : public DistributionStrategy {
+ public:
+  SubStrategy(Bytes capacity, double fetchCost);
+
+  bool pushCapable() const override { return true; }
+  PushOutcome onPush(const PushContext& ctx) override;
+  RequestOutcome onRequest(const RequestContext& ctx) override;
+  Bytes usedBytes() const override { return cache_.used(); }
+  Bytes capacityBytes() const override { return cache_.capacity(); }
+  std::string name() const override { return "SUB"; }
+  void checkInvariants() const override { cache_.checkInvariants(); }
+
+  const ValueCache& cache() const { return cache_; }
+
+ private:
+  double value(std::uint32_t subCount, Bytes size) const;
+
+  double fetchCost_;
+  ValueCache cache_;
+};
+
+}  // namespace pscd

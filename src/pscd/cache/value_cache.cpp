@@ -1,0 +1,147 @@
+#include "pscd/cache/value_cache.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd {
+
+ValueCache::ValueCache(Bytes capacity) : capacity_(capacity) {}
+
+void ValueCache::setCapacity(Bytes capacity) {
+  if (capacity < used_) {
+    throw std::invalid_argument("ValueCache::setCapacity below used bytes");
+  }
+  capacity_ = capacity;
+}
+
+const ValueCache::StoredEntry* ValueCache::find(PageId page) const {
+  const auto it = entries_.find(page);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ValueCache::StoredEntry ValueCache::removeLowest(std::set<Key>::iterator it) {
+  const PageId page = it->second;
+  index_.erase(it);
+  const auto entryIt = entries_.find(page);
+  assert(entryIt != entries_.end());
+  StoredEntry removed = entryIt->second;
+  used_ -= removed.size;
+  entries_.erase(entryIt);
+  return removed;
+}
+
+std::optional<std::vector<ValueCache::StoredEntry>> ValueCache::evictFor(
+    Bytes size) {
+  if (size > capacity_) return std::nullopt;
+  std::vector<StoredEntry> evicted;
+  while (free() < size) {
+    assert(!index_.empty());
+    evicted.push_back(removeLowest(index_.begin()));
+  }
+  return evicted;
+}
+
+std::optional<std::vector<ValueCache::StoredEntry>>
+ValueCache::tryEvictLowerThan(double value, Bytes size) {
+  if (free() >= size) return std::vector<StoredEntry>{};
+  // First pass: can the candidates free enough space?
+  Bytes reclaimable = free();
+  bool feasible = false;
+  for (auto it = index_.begin(); it != index_.end() && it->first < value;
+       ++it) {
+    reclaimable += entries_.at(it->second).size;
+    if (reclaimable >= size) {
+      feasible = true;
+      break;
+    }
+  }
+  if (!feasible) return std::nullopt;
+  std::vector<StoredEntry> evicted;
+  while (free() < size) {
+    assert(!index_.empty() && index_.begin()->first < value);
+    evicted.push_back(removeLowest(index_.begin()));
+  }
+  return evicted;
+}
+
+void ValueCache::insertNoEvict(const CacheEntry& entry, double value) {
+  if (entry.size > free()) {
+    throw std::logic_error("ValueCache::insertNoEvict: no room");
+  }
+  if (entries_.contains(entry.page)) {
+    throw std::logic_error("ValueCache::insertNoEvict: page already cached");
+  }
+  StoredEntry stored;
+  static_cast<CacheEntry&>(stored) = entry;
+  stored.value = value;
+  entries_.emplace(entry.page, stored);
+  index_.emplace(value, entry.page);
+  used_ += entry.size;
+}
+
+std::optional<ValueCache::StoredEntry> ValueCache::erase(PageId page) {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) return std::nullopt;
+  StoredEntry removed = it->second;
+  index_.erase({removed.value, page});
+  used_ -= removed.size;
+  entries_.erase(it);
+  return removed;
+}
+
+void ValueCache::updateValue(PageId page, double value) {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ValueCache::updateValue: page not cached");
+  }
+  index_.erase({it->second.value, page});
+  it->second.value = value;
+  index_.emplace(value, page);
+}
+
+const ValueCache::StoredEntry& ValueCache::recordAccess(PageId page,
+                                                        SimTime now) {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ValueCache::recordAccess: page not cached");
+  }
+  ++it->second.accessCount;
+  it->second.lastAccess = now;
+  return it->second;
+}
+
+double ValueCache::minValue() const {
+  if (index_.empty()) throw std::logic_error("ValueCache::minValue: empty");
+  return index_.begin()->first;
+}
+
+void ValueCache::forEach(
+    const std::function<void(const StoredEntry&)>& fn) const {
+  for (const auto& [page, entry] : entries_) fn(entry);
+}
+
+void ValueCache::forEachByValue(
+    const std::function<bool(const StoredEntry&)>& fn) const {
+  for (const auto& [value, page] : index_) {
+    if (!fn(entries_.at(page))) return;
+  }
+}
+
+void ValueCache::checkInvariants() const {
+  if (entries_.size() != index_.size()) {
+    throw std::logic_error("ValueCache: index size mismatch");
+  }
+  Bytes total = 0;
+  for (const auto& [page, entry] : entries_) {
+    if (entry.page != page) throw std::logic_error("ValueCache: id mismatch");
+    if (!index_.contains({entry.value, page})) {
+      throw std::logic_error("ValueCache: index missing entry");
+    }
+    total += entry.size;
+  }
+  if (total != used_) throw std::logic_error("ValueCache: used mismatch");
+  if (used_ > capacity_) throw std::logic_error("ValueCache: over capacity");
+}
+
+}  // namespace pscd

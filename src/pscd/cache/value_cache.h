@@ -1,0 +1,94 @@
+// Byte-capacity page store ordered by a per-page value, the common
+// substrate of every replacement strategy in the paper: GD* evicts the
+// least-valued pages until a new page fits; SUB-style admission evicts
+// only pages whose value is strictly below the incoming page's value and
+// otherwise refuses the insert.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "pscd/cache/entry.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// Value-ordered cache. Mutations that affect ordering go through
+/// updateValue(); entries are exposed read-only.
+class ValueCache {
+ public:
+  struct StoredEntry : CacheEntry {
+    double value = 0.0;
+  };
+
+  explicit ValueCache(Bytes capacity);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Adjusts the capacity (used by the adaptive dual-cache partitions).
+  /// The new capacity must not be below the currently used bytes.
+  void setCapacity(Bytes capacity);
+
+  bool contains(PageId page) const { return entries_.contains(page); }
+
+  /// nullptr when the page is not cached.
+  const StoredEntry* find(PageId page) const;
+
+  /// GD*-style eviction: removes lowest-valued entries until `size`
+  /// bytes are free, in eviction order. Returns std::nullopt (and evicts
+  /// nothing) when size exceeds the capacity.
+  std::optional<std::vector<StoredEntry>> evictFor(Bytes size);
+
+  /// SUB-style admission check: evicts entries with value strictly below
+  /// `value` (lowest first) until `size` bytes are free. If even
+  /// evicting all such candidates cannot free enough space, evicts
+  /// nothing and returns std::nullopt.
+  std::optional<std::vector<StoredEntry>> tryEvictLowerThan(double value,
+                                                            Bytes size);
+
+  /// Inserts without evicting; requires free() >= entry.size and the
+  /// page not already present.
+  void insertNoEvict(const CacheEntry& entry, double value);
+
+  /// Removes a page, returning its entry if it was present.
+  std::optional<StoredEntry> erase(PageId page);
+
+  /// Re-keys an existing page's ordering value.
+  void updateValue(PageId page, double value);
+
+  /// Bumps the access bookkeeping of a cached page (accessCount +1,
+  /// lastAccess = now). Ordering is unchanged; call updateValue() after
+  /// recomputing the value. Returns the updated entry.
+  const StoredEntry& recordAccess(PageId page, SimTime now);
+
+  /// Smallest value currently cached; requires a non-empty cache.
+  double minValue() const;
+
+  /// Applies fn to every entry (unspecified order).
+  void forEach(const std::function<void(const StoredEntry&)>& fn) const;
+
+  /// Applies fn to every entry in ascending value order; stops early when
+  /// fn returns false.
+  void forEachByValue(const std::function<bool(const StoredEntry&)>& fn) const;
+
+  /// Test hook: validates the internal index against the entry map.
+  void checkInvariants() const;
+
+ private:
+  using Key = std::pair<double, PageId>;
+
+  StoredEntry removeLowest(std::set<Key>::iterator it);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unordered_map<PageId, StoredEntry> entries_;
+  std::set<Key> index_;  // (value, page), ascending
+};
+
+}  // namespace pscd

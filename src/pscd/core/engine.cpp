@@ -1,0 +1,130 @@
+#include "pscd/core/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pscd {
+
+ContentDistributionEngine::ContentDistributionEngine(const Network& network,
+                                                     EngineConfig config)
+    : config_(std::move(config)), broker_(network.numProxies()) {
+  if (config_.proxyCapacities.size() != network.numProxies()) {
+    throw std::invalid_argument(
+        "ContentDistributionEngine: one capacity per proxy required");
+  }
+  proxies_.reserve(network.numProxies());
+  for (ProxyId p = 0; p < network.numProxies(); ++p) {
+    StrategyParams sp;
+    sp.capacity = config_.proxyCapacities[p];
+    sp.fetchCost = network.fetchCost(p);
+    sp.beta = config_.beta;
+    sp.dcInitialPcFraction = config_.dcInitialPcFraction;
+    sp.dcMinPcFraction = config_.dcMinPcFraction;
+    sp.dcMaxPcFraction = config_.dcMaxPcFraction;
+    proxies_.push_back(makeStrategy(config_.strategy, sp));
+  }
+}
+
+const ContentDistributionEngine::PageState&
+ContentDistributionEngine::pageState(PageId page) const {
+  const auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    throw std::out_of_range("ContentDistributionEngine: unknown page");
+  }
+  return it->second;
+}
+
+std::uint32_t ContentDistributionEngine::matchCount(const PageState& state,
+                                                    ProxyId proxy) const {
+  const auto it = std::lower_bound(
+      state.matches.begin(), state.matches.end(), proxy,
+      [](const Notification& n, ProxyId p) { return n.proxy < p; });
+  return (it != state.matches.end() && it->proxy == proxy) ? it->matchCount
+                                                           : 0;
+}
+
+PublishSummary ContentDistributionEngine::publish(
+    const PublishEvent& event, const ContentAttributes& attrs) {
+  if (event.size == 0) {
+    throw std::invalid_argument("publish: page size must be > 0");
+  }
+  PageState& state = pages_[event.page];
+  state.version = event.version;
+  state.size = event.size;
+  state.matches = broker_.publish(attrs);
+
+  PublishSummary summary;
+  summary.proxiesNotified = static_cast<std::uint32_t>(state.matches.size());
+  for (const Notification& n : state.matches) {
+    DistributionStrategy& strat = *proxies_[n.proxy];
+    if (!strat.pushCapable()) continue;
+    PushContext ctx;
+    ctx.page = event.page;
+    ctx.version = event.version;
+    ctx.size = event.size;
+    ctx.subCount = n.matchCount;
+    ctx.now = event.time;
+    const PushOutcome out = strat.onPush(ctx);
+    if (out.stored) ++summary.proxiesStored;
+    // Always-Pushing transfers the page to every notified proxy;
+    // Pushing-When-Necessary transfers only when the proxy stores it.
+    const bool transferred =
+        config_.pushScheme == PushScheme::kAlwaysPushing || out.stored;
+    if (transferred) {
+      ++summary.pagesTransferred;
+      summary.bytesTransferred += event.size;
+    }
+  }
+  return summary;
+}
+
+PublishSummary ContentDistributionEngine::publish(const PublishEvent& event) {
+  ContentAttributes attrs;
+  attrs.page = event.page;
+  return publish(event, attrs);
+}
+
+RequestSummary ContentDistributionEngine::request(ProxyId proxy, PageId page,
+                                                  SimTime now) {
+  if (proxy >= proxies_.size()) {
+    throw std::out_of_range("ContentDistributionEngine: proxy out of range");
+  }
+  const PageState& state = pageState(page);
+
+  RequestContext ctx;
+  ctx.page = page;
+  ctx.latestVersion = state.version;
+  ctx.size = state.size;
+  ctx.subCount = matchCount(state, proxy);
+  ctx.now = now;
+  const RequestOutcome out = proxies_[proxy]->onRequest(ctx);
+
+  RequestSummary summary;
+  summary.hit = out.hit;
+  summary.stale = out.stale;
+  summary.bytesTransferred = out.hit ? 0 : state.size;
+  return summary;
+}
+
+Version ContentDistributionEngine::latestVersion(PageId page) const {
+  return pageState(page).version;
+}
+
+Bytes ContentDistributionEngine::pageSize(PageId page) const {
+  return pageState(page).size;
+}
+
+const DistributionStrategy& ContentDistributionEngine::strategy(
+    ProxyId proxy) const {
+  return *proxies_.at(proxy);
+}
+
+DistributionStrategy& ContentDistributionEngine::strategy(ProxyId proxy) {
+  return *proxies_.at(proxy);
+}
+
+void ContentDistributionEngine::checkInvariants() const {
+  for (const auto& p : proxies_) p->checkInvariants();
+}
+
+}  // namespace pscd

@@ -1,0 +1,112 @@
+// ContentDistributionEngine: the public API tying together the pub/sub
+// broker (matching + notification), the overlay network, and one content
+// distribution strategy instance per proxy. This is the "content
+// delivery engine" the paper adds to the classic publish/subscribe
+// architecture (figure 1, flow 3').
+//
+// Usage: subscribe users (predicate subscriptions or aggregated counts),
+// publish pages as they are produced, and route user requests through
+// request(). The engine performs match-time pushing and access-time
+// caching according to the configured strategy and accounts the traffic
+// between publisher and proxies.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pscd/cache/strategy.h"
+#include "pscd/cache/strategy_factory.h"
+#include "pscd/pubsub/broker.h"
+#include "pscd/topology/network.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// How pushed content travels from the publisher to a proxy (section
+/// 5.6). Always-Pushing transfers every matched page; Pushing-When-
+/// Necessary first exchanges meta-information and transfers only pages
+/// the proxy decides to store.
+enum class PushScheme { kAlwaysPushing, kPushingWhenNecessary };
+
+struct EngineConfig {
+  StrategyKind strategy = StrategyKind::kGDStar;
+  double beta = 1.0;
+  double dcInitialPcFraction = 0.5;
+  double dcMinPcFraction = 0.25;
+  double dcMaxPcFraction = 0.75;
+  PushScheme pushScheme = PushScheme::kAlwaysPushing;
+  /// Cache capacity per proxy; must match the network's proxy count.
+  std::vector<Bytes> proxyCapacities;
+};
+
+/// Accounting of one publish event.
+struct PublishSummary {
+  std::uint32_t proxiesNotified = 0;  // proxies with >= 1 match
+  std::uint32_t proxiesStored = 0;    // proxies that stored the page
+  std::uint64_t pagesTransferred = 0;
+  Bytes bytesTransferred = 0;
+};
+
+/// Accounting of one request.
+struct RequestSummary {
+  bool hit = false;
+  bool stale = false;  // a stale copy was cached at request time
+  /// Publisher -> proxy bytes (page size on a miss, 0 on a hit).
+  Bytes bytesTransferred = 0;
+};
+
+class ContentDistributionEngine {
+ public:
+  /// The network defines the proxy count and fetch costs; capacities in
+  /// config must have one entry per proxy.
+  ContentDistributionEngine(const Network& network, EngineConfig config);
+
+  Broker& broker() { return broker_; }
+  const Broker& broker() const { return broker_; }
+
+  std::uint32_t numProxies() const {
+    return static_cast<std::uint32_t>(proxies_.size());
+  }
+
+  /// Publishes a page version: matches it against all subscriptions and
+  /// runs the push-time placement at every notified proxy.
+  PublishSummary publish(const PublishEvent& event,
+                         const ContentAttributes& attrs);
+
+  /// Convenience overload using page-id-only attributes.
+  PublishSummary publish(const PublishEvent& event);
+
+  /// A user attached to `proxy` requests `page`. The page must have been
+  /// published before (throws std::out_of_range otherwise).
+  RequestSummary request(ProxyId proxy, PageId page, SimTime now);
+
+  /// Latest published version/size of a page; throws if never published.
+  Version latestVersion(PageId page) const;
+  Bytes pageSize(PageId page) const;
+
+  const DistributionStrategy& strategy(ProxyId proxy) const;
+  DistributionStrategy& strategy(ProxyId proxy);
+
+  /// Test hook: checks every proxy's strategy invariants.
+  void checkInvariants() const;
+
+ private:
+  struct PageState {
+    Version version = 0;
+    Bytes size = 0;
+    /// Match counts from the page's most recent publish, sorted by
+    /// proxy; consulted at request time for the subscription factor.
+    std::vector<Notification> matches;
+  };
+
+  const PageState& pageState(PageId page) const;
+  std::uint32_t matchCount(const PageState& state, ProxyId proxy) const;
+
+  EngineConfig config_;
+  Broker broker_;
+  std::vector<std::unique_ptr<DistributionStrategy>> proxies_;
+  std::unordered_map<PageId, PageState> pages_;
+};
+
+}  // namespace pscd

@@ -1,0 +1,142 @@
+#include "pscd/core/hierarchy.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pscd {
+
+namespace {
+
+Bytes fractionOf(double fraction, Bytes total) {
+  return std::max<Bytes>(
+      static_cast<Bytes>(std::llround(fraction * static_cast<double>(total))),
+      1);
+}
+
+}  // namespace
+
+HierarchyResult runHierarchical(const Workload& workload,
+                                const Network& network,
+                                const HierarchyConfig& config) {
+  if (workload.numProxies() != network.numProxies()) {
+    throw std::invalid_argument("runHierarchical: proxy count mismatch");
+  }
+  if (config.numParents == 0) {
+    throw std::invalid_argument("runHierarchical: numParents must be > 0");
+  }
+  const std::uint32_t numProxies = workload.numProxies();
+  const std::uint32_t numParents = config.numParents;
+
+  // Leaf -> parent assignment (round-robin) and subtree unique bytes.
+  std::vector<std::uint32_t> parentOf(numProxies);
+  std::vector<Bytes> subtreeBytes(numParents, 0);
+  for (ProxyId p = 0; p < numProxies; ++p) {
+    parentOf[p] = p % numParents;
+    subtreeBytes[parentOf[p]] += workload.uniqueBytesRequested[p];
+  }
+
+  // Strategies.
+  std::vector<std::unique_ptr<DistributionStrategy>> leaves;
+  leaves.reserve(numProxies);
+  for (ProxyId p = 0; p < numProxies; ++p) {
+    StrategyParams sp;
+    sp.capacity = fractionOf(config.leafCapacityFraction,
+                             workload.uniqueBytesRequested[p]);
+    sp.fetchCost = network.fetchCost(p);
+    sp.beta = config.beta;
+    leaves.push_back(makeStrategy(config.leafStrategy, sp));
+  }
+  std::vector<std::unique_ptr<DistributionStrategy>> parents;
+  parents.reserve(numParents);
+  for (std::uint32_t g = 0; g < numParents; ++g) {
+    StrategyParams sp;
+    sp.capacity = fractionOf(config.parentCapacityFraction, subtreeBytes[g]);
+    sp.fetchCost = 1.0;  // parents sit at the mean publisher distance
+    sp.beta = config.beta;
+    parents.push_back(makeStrategy(config.parentStrategy, sp));
+  }
+
+  HierarchyResult result;
+  std::vector<Version> latest(workload.numPages(), 0);
+  std::vector<std::uint32_t> parentMatch(numParents);
+
+  // Subtree-aggregated subscription counts per (page, parent), used as
+  // the parents' subscription factor at access time.
+  std::vector<std::uint32_t> parentSubs(
+      static_cast<std::size_t>(workload.numPages()) * numParents, 0);
+  for (PageId page = 0; page < workload.numPages(); ++page) {
+    for (const Notification& n : workload.subscriptions(page)) {
+      parentSubs[static_cast<std::size_t>(page) * numParents +
+                 parentOf[n.proxy]] += n.matchCount;
+    }
+  }
+
+  std::size_t pi = 0, ri = 0;
+  while (pi < workload.publishes.size() || ri < workload.requests.size()) {
+    const bool takePublish =
+        pi < workload.publishes.size() &&
+        (ri >= workload.requests.size() ||
+         workload.publishes[pi].time <= workload.requests[ri].time);
+    if (takePublish) {
+      const PublishEvent& ev = workload.publishes[pi++];
+      latest[ev.page] = ev.version;
+      // Leaf pushes, plus per-parent aggregation of the subtree counts.
+      std::fill(parentMatch.begin(), parentMatch.end(), 0u);
+      for (const Notification& n : workload.subscriptions(ev.page)) {
+        parentMatch[parentOf[n.proxy]] += n.matchCount;
+        if (leaves[n.proxy]->pushCapable()) {
+          if (leaves[n.proxy]
+                  ->onPush({ev.page, ev.version, ev.size, n.matchCount,
+                            ev.time})
+                  .stored) {
+            ++result.publisherPages;  // leaf pushes come from the
+                                      // publisher (when-necessary scheme)
+          }
+        }
+      }
+      for (std::uint32_t g = 0; g < numParents; ++g) {
+        if (parentMatch[g] == 0 || !parents[g]->pushCapable()) continue;
+        if (parents[g]
+                ->onPush(
+                    {ev.page, ev.version, ev.size, parentMatch[g], ev.time})
+                .stored) {
+          ++result.publisherPages;
+        }
+      }
+    } else {
+      const RequestEvent& ev = workload.requests[ri++];
+      ++result.requests;
+      const Bytes size = workload.pages[ev.page].size;
+      const std::uint32_t subs =
+          workload.subscriptionCount(ev.page, ev.proxy);
+      const auto leafOut = leaves[ev.proxy]->onRequest(
+          {ev.page, latest[ev.page], size, subs, ev.time});
+      if (leafOut.hit) {
+        ++result.leafHits;
+        result.meanResponseTimeMs += config.leafLatencyMs;
+        continue;
+      }
+      // Leaf miss: consult the regional parent (its access state is
+      // driven by exactly this filtered miss stream).
+      const std::uint32_t g = parentOf[ev.proxy];
+      const auto parentOut = parents[g]->onRequest(
+          {ev.page, latest[ev.page], size,
+           parentSubs[static_cast<std::size_t>(ev.page) * numParents + g],
+           ev.time});
+      if (parentOut.hit) {
+        ++result.parentHits;
+        result.meanResponseTimeMs += config.parentLatencyMs;
+      } else {
+        ++result.publisherPages;  // fetched from the origin
+        result.meanResponseTimeMs += config.publisherLatencyMs;
+      }
+    }
+  }
+  if (result.requests > 0) {
+    result.meanResponseTimeMs /= static_cast<double>(result.requests);
+  }
+  return result;
+}
+
+}  // namespace pscd

@@ -1,0 +1,69 @@
+// Hierarchical (two-tier) content distribution: regional parent caches
+// sit between the publisher and groups of leaf proxies, as in the
+// redirection-based hierarchical CDNs the paper discusses in section 6
+// (Gadde et al.). A leaf miss is retried at the leaf's parent before the
+// publisher; parents see only the leaves' miss streams and aggregate
+// their children's subscriptions for push-time placement.
+//
+// The paper argues server-initiated pushing "helps to improve the hit
+// ratio even when passive caching achieves its upper limit" — i.e. a
+// parent tier should rescue the access-only baseline far more than the
+// push-based schemes, which already place content ahead of demand
+// (bench_hierarchy quantifies this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pscd/cache/strategy_factory.h"
+#include "pscd/sim/metrics.h"
+#include "pscd/topology/network.h"
+#include "pscd/workload/workload.h"
+
+namespace pscd {
+
+struct HierarchyConfig {
+  /// Strategy run at the leaf proxies and at the regional parents.
+  StrategyKind leafStrategy = StrategyKind::kGDStar;
+  StrategyKind parentStrategy = StrategyKind::kGDStar;
+  double beta = 2.0;
+  /// Number of regional parent caches; leaves are assigned round-robin.
+  std::uint32_t numParents = 5;
+  /// Leaf capacity as a fraction of the leaf's unique requested bytes.
+  double leafCapacityFraction = 0.05;
+  /// Parent capacity as a fraction of the unique bytes of its subtree.
+  double parentCapacityFraction = 0.05;
+  /// Latency model: leaf hit, parent hit, publisher fetch.
+  double leafLatencyMs = 5.0;
+  double parentLatencyMs = 30.0;
+  double publisherLatencyMs = 105.0;
+};
+
+struct HierarchyResult {
+  std::uint64_t requests = 0;
+  std::uint64_t leafHits = 0;
+  std::uint64_t parentHits = 0;  // misses served by the parent tier
+  double meanResponseTimeMs = 0.0;
+  /// Pages transferred publisher -> parents/leaves (pushes + fetches).
+  std::uint64_t publisherPages = 0;
+
+  double leafHitRatio() const {
+    return requests ? static_cast<double>(leafHits) / requests : 0.0;
+  }
+  /// Fraction of requests served inside the hierarchy (leaf or parent).
+  double combinedHitRatio() const {
+    return requests
+               ? static_cast<double>(leafHits + parentHits) / requests
+               : 0.0;
+  }
+};
+
+/// Replays the workload over the two-tier hierarchy. Push-capable leaf
+/// strategies receive per-leaf matched pushes; push-capable parent
+/// strategies receive one push per parent with the subtree's aggregated
+/// match count. Parent access state is driven by leaf misses only.
+HierarchyResult runHierarchical(const Workload& workload,
+                                const Network& network,
+                                const HierarchyConfig& config);
+
+}  // namespace pscd

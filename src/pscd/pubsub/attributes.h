@@ -1,0 +1,30 @@
+// Content model for published pages. A page (identified by PageId) is
+// published as a sequence of versions; each publish event carries the
+// content attributes the matching engine evaluates subscriptions against.
+#pragma once
+
+#include <vector>
+
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// Attributes describing one published page, used by the matching engine.
+/// The attribute vocabulary is deliberately small (category + keywords);
+/// it mirrors the topic/keyword subscriptions of news notification
+/// services described in the paper's introduction.
+struct ContentAttributes {
+  PageId page = kInvalidPage;
+  std::uint32_t category = 0;
+  std::vector<std::uint32_t> keywords;
+};
+
+/// One event in the publishing stream.
+struct PublishEvent {
+  SimTime time = 0.0;
+  PageId page = kInvalidPage;
+  Version version = 0;  // 0 = original, >0 = modified versions
+  Bytes size = 0;
+};
+
+}  // namespace pscd

@@ -1,0 +1,97 @@
+#include "pscd/pubsub/broker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pscd {
+
+Broker::Broker(std::uint32_t numProxies) : numProxies_(numProxies) {
+  if (numProxies == 0) {
+    throw std::invalid_argument("Broker: numProxies must be > 0");
+  }
+}
+
+SubscriptionId Broker::subscribe(Subscription sub) {
+  if (sub.proxy >= numProxies_) {
+    throw std::out_of_range("Broker::subscribe: proxy out of range");
+  }
+  return engine_.addSubscription(std::move(sub));
+}
+
+bool Broker::unsubscribe(SubscriptionId id) {
+  return engine_.removeSubscription(id);
+}
+
+void Broker::subscribeAggregated(ProxyId proxy, PageId page,
+                                 std::uint32_t count) {
+  if (proxy >= numProxies_) {
+    throw std::out_of_range("Broker::subscribeAggregated: proxy out of range");
+  }
+  if (count == 0) return;
+  auto& list = aggregated_[page];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), proxy,
+      [](const Notification& n, ProxyId p) { return n.proxy < p; });
+  if (it != list.end() && it->proxy == proxy) {
+    it->matchCount += count;
+  } else {
+    list.insert(it, Notification{proxy, count});
+  }
+}
+
+std::uint32_t Broker::unsubscribeAggregated(ProxyId proxy, PageId page,
+                                            std::uint32_t count) {
+  if (proxy >= numProxies_) {
+    throw std::out_of_range(
+        "Broker::unsubscribeAggregated: proxy out of range");
+  }
+  const auto pageIt = aggregated_.find(page);
+  if (pageIt == aggregated_.end()) return 0;
+  auto& list = pageIt->second;
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), proxy,
+      [](const Notification& n, ProxyId p) { return n.proxy < p; });
+  if (it == list.end() || it->proxy != proxy) return 0;
+  const std::uint32_t removed = std::min(count, it->matchCount);
+  it->matchCount -= removed;
+  if (it->matchCount == 0) list.erase(it);
+  return removed;
+}
+
+std::uint32_t Broker::aggregatedCount(ProxyId proxy, PageId page) const {
+  const auto pageIt = aggregated_.find(page);
+  if (pageIt == aggregated_.end()) return 0;
+  const auto& list = pageIt->second;
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), proxy,
+      [](const Notification& n, ProxyId p) { return n.proxy < p; });
+  return (it != list.end() && it->proxy == proxy) ? it->matchCount : 0;
+}
+
+std::vector<Notification> Broker::publish(const ContentAttributes& attrs) {
+  ++publishCount_;
+  std::vector<Notification> out;
+
+  const auto pageIt = aggregated_.find(attrs.page);
+  if (pageIt != aggregated_.end()) out = pageIt->second;
+
+  if (engine_.size() > 0) {
+    const MatchResult m = engine_.match(attrs);
+    // Merge the (sorted) predicate-match counts into the aggregated list.
+    for (const auto& [proxy, count] : m.proxyCounts) {
+      const auto it = std::lower_bound(
+          out.begin(), out.end(), proxy,
+          [](const Notification& n, ProxyId p) { return n.proxy < p; });
+      if (it != out.end() && it->proxy == proxy) {
+        it->matchCount += count;
+      } else {
+        out.insert(it, Notification{proxy, count});
+      }
+    }
+  }
+
+  for (const auto& n : out) notificationCount_ += n.matchCount;
+  return out;
+}
+
+}  // namespace pscd

@@ -1,0 +1,52 @@
+#include "pscd/pubsub/covering.h"
+
+#include <algorithm>
+
+namespace pscd {
+
+namespace {
+bool predicateLess(const Predicate& a, const Predicate& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.value < b.value;
+}
+}  // namespace
+
+std::vector<Predicate> normalizeConjuncts(std::vector<Predicate> conjuncts) {
+  std::sort(conjuncts.begin(), conjuncts.end(), predicateLess);
+  conjuncts.erase(std::unique(conjuncts.begin(), conjuncts.end()),
+                  conjuncts.end());
+  return conjuncts;
+}
+
+bool covers(const Subscription& a, const Subscription& b) {
+  if (a.conjuncts.empty()) return false;  // empty matches nothing
+  const auto na = normalizeConjuncts(a.conjuncts);
+  const auto nb = normalizeConjuncts(b.conjuncts);
+  // a covers b iff a's constraints are a subset of b's.
+  return std::includes(nb.begin(), nb.end(), na.begin(), na.end(),
+                       predicateLess);
+}
+
+bool CoveringSet::add(Subscription sub) {
+  sub.conjuncts = normalizeConjuncts(std::move(sub.conjuncts));
+  for (const Subscription& m : members_) {
+    if (covers(m, sub)) return false;
+  }
+  // The newcomer may cover existing members: drop them.
+  std::erase_if(members_,
+                [&](const Subscription& m) { return covers(sub, m); });
+  members_.push_back(std::move(sub));
+  return true;
+}
+
+bool CoveringSet::isCovered(const Subscription& sub) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Subscription& m) { return covers(m, sub); });
+}
+
+bool CoveringSet::matches(const ContentAttributes& attrs) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Subscription& m) { return m.matches(attrs); });
+}
+
+}  // namespace pscd

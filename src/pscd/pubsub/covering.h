@@ -1,0 +1,44 @@
+// Subscription covering (as exploited by Siena, which the paper cites
+// for its distributed routing engine): subscription A *covers* B when
+// every event matching B also matches A. For conjunctions of exact-match
+// predicates this is simply conjunct-set inclusion — fewer constraints
+// match more events. Covering lets a broker advertise only a minimal
+// frontier of its subtree's subscriptions to its parent.
+#pragma once
+
+#include <vector>
+
+#include "pscd/pubsub/subscription.h"
+
+namespace pscd {
+
+/// Canonical form of a conjunction: sorted, deduplicated predicates.
+std::vector<Predicate> normalizeConjuncts(std::vector<Predicate> conjuncts);
+
+/// True when `a` covers `b` (proxy fields are ignored): a's conjuncts
+/// are a subset of b's. Both inputs may be unnormalized.
+bool covers(const Subscription& a, const Subscription& b);
+
+/// Maintains a covering-minimal set of subscriptions: add() absorbs new
+/// subscriptions that are already covered and evicts members the new
+/// subscription covers.
+class CoveringSet {
+ public:
+  /// Returns true when the subscription extends the frontier (i.e. it
+  /// was not already covered); false when absorbed.
+  bool add(Subscription sub);
+
+  /// True when some member covers `sub`.
+  bool isCovered(const Subscription& sub) const;
+
+  /// True when some member matches the attributes.
+  bool matches(const ContentAttributes& attrs) const;
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<Subscription>& members() const { return members_; }
+
+ private:
+  std::vector<Subscription> members_;  // conjuncts kept normalized
+};
+
+}  // namespace pscd

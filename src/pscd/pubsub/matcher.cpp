@@ -1,0 +1,83 @@
+#include "pscd/pubsub/matcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pscd {
+
+SubscriptionId MatchingEngine::addSubscription(Subscription sub) {
+  if (sub.conjuncts.empty()) {
+    throw std::invalid_argument("addSubscription: empty conjunction");
+  }
+  std::sort(sub.conjuncts.begin(), sub.conjuncts.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return key(a.kind, a.value) < key(b.kind, b.value);
+            });
+  sub.conjuncts.erase(std::unique(sub.conjuncts.begin(), sub.conjuncts.end()),
+                      sub.conjuncts.end());
+
+  const SubscriptionId id = subs_.size();
+  subs_.push_back({sub.proxy,
+                   static_cast<std::uint32_t>(sub.conjuncts.size()), true});
+  for (const Predicate& p : sub.conjuncts) {
+    index_[key(p.kind, p.value)].push_back(id);
+  }
+  ++liveCount_;
+  return id;
+}
+
+bool MatchingEngine::removeSubscription(SubscriptionId id) {
+  if (id >= subs_.size() || !subs_[id].live) return false;
+  // Lazy deletion: postings keep the id but match() skips dead records.
+  subs_[id].live = false;
+  --liveCount_;
+  return true;
+}
+
+MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
+  MatchResult result;
+  if (subs_.empty()) return result;
+
+  hitCount_.resize(subs_.size());
+  stamp_.resize(subs_.size());
+  ++epoch_;
+
+  auto scan = [&](std::uint64_t k) {
+    const auto it = index_.find(k);
+    if (it == index_.end()) return;
+    for (const SubscriptionId id : it->second) {
+      const SubRecord& rec = subs_[id];
+      if (!rec.live) continue;
+      if (stamp_[id] != epoch_) {
+        stamp_[id] = epoch_;
+        hitCount_[id] = 0;
+      }
+      if (++hitCount_[id] == rec.numConjuncts) {
+        result.subscriptions.push_back(id);
+      }
+    }
+  };
+
+  scan(key(Predicate::Kind::kPageIdEq, attrs.page));
+  scan(key(Predicate::Kind::kCategoryEq, attrs.category));
+  // Deduplicate the keyword list: a keyword occurring twice in the
+  // attributes must not advance a subscription's conjunct counter twice.
+  std::vector<std::uint32_t> keywords(attrs.keywords);
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+  for (const std::uint32_t kw : keywords) {
+    scan(key(Predicate::Kind::kKeywordContains, kw));
+  }
+
+  // Aggregate per proxy.
+  std::unordered_map<ProxyId, std::uint32_t> counts;
+  for (const SubscriptionId id : result.subscriptions) {
+    ++counts[subs_[id].proxy];
+  }
+  result.proxyCounts.assign(counts.begin(), counts.end());
+  std::sort(result.proxyCounts.begin(), result.proxyCounts.end());
+  return result;
+}
+
+}  // namespace pscd

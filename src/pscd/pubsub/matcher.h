@@ -1,0 +1,64 @@
+// Counting-based content matching engine (in the style of Fabret et al.,
+// SIGMOD 2001): subscriptions are conjunctions of equality/containment
+// predicates; an inverted index maps each predicate key to the
+// subscriptions containing it, and a publish event matches a subscription
+// when all of its conjuncts are satisfied.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pscd/pubsub/attributes.h"
+#include "pscd/pubsub/subscription.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// Result of matching one publish event.
+struct MatchResult {
+  /// Ids of all matching subscriptions.
+  std::vector<SubscriptionId> subscriptions;
+  /// Number of matching subscriptions per proxy, sorted by proxy id.
+  /// This is exactly the f_S(p) / s factor the push-time strategies use.
+  std::vector<std::pair<ProxyId, std::uint32_t>> proxyCounts;
+};
+
+class MatchingEngine {
+ public:
+  /// Registers a subscription; duplicate predicates within one
+  /// subscription are collapsed. Throws on an empty conjunction.
+  SubscriptionId addSubscription(Subscription sub);
+
+  /// Removes a subscription; returns false if the id is unknown.
+  bool removeSubscription(SubscriptionId id);
+
+  /// Matches the attributes against all live subscriptions.
+  MatchResult match(const ContentAttributes& attrs) const;
+
+  /// Number of live subscriptions.
+  std::size_t size() const { return liveCount_; }
+
+ private:
+  struct SubRecord {
+    ProxyId proxy = 0;
+    std::uint32_t numConjuncts = 0;
+    bool live = false;
+  };
+
+  static std::uint64_t key(Predicate::Kind kind, std::uint32_t value) {
+    return (static_cast<std::uint64_t>(kind) << 32) | value;
+  }
+
+  std::vector<SubRecord> subs_;
+  std::unordered_map<std::uint64_t, std::vector<SubscriptionId>> index_;
+  std::size_t liveCount_ = 0;
+
+  // Scratch space for the counting algorithm (epoch-stamped so it never
+  // needs clearing); mutable because match() is logically const.
+  mutable std::vector<std::uint32_t> hitCount_;
+  mutable std::vector<std::uint64_t> stamp_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace pscd

@@ -1,0 +1,114 @@
+#include "pscd/pubsub/routing.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pscd {
+
+BrokerTree::BrokerTree(std::vector<BrokerId> parents, bool useCovering)
+    : useCovering_(useCovering) {
+  if (parents.empty()) {
+    throw std::invalid_argument("BrokerTree: at least one broker required");
+  }
+  nodes_.resize(parents.size());
+  for (BrokerId b = 1; b < parents.size(); ++b) {
+    if (parents[b] >= b) {
+      throw std::invalid_argument(
+          "BrokerTree: parents must be topologically ordered");
+    }
+    nodes_[b].parent = parents[b];
+    nodes_[parents[b]].children.push_back(b);
+  }
+}
+
+BrokerTree BrokerTree::balanced(std::uint32_t numBrokers,
+                                std::uint32_t fanout, bool useCovering) {
+  if (numBrokers == 0 || fanout == 0) {
+    throw std::invalid_argument("BrokerTree::balanced: bad shape");
+  }
+  std::vector<BrokerId> parents(numBrokers, 0);
+  for (BrokerId b = 1; b < numBrokers; ++b) parents[b] = (b - 1) / fanout;
+  return BrokerTree(std::move(parents), useCovering);
+}
+
+void BrokerTree::attachProxy(ProxyId proxy, BrokerId broker) {
+  if (broker >= nodes_.size()) {
+    throw std::out_of_range("BrokerTree::attachProxy: unknown broker");
+  }
+  if (proxy >= proxyBroker_.size()) proxyBroker_.resize(proxy + 1, -1);
+  if (proxyBroker_[proxy] >= 0) {
+    throw std::logic_error("BrokerTree::attachProxy: proxy already attached");
+  }
+  proxyBroker_[proxy] = broker;
+}
+
+void BrokerTree::installAt(BrokerId broker, const Subscription& sub,
+                           const Node::Origin& origin) {
+  Node& node = nodes_[broker];
+  const SubscriptionId id = node.engine.addSubscription(sub);
+  if (node.origins.size() <= id) node.origins.resize(id + 1);
+  node.origins[id] = origin;
+}
+
+void BrokerTree::subscribe(const Subscription& sub) {
+  if (sub.proxy >= proxyBroker_.size() || proxyBroker_[sub.proxy] < 0) {
+    throw std::logic_error("BrokerTree::subscribe: proxy not attached");
+  }
+  ++subscriptions_;
+  auto broker = static_cast<BrokerId>(proxyBroker_[sub.proxy]);
+  installAt(broker, sub, {.local = true, .proxy = sub.proxy, .child = 0});
+
+  // Advertise hop by hop toward the root.
+  while (broker != 0) {
+    if (useCovering_ && !nodes_[broker].advertised.add(sub)) {
+      return;  // an already-advertised subscription covers this one
+    }
+    const BrokerId up = nodes_[broker].parent;
+    ++controlMessages_;
+    const auto& siblings = nodes_[up].children;
+    const auto childIdx = static_cast<std::uint32_t>(
+        std::find(siblings.begin(), siblings.end(), broker) -
+        siblings.begin());
+    installAt(up, sub, {.local = false, .proxy = 0, .child = childIdx});
+    broker = up;
+  }
+}
+
+void BrokerTree::route(BrokerId broker, const ContentAttributes& attrs,
+                       std::vector<Notification>& out) {
+  const Node& node = nodes_[broker];
+  const MatchResult result = node.engine.match(attrs);
+  std::vector<bool> childMatched(node.children.size(), false);
+  std::unordered_map<ProxyId, std::uint32_t> local;
+  for (const SubscriptionId id : result.subscriptions) {
+    const Node::Origin& origin = node.origins[id];
+    if (origin.local) {
+      ++local[origin.proxy];
+    } else {
+      childMatched[origin.child] = true;
+    }
+  }
+  for (const auto& [proxy, count] : local) {
+    out.push_back({proxy, count});
+  }
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    if (childMatched[c]) {
+      ++eventMessages_;
+      route(node.children[c], attrs, out);
+    }
+  }
+}
+
+std::vector<Notification> BrokerTree::publish(const ContentAttributes& attrs) {
+  floodEventMessages_ += nodes_.size() - 1;
+  std::vector<Notification> out;
+  route(0, attrs, out);
+  std::sort(out.begin(), out.end(),
+            [](const Notification& a, const Notification& b) {
+              return a.proxy < b.proxy;
+            });
+  return out;
+}
+
+}  // namespace pscd

@@ -1,0 +1,97 @@
+// Distributed notification routing (paper section 2: "these engines may
+// be centralized or distributed"): brokers form a tree rooted at the
+// publisher's broker; proxies attach to brokers; subscriptions propagate
+// toward the root, optionally pruned by the covering relation; publish
+// events route down only the links whose subtree registered a matching
+// subscription. Message counters expose the control and event traffic so
+// the covering optimization can be quantified (bench_routing_tree).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pscd/pubsub/broker.h"
+#include "pscd/pubsub/covering.h"
+#include "pscd/pubsub/matcher.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+using BrokerId = std::uint32_t;
+
+class BrokerTree {
+ public:
+  /// parents[i] is the parent of broker i; parents[0] is ignored
+  /// (broker 0 is the root, where the publisher attaches). Every parent
+  /// index must be smaller than its child's (topological order).
+  explicit BrokerTree(std::vector<BrokerId> parents, bool useCovering = true);
+
+  /// Balanced tree with the given fanout.
+  static BrokerTree balanced(std::uint32_t numBrokers, std::uint32_t fanout,
+                             bool useCovering = true);
+
+  std::uint32_t numBrokers() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  BrokerId parent(BrokerId b) const { return nodes_[b].parent; }
+  bool isLeaf(BrokerId b) const { return nodes_[b].children.empty(); }
+
+  /// Attaches a proxy to a broker; a proxy attaches exactly once.
+  void attachProxy(ProxyId proxy, BrokerId broker);
+
+  /// Registers a subscription on behalf of its proxy (which must be
+  /// attached). The subscription is installed at the proxy's broker and
+  /// advertised hop by hop toward the root; with covering enabled the
+  /// advertisement stops at the first broker whose upstream frontier
+  /// already covers it.
+  void subscribe(const Subscription& sub);
+
+  /// Routes a publish event from the root. Returns per-proxy match
+  /// counts, sorted by proxy — the same contract as Broker::publish, so
+  /// the two implementations are interchangeable (and tested against
+  /// each other).
+  std::vector<Notification> publish(const ContentAttributes& attrs);
+
+  /// Subscription advertisements sent across broker links.
+  std::uint64_t controlMessages() const { return controlMessages_; }
+  /// Event transmissions across broker links (publisher->root excluded).
+  std::uint64_t eventMessages() const { return eventMessages_; }
+  /// Event transmissions a subscription-oblivious flood would have used
+  /// for the same publish calls (every link, every event).
+  std::uint64_t floodEventMessages() const { return floodEventMessages_; }
+  std::uint64_t subscriptionCount() const { return subscriptions_; }
+
+ private:
+  struct Node {
+    BrokerId parent = 0;
+    std::vector<BrokerId> children;
+    /// Matching over everything registered here, tagged by where it
+    /// came from: a local proxy or a child link.
+    MatchingEngine engine;
+    struct Origin {
+      bool local = false;
+      ProxyId proxy = 0;       // when local
+      std::uint32_t child = 0; // index into children when !local
+    };
+    std::vector<Origin> origins;  // indexed by SubscriptionId
+    /// Frontier advertised to the parent (covering mode only).
+    CoveringSet advertised;
+    /// Whether anything was advertised upward (non-covering mode).
+    bool advertisedAny = false;
+  };
+
+  void route(BrokerId broker, const ContentAttributes& attrs,
+             std::vector<Notification>& out);
+  void installAt(BrokerId broker, const Subscription& sub,
+                 const Node::Origin& origin);
+
+  bool useCovering_;
+  std::vector<Node> nodes_;
+  std::vector<std::int64_t> proxyBroker_;  // -1 = unattached
+  std::uint64_t controlMessages_ = 0;
+  std::uint64_t eventMessages_ = 0;
+  std::uint64_t floodEventMessages_ = 0;
+  std::uint64_t subscriptions_ = 0;
+};
+
+}  // namespace pscd

@@ -1,0 +1,49 @@
+#include "pscd/pubsub/subscription.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pscd {
+
+bool Predicate::matches(const ContentAttributes& attrs) const {
+  switch (kind) {
+    case Kind::kPageIdEq:
+      return attrs.page == value;
+    case Kind::kCategoryEq:
+      return attrs.category == value;
+    case Kind::kKeywordContains:
+      return std::find(attrs.keywords.begin(), attrs.keywords.end(), value) !=
+             attrs.keywords.end();
+  }
+  return false;
+}
+
+bool Subscription::matches(const ContentAttributes& attrs) const {
+  if (conjuncts.empty()) return false;
+  return std::all_of(conjuncts.begin(), conjuncts.end(),
+                     [&](const Predicate& p) { return p.matches(attrs); });
+}
+
+std::string toString(const Subscription& sub) {
+  std::ostringstream os;
+  os << "proxy " << sub.proxy << ": ";
+  for (std::size_t i = 0; i < sub.conjuncts.size(); ++i) {
+    if (i > 0) os << " AND ";
+    const auto& p = sub.conjuncts[i];
+    switch (p.kind) {
+      case Predicate::Kind::kPageIdEq:
+        os << "page==" << p.value;
+        break;
+      case Predicate::Kind::kCategoryEq:
+        os << "category==" << p.value;
+        break;
+      case Predicate::Kind::kKeywordContains:
+        os << "keyword~" << p.value;
+        break;
+    }
+  }
+  if (sub.conjuncts.empty()) os << "<empty>";
+  return os.str();
+}
+
+}  // namespace pscd

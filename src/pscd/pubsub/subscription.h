@@ -1,0 +1,43 @@
+// Subscription language: a subscription is a conjunction of predicates
+// over the content attributes. Subscriptions are registered on behalf of
+// end-users attached to a proxy; the proxy aggregates them (section 2 of
+// the paper: "a proxy server aggregates its users' subscriptions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pscd/pubsub/attributes.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+struct Predicate {
+  enum class Kind : std::uint8_t {
+    kPageIdEq,         // page id equals value
+    kCategoryEq,       // category equals value
+    kKeywordContains,  // keyword list contains value
+  };
+
+  Kind kind = Kind::kCategoryEq;
+  std::uint32_t value = 0;
+
+  bool matches(const ContentAttributes& attrs) const;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+};
+
+struct Subscription {
+  ProxyId proxy = 0;
+  std::vector<Predicate> conjuncts;
+
+  /// True when every conjunct matches; an empty conjunction matches
+  /// nothing (a subscription must state at least one interest).
+  bool matches(const ContentAttributes& attrs) const;
+};
+
+/// Human-readable rendering ("proxy 3: category==7 AND keyword~42").
+std::string toString(const Subscription& sub);
+
+}  // namespace pscd

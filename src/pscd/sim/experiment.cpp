@@ -1,0 +1,93 @@
+#include "pscd/sim/experiment.h"
+
+#include <stdexcept>
+
+#include "pscd/util/rng.h"
+
+namespace pscd {
+
+std::string_view traceName(TraceKind trace) {
+  return trace == TraceKind::kNews ? "NEWS" : "ALTERNATIVE";
+}
+
+WorkloadParams traceParams(TraceKind trace, double subscriptionQuality) {
+  WorkloadParams p = trace == TraceKind::kNews ? newsTraceParams()
+                                               : alternativeTraceParams();
+  p.subscription.quality = subscriptionQuality;
+  return p;
+}
+
+double paperBeta(StrategyKind strategy, TraceKind trace,
+                 double capacityFraction) {
+  switch (strategy) {
+    case StrategyKind::kSUB:
+    case StrategyKind::kSR:
+    case StrategyKind::kLRU:
+    case StrategyKind::kGDS:
+    case StrategyKind::kLFUDA:
+      return 1.0;
+    default:
+      break;
+  }
+  if (trace == TraceKind::kNews) return 2.0;
+  // ALTERNATIVE trace (section 5.1): beta is always 0.5 in SG2; for GD*
+  // and SG1 (and the schemes built on GD*) beta is 2 at the 5%/10%
+  // settings and 1 at 1%.
+  if (strategy == StrategyKind::kSG2) return 0.5;
+  return capacityFraction < 0.025 ? 1.0 : 2.0;
+}
+
+ExperimentContext::ExperimentContext(std::uint64_t workloadSeed,
+                                     std::uint64_t topologySeed)
+    : workloadSeed_(workloadSeed), topologySeed_(topologySeed) {}
+
+const Workload& ExperimentContext::workload(TraceKind trace,
+                                            double subscriptionQuality) {
+  const auto key = std::make_pair(static_cast<int>(trace),
+                                  subscriptionQuality);
+  auto it = workloads_.find(key);
+  if (it == workloads_.end()) {
+    WorkloadParams params = traceParams(trace, subscriptionQuality);
+    params.seed = workloadSeed_;
+    it = workloads_
+             .emplace(key, std::make_unique<Workload>(buildWorkload(params)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Network& ExperimentContext::network() {
+  if (!network_) {
+    Rng rng(topologySeed_);
+    NetworkParams np;  // defaults: 100 proxies, Waxman
+    network_ = std::make_unique<Network>(np, rng);
+  }
+  return *network_;
+}
+
+SimMetrics ExperimentContext::run(TraceKind trace, double subscriptionQuality,
+                                  StrategyKind strategy,
+                                  double capacityFraction, PushScheme scheme,
+                                  bool collectHourly) {
+  return runWithBeta(trace, subscriptionQuality, strategy, capacityFraction,
+                     paperBeta(strategy, trace, capacityFraction), scheme,
+                     collectHourly);
+}
+
+SimMetrics ExperimentContext::runWithBeta(TraceKind trace,
+                                          double subscriptionQuality,
+                                          StrategyKind strategy,
+                                          double capacityFraction, double beta,
+                                          PushScheme scheme,
+                                          bool collectHourly) {
+  SimConfig config;
+  config.strategy = strategy;
+  config.beta = beta;
+  config.capacityFraction = capacityFraction;
+  config.pushScheme = scheme;
+  config.collectHourly = collectHourly;
+  Simulator sim(workload(trace, subscriptionQuality), network(), config);
+  return sim.run();
+}
+
+}  // namespace pscd

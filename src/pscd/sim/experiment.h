@@ -1,0 +1,65 @@
+// Shared experiment harness for the benchmark binaries: canonical trace
+// construction (NEWS / ALTERNATIVE at a given subscription quality), a
+// cached workload/network store so sweeps do not regenerate traces, and
+// the per-trace beta settings the paper reports in section 5.1.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pscd/sim/simulator.h"
+#include "pscd/topology/network.h"
+#include "pscd/workload/workload.h"
+
+namespace pscd {
+
+enum class TraceKind { kNews, kAlternative };
+
+inline constexpr double kCapacityFractions[] = {0.01, 0.05, 0.10};
+
+std::string_view traceName(TraceKind trace);
+
+/// Workload parameters of a canonical trace at the given subscription
+/// quality (NEWS: Zipf alpha 1.5; ALTERNATIVE: alpha 1.0).
+WorkloadParams traceParams(TraceKind trace, double subscriptionQuality);
+
+/// Beta used for a strategy in the headline experiments, following the
+/// paper's tuning: beta = 2 throughout for NEWS; for ALTERNATIVE beta =
+/// 0.5 in SG2 and 2 elsewhere (1 at the 1% capacity setting). Strategies
+/// without a beta (SUB, SR, LRU) return 1.
+double paperBeta(StrategyKind strategy, TraceKind trace,
+                 double capacityFraction);
+
+/// Builds and memoizes canonical workloads and the overlay network so a
+/// bench can sweep strategies without regenerating traces. Not
+/// thread-safe (benches are single-threaded).
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(std::uint64_t workloadSeed = 42,
+                             std::uint64_t topologySeed = 7);
+
+  const Workload& workload(TraceKind trace, double subscriptionQuality);
+  const Network& network();
+
+  /// Runs one simulation with the paper's beta for the setting.
+  SimMetrics run(TraceKind trace, double subscriptionQuality,
+                 StrategyKind strategy, double capacityFraction,
+                 PushScheme scheme = PushScheme::kAlwaysPushing,
+                 bool collectHourly = false);
+
+  /// Same but with an explicit beta (used by the beta-sweep bench).
+  SimMetrics runWithBeta(TraceKind trace, double subscriptionQuality,
+                         StrategyKind strategy, double capacityFraction,
+                         double beta,
+                         PushScheme scheme = PushScheme::kAlwaysPushing,
+                         bool collectHourly = false);
+
+ private:
+  std::uint64_t workloadSeed_;
+  std::uint64_t topologySeed_;
+  std::map<std::pair<int, double>, std::unique_ptr<Workload>> workloads_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace pscd

@@ -1,0 +1,87 @@
+#include "pscd/sim/metrics.h"
+
+#include <stdexcept>
+
+namespace pscd {
+
+SimMetrics::SimMetrics(std::uint32_t numProxies, std::size_t hours)
+    : proxyRequests_(numProxies, 0), proxyHits_(numProxies, 0) {
+  if (hours > 0) {
+    hourlyHits_.emplace(hours);
+    hourlyPages_.emplace(hours);
+    hourlyBytes_.emplace(hours);
+  }
+}
+
+void SimMetrics::recordRequest(ProxyId proxy, SimTime t, bool hit, bool stale,
+                               Bytes fetchedBytes, double responseTime) {
+  if (proxy >= proxyRequests_.size()) {
+    throw std::out_of_range("SimMetrics::recordRequest: proxy out of range");
+  }
+  ++requests_;
+  responseTimeSum_ += responseTime;
+  ++proxyRequests_[proxy];
+  if (hit) {
+    ++hits_;
+    ++proxyHits_[proxy];
+  } else {
+    ++traffic_.fetchPages;
+    traffic_.fetchBytes += fetchedBytes;
+  }
+  if (stale) ++staleMisses_;
+  if (hourlyHits_) {
+    hourlyHits_->add(t, hit ? 1.0 : 0.0, 1.0);
+    if (!hit) {
+      hourlyPages_->add(t, 1.0);
+      hourlyBytes_->add(t, static_cast<double>(fetchedBytes));
+    }
+  }
+}
+
+void SimMetrics::recordPush(SimTime t, std::uint64_t pages, Bytes bytes) {
+  traffic_.pushPages += pages;
+  traffic_.pushBytes += bytes;
+  if (hourlyPages_) {
+    hourlyPages_->add(t, static_cast<double>(pages));
+    hourlyBytes_->add(t, static_cast<double>(bytes));
+  }
+}
+
+double SimMetrics::hitRatio() const {
+  return requests_ > 0 ? static_cast<double>(hits_) / requests_ : 0.0;
+}
+
+double SimMetrics::meanResponseTime() const {
+  return requests_ > 0 ? responseTimeSum_ / static_cast<double>(requests_)
+                       : 0.0;
+}
+
+double SimMetrics::proxyHitRatio(ProxyId proxy) const {
+  if (proxy >= proxyRequests_.size()) {
+    throw std::out_of_range("SimMetrics::proxyHitRatio: proxy out of range");
+  }
+  return proxyRequests_[proxy] > 0
+             ? static_cast<double>(proxyHits_[proxy]) / proxyRequests_[proxy]
+             : 0.0;
+}
+
+double SimMetrics::hourlyHitRatio(std::size_t hour) const {
+  if (!hourlyHits_) throw std::logic_error("SimMetrics: hourly disabled");
+  return hourlyHits_->ratio(hour);
+}
+
+double SimMetrics::hourlyTrafficPages(std::size_t hour) const {
+  if (!hourlyPages_) throw std::logic_error("SimMetrics: hourly disabled");
+  return hourlyPages_->numerator(hour);
+}
+
+Bytes SimMetrics::hourlyTrafficBytes(std::size_t hour) const {
+  if (!hourlyBytes_) throw std::logic_error("SimMetrics: hourly disabled");
+  return static_cast<Bytes>(hourlyBytes_->numerator(hour));
+}
+
+std::size_t SimMetrics::hours() const {
+  return hourlyHits_ ? hourlyHits_->hours() : 0;
+}
+
+}  // namespace pscd

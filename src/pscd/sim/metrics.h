@@ -1,0 +1,73 @@
+// Simulation metrics: the global hit ratio H over all proxies (eq. 8),
+// per-proxy hit ratios, and the publisher->proxy traffic split into push
+// transfers and miss fetches, with hourly series for figures 6 and 7.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pscd/util/stats.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+struct TrafficTotals {
+  std::uint64_t pushPages = 0;
+  Bytes pushBytes = 0;
+  std::uint64_t fetchPages = 0;
+  Bytes fetchBytes = 0;
+
+  std::uint64_t totalPages() const { return pushPages + fetchPages; }
+  Bytes totalBytes() const { return pushBytes + fetchBytes; }
+};
+
+class SimMetrics {
+ public:
+  /// hours > 0 enables the hourly series.
+  SimMetrics(std::uint32_t numProxies, std::size_t hours);
+
+  /// responseTime is the user-perceived latency of this request under
+  /// the simulator's latency model (hits are served locally, misses pay
+  /// the publisher round trip scaled by the proxy's network distance).
+  void recordRequest(ProxyId proxy, SimTime t, bool hit, bool stale,
+                     Bytes fetchedBytes, double responseTime = 0.0);
+  void recordPush(SimTime t, std::uint64_t pages, Bytes bytes);
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t staleMisses() const { return staleMisses_; }
+
+  /// Global hit ratio H in [0, 1]; 0 when no requests were issued.
+  double hitRatio() const;
+  double proxyHitRatio(ProxyId proxy) const;
+
+  /// Mean user-perceived response time (the paper's motivating metric:
+  /// "a high hit ratio in a local server generally means a smaller
+  /// response time").
+  double meanResponseTime() const;
+
+  const TrafficTotals& traffic() const { return traffic_; }
+
+  bool hasHourly() const { return hourlyHits_.has_value(); }
+  /// Hit ratio of one hour (fig. 6).
+  double hourlyHitRatio(std::size_t hour) const;
+  /// Pages transferred publisher->proxies in one hour (fig. 7).
+  double hourlyTrafficPages(std::size_t hour) const;
+  Bytes hourlyTrafficBytes(std::size_t hour) const;
+  std::size_t hours() const;
+
+ private:
+  std::uint64_t requests_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t staleMisses_ = 0;
+  double responseTimeSum_ = 0.0;
+  TrafficTotals traffic_;
+  std::vector<std::uint64_t> proxyRequests_;
+  std::vector<std::uint64_t> proxyHits_;
+  std::optional<HourlySeries> hourlyHits_;     // hits / requests
+  std::optional<HourlySeries> hourlyPages_;    // push+fetch pages
+  std::optional<HourlySeries> hourlyBytes_;    // push+fetch bytes
+};
+
+}  // namespace pscd

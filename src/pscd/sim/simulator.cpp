@@ -1,0 +1,108 @@
+#include "pscd/sim/simulator.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pscd {
+
+Simulator::Simulator(const Workload& workload, const Network& network,
+                     const SimConfig& config)
+    : workload_(workload), network_(network), config_(config) {
+  if (workload.numProxies() != network.numProxies()) {
+    throw std::invalid_argument("Simulator: proxy count mismatch");
+  }
+  if (config.capacityFraction <= 0 || config.capacityFraction > 1) {
+    throw std::invalid_argument("Simulator: capacityFraction in (0, 1]");
+  }
+}
+
+Bytes Simulator::proxyCapacity(ProxyId proxy) const {
+  const auto bytes = static_cast<Bytes>(
+      std::llround(config_.capacityFraction *
+                   static_cast<double>(workload_.uniqueBytesRequested[proxy])));
+  // Pages larger than the resulting capacity are simply never cached
+  // (as in a real small cache); only guard against a zero-byte cache.
+  return std::max<Bytes>(bytes, 1);
+}
+
+SimMetrics Simulator::run() {
+  EngineConfig ec;
+  ec.strategy = config_.strategy;
+  ec.beta = config_.beta;
+  ec.pushScheme = config_.pushScheme;
+  ec.dcInitialPcFraction = config_.dcInitialPcFraction;
+  ec.dcMinPcFraction = config_.dcMinPcFraction;
+  ec.dcMaxPcFraction = config_.dcMaxPcFraction;
+  ec.proxyCapacities.reserve(workload_.numProxies());
+  for (ProxyId p = 0; p < workload_.numProxies(); ++p) {
+    ec.proxyCapacities.push_back(proxyCapacity(p));
+  }
+  ContentDistributionEngine engine(network_, std::move(ec));
+
+  // Register the aggregated subscriptions (static for the whole run).
+  for (PageId page = 0; page < workload_.numPages(); ++page) {
+    for (const Notification& n : workload_.subscriptions(page)) {
+      engine.broker().subscribeAggregated(n.proxy, page, n.matchCount);
+    }
+  }
+
+  const std::size_t hours =
+      config_.collectHourly
+          ? static_cast<std::size_t>(
+                std::ceil(workload_.params.publishing.horizon / kHour))
+          : 0;
+  SimMetrics metrics(workload_.numProxies(), hours);
+
+  // Merge the time-sorted streams (publishes, requests, and optional
+  // subscription churn); publishes win ties so a request issued at
+  // publish time sees the fresh version, and churn applies before the
+  // publishes it should affect.
+  std::size_t pi = 0, ri = 0, ci = 0;
+  std::uint64_t eventCount = 0;
+  const auto maybeCheck = [&] {
+    if (config_.invariantCheckInterval > 0 &&
+        ++eventCount % config_.invariantCheckInterval == 0) {
+      engine.checkInvariants();
+    }
+  };
+  while (pi < workload_.publishes.size() || ri < workload_.requests.size() ||
+         ci < workload_.churn.size()) {
+    const SimTime nextPublish = pi < workload_.publishes.size()
+                                    ? workload_.publishes[pi].time
+                                    : std::numeric_limits<SimTime>::infinity();
+    const SimTime nextRequest = ri < workload_.requests.size()
+                                    ? workload_.requests[ri].time
+                                    : std::numeric_limits<SimTime>::infinity();
+    const SimTime nextChurn = ci < workload_.churn.size()
+                                  ? workload_.churn[ci].time
+                                  : std::numeric_limits<SimTime>::infinity();
+    if (nextChurn <= nextPublish && nextChurn <= nextRequest) {
+      const SubscriptionChurnEvent& ev = workload_.churn[ci++];
+      engine.broker().unsubscribeAggregated(ev.proxy, ev.fromPage, 1);
+      engine.broker().subscribeAggregated(ev.proxy, ev.toPage, 1);
+      continue;
+    }
+    const bool takePublish = nextPublish <= nextRequest;
+    if (takePublish) {
+      const PublishEvent& ev = workload_.publishes[pi++];
+      const PublishSummary s = engine.publish(ev);
+      metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred);
+    } else {
+      const RequestEvent& ev = workload_.requests[ri++];
+      const RequestSummary s = engine.request(ev.proxy, ev.page, ev.time);
+      const double responseTime =
+          config_.localLatencyMs +
+          (s.hit ? 0.0
+                 : config_.remoteLatencyMsPerUnit *
+                       network_.fetchCost(ev.proxy));
+      metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
+                            s.bytesTransferred, responseTime);
+    }
+    maybeCheck();
+  }
+  if (config_.invariantCheckInterval > 0) engine.checkInvariants();
+  return metrics;
+}
+
+}  // namespace pscd

@@ -1,0 +1,46 @@
+#include "pscd/topology/barabasi_albert.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pscd {
+
+Graph generateBarabasiAlbert(const BarabasiAlbertParams& params, Rng& rng) {
+  const std::uint32_t m = params.edgesPerNode;
+  if (m == 0) {
+    throw std::invalid_argument("generateBarabasiAlbert: edgesPerNode > 0");
+  }
+  if (params.numNodes < m + 1) {
+    throw std::invalid_argument(
+        "generateBarabasiAlbert: numNodes must exceed edgesPerNode");
+  }
+  Graph g(params.numNodes);
+  // Endpoint multiset: node appears once per incident edge, which makes
+  // degree-proportional sampling O(1).
+  std::vector<NodeId> endpoints;
+  for (NodeId a = 0; a <= m; ++a) {
+    for (NodeId b = a + 1; b <= m; ++b) {
+      g.addEdge(a, b, params.edgeWeight);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  std::vector<NodeId> chosen;
+  for (NodeId n = m + 1; n < params.numNodes; ++n) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      const NodeId cand = endpoints[rng.uniformInt(endpoints.size())];
+      bool dup = false;
+      for (const NodeId c : chosen) dup |= (c == cand);
+      if (!dup) chosen.push_back(cand);
+    }
+    for (const NodeId c : chosen) {
+      g.addEdge(n, c, params.edgeWeight);
+      endpoints.push_back(n);
+      endpoints.push_back(c);
+    }
+  }
+  return g;
+}
+
+}  // namespace pscd

@@ -1,0 +1,25 @@
+// Barabasi-Albert preferential-attachment generator (BRITE's alternative
+// router model). Produces scale-free degree distributions; provided so
+// that topology sensitivity can be studied alongside Waxman.
+#pragma once
+
+#include "pscd/topology/graph.h"
+#include "pscd/util/rng.h"
+
+namespace pscd {
+
+struct BarabasiAlbertParams {
+  std::uint32_t numNodes = 100;
+  // Edges added per new node (also the size of the initial clique).
+  std::uint32_t edgesPerNode = 2;
+  // Weight assigned to every edge (hop metric).
+  double edgeWeight = 1.0;
+};
+
+/// Generates a connected scale-free graph: start from a clique of
+/// (edgesPerNode + 1) nodes, then attach each new node to edgesPerNode
+/// distinct existing nodes chosen with probability proportional to their
+/// degree.
+Graph generateBarabasiAlbert(const BarabasiAlbertParams& params, Rng& rng);
+
+}  // namespace pscd

@@ -1,0 +1,63 @@
+#include "pscd/topology/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pscd {
+
+Graph::Graph(std::uint32_t numNodes) : adj_(numNodes) {}
+
+void Graph::addEdge(NodeId a, NodeId b, double weight) {
+  if (a >= numNodes() || b >= numNodes()) {
+    throw std::out_of_range("Graph::addEdge: node out of range");
+  }
+  if (a == b) throw std::invalid_argument("Graph::addEdge: self loop");
+  if (weight <= 0) throw std::invalid_argument("Graph::addEdge: weight <= 0");
+  adj_[a].push_back({b, weight});
+  adj_[b].push_back({a, weight});
+  ++edges_;
+}
+
+bool Graph::hasEdge(NodeId a, NodeId b) const {
+  if (a >= numNodes() || b >= numNodes()) return false;
+  const auto& na = adj_[a];
+  return std::any_of(na.begin(), na.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+std::span<const Graph::Edge> Graph::neighbors(NodeId n) const {
+  assert(n < numNodes());
+  return adj_[n];
+}
+
+std::vector<std::vector<NodeId>> Graph::components() const {
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<bool> seen(numNodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < numNodes(); ++start) {
+    if (seen[start]) continue;
+    comps.emplace_back();
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      comps.back().push_back(n);
+      for (const Edge& e : adj_[n]) {
+        if (!seen[e.to]) {
+          seen[e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool Graph::isConnected() const {
+  if (numNodes() == 0) return true;
+  return components().size() == 1;
+}
+
+}  // namespace pscd

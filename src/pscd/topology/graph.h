@@ -1,0 +1,54 @@
+// Weighted undirected graph used to model the publisher/proxy overlay
+// network. The paper uses a BRITE-generated random topology; we provide
+// Waxman and Barabasi-Albert generators over this graph type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pscd {
+
+using NodeId = std::uint32_t;
+
+/// Adjacency-list weighted undirected graph. Nodes are dense ids
+/// [0, numNodes). Parallel edges are not deduplicated (generators avoid
+/// creating them); self-loops are rejected.
+class Graph {
+ public:
+  struct Edge {
+    NodeId to;
+    double weight;
+  };
+
+  explicit Graph(std::uint32_t numNodes = 0);
+
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  std::size_t numEdges() const { return edges_; }
+
+  /// Adds an undirected edge; weight must be positive.
+  void addEdge(NodeId a, NodeId b, double weight);
+
+  bool hasEdge(NodeId a, NodeId b) const;
+
+  std::span<const Edge> neighbors(NodeId n) const;
+
+  std::uint32_t degree(NodeId n) const {
+    return static_cast<std::uint32_t>(adj_[n].size());
+  }
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  bool isConnected() const;
+
+  /// Ids of the connected components, one representative list per
+  /// component (used by generators to patch connectivity).
+  std::vector<std::vector<NodeId>> components() const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace pscd

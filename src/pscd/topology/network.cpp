@@ -1,0 +1,56 @@
+#include "pscd/topology/network.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "pscd/topology/shortest_path.h"
+
+namespace pscd {
+
+Network::Network(const NetworkParams& params, Rng& rng) {
+  if (params.numProxies == 0) {
+    throw std::invalid_argument("Network: numProxies must be > 0");
+  }
+  const std::uint32_t numNodes =
+      params.numProxies + params.numTransitNodes + 1;
+  switch (params.model) {
+    case TopologyModel::kWaxman: {
+      WaxmanParams wp = params.waxman;
+      wp.numNodes = numNodes;
+      graph_ = generateWaxman(wp, rng).graph;
+      break;
+    }
+    case TopologyModel::kBarabasiAlbert: {
+      BarabasiAlbertParams bp = params.barabasiAlbert;
+      bp.numNodes = numNodes;
+      graph_ = generateBarabasiAlbert(bp, rng);
+      break;
+    }
+  }
+  // Assign roles to a random permutation of the nodes: one publisher,
+  // numProxies proxies, the rest transit.
+  std::vector<NodeId> perm(numNodes);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t i = numNodes - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.uniformInt(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  publisherNode_ = perm[0];
+  proxyNode_.assign(perm.begin() + 1, perm.begin() + 1 + params.numProxies);
+
+  const std::vector<double> dist = shortestPaths(graph_, publisherNode_);
+  fetchCost_.resize(params.numProxies);
+  double sum = 0.0;
+  for (std::uint32_t p = 0; p < params.numProxies; ++p) {
+    fetchCost_[p] = dist[proxyNode_[p]];
+    sum += fetchCost_[p];
+  }
+  const double mean = sum / params.numProxies;
+  if (mean <= 0) throw std::logic_error("Network: degenerate distances");
+  for (auto& c : fetchCost_) {
+    c = std::max(c / mean, 0.01);  // normalize; publisher-colocated
+                                   // proxies keep a small positive cost
+  }
+}
+
+}  // namespace pscd

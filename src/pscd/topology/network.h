@@ -1,0 +1,58 @@
+// Network facade: builds an overlay topology, places the publisher and
+// the proxy servers on its nodes, and exposes the per-proxy fetch cost
+// c(p) (network distance publisher -> proxy) used by the cache value
+// functions, as suggested by Cao & Irani for GreedyDual-Size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pscd/topology/barabasi_albert.h"
+#include "pscd/topology/graph.h"
+#include "pscd/topology/waxman.h"
+#include "pscd/util/rng.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+enum class TopologyModel { kWaxman, kBarabasiAlbert };
+
+struct NetworkParams {
+  std::uint32_t numProxies = 100;
+  // Extra transit nodes that host neither the publisher nor a proxy.
+  std::uint32_t numTransitNodes = 49;
+  TopologyModel model = TopologyModel::kWaxman;
+  WaxmanParams waxman{};
+  BarabasiAlbertParams barabasiAlbert{};
+};
+
+/// Immutable view of the overlay used by the simulator and the engine:
+/// fetch costs are normalized so their mean is 1, keeping the absolute
+/// value scale of the replacement algorithms comparable across
+/// topologies.
+class Network {
+ public:
+  Network(const NetworkParams& params, Rng& rng);
+
+  std::uint32_t numProxies() const {
+    return static_cast<std::uint32_t>(fetchCost_.size());
+  }
+
+  /// Normalized network distance from the publisher to the proxy.
+  double fetchCost(ProxyId proxy) const { return fetchCost_[proxy]; }
+
+  const std::vector<double>& fetchCosts() const { return fetchCost_; }
+
+  NodeId publisherNode() const { return publisherNode_; }
+  NodeId proxyNode(ProxyId proxy) const { return proxyNode_[proxy]; }
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+  NodeId publisherNode_ = 0;
+  std::vector<NodeId> proxyNode_;
+  std::vector<double> fetchCost_;
+};
+
+}  // namespace pscd

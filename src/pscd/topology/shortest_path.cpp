@@ -1,0 +1,35 @@
+#include "pscd/topology/shortest_path.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace pscd {
+
+std::vector<double> shortestPaths(const Graph& g, NodeId src) {
+  if (src >= g.numNodes()) {
+    throw std::out_of_range("shortestPaths: src out of range");
+  }
+  std::vector<double> dist(g.numNodes(),
+                           std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, n] = pq.top();
+    pq.pop();
+    if (d > dist[n]) continue;  // stale entry
+    for (const Graph::Edge& e : g.neighbors(n)) {
+      const double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace pscd

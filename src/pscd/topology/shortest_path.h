@@ -1,0 +1,14 @@
+// Single-source shortest paths (Dijkstra) over the overlay graph; used to
+// derive the publisher->proxy fetch costs c(p).
+#pragma once
+
+#include <vector>
+
+#include "pscd/topology/graph.h"
+
+namespace pscd {
+
+/// Distances from src to every node; unreachable nodes get +infinity.
+std::vector<double> shortestPaths(const Graph& g, NodeId src);
+
+}  // namespace pscd

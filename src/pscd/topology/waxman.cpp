@@ -1,0 +1,64 @@
+#include "pscd/topology/waxman.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace pscd {
+
+namespace {
+double dist(const WaxmanTopology& t, NodeId a, NodeId b) {
+  const double dx = t.x[a] - t.x[b];
+  const double dy = t.y[a] - t.y[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+}  // namespace
+
+WaxmanTopology generateWaxman(const WaxmanParams& params, Rng& rng) {
+  if (params.numNodes == 0) {
+    throw std::invalid_argument("generateWaxman: numNodes must be > 0");
+  }
+  if (params.alpha <= 0 || params.alpha > 1 || params.beta <= 0) {
+    throw std::invalid_argument("generateWaxman: bad alpha/beta");
+  }
+  WaxmanTopology t{Graph(params.numNodes), {}, {}};
+  t.x.resize(params.numNodes);
+  t.y.resize(params.numNodes);
+  for (NodeId n = 0; n < params.numNodes; ++n) {
+    t.x[n] = rng.uniform(0.0, params.plane);
+    t.y[n] = rng.uniform(0.0, params.plane);
+  }
+  const double L = params.plane * std::numbers::sqrt2;
+  for (NodeId a = 0; a < params.numNodes; ++a) {
+    for (NodeId b = a + 1; b < params.numNodes; ++b) {
+      const double d = dist(t, a, b);
+      const double p = params.alpha * std::exp(-d / (params.beta * L));
+      if (rng.bernoulli(p)) t.graph.addEdge(a, b, std::max(d, 1e-9));
+    }
+  }
+  // Patch connectivity: repeatedly join the first component to the
+  // closest node of another component.
+  for (;;) {
+    const auto comps = t.graph.components();
+    if (comps.size() <= 1) break;
+    double best = std::numeric_limits<double>::infinity();
+    NodeId bestA = 0, bestB = 0;
+    for (const NodeId a : comps[0]) {
+      for (std::size_t c = 1; c < comps.size(); ++c) {
+        for (const NodeId b : comps[c]) {
+          const double d = dist(t, a, b);
+          if (d < best) {
+            best = d;
+            bestA = a;
+            bestB = b;
+          }
+        }
+      }
+    }
+    t.graph.addEdge(bestA, bestB, std::max(best, 1e-9));
+  }
+  return t;
+}
+
+}  // namespace pscd

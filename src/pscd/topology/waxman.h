@@ -1,0 +1,34 @@
+// Waxman random-topology generator (the flat-router model BRITE uses by
+// default). Nodes are placed uniformly on a square plane; an edge between
+// u and v exists with probability alpha * exp(-d(u,v) / (beta * L)),
+// where d is the Euclidean distance and L the plane diagonal. Edge
+// weights are the Euclidean distances, so shortest-path distances serve
+// as the fetch cost c(p) in the cache value functions.
+#pragma once
+
+#include <vector>
+
+#include "pscd/topology/graph.h"
+#include "pscd/util/rng.h"
+
+namespace pscd {
+
+struct WaxmanParams {
+  std::uint32_t numNodes = 100;
+  double alpha = 0.25;  // overall edge density
+  double beta = 0.2;    // distance sensitivity (larger = longer edges)
+  double plane = 1000.0;  // side of the placement square
+};
+
+struct WaxmanTopology {
+  Graph graph;
+  // Node coordinates on the plane, index = NodeId.
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Generates a connected Waxman topology: after the probabilistic pass,
+/// remaining components are joined via their closest node pairs.
+WaxmanTopology generateWaxman(const WaxmanParams& params, Rng& rng);
+
+}  // namespace pscd

@@ -1,0 +1,76 @@
+#include "pscd/util/csv.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace pscd {
+
+std::string csvEscape(std::string_view value, char separator) {
+  const bool needsQuote =
+      value.find_first_of("\"\r\n") != std::string_view::npos ||
+      value.find(separator) != std::string_view::npos;
+  if (!needsQuote) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char separator)
+    : out_(out), separator_(separator) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (headerWritten_ || rows_ > 0 || rowStarted_) {
+    throw std::logic_error("CsvWriter: header must be the first row");
+  }
+  for (const auto& c : columns) field(c);
+  endRow();
+  headerWritten_ = true;
+  rows_ = 0;
+}
+
+void CsvWriter::sep() {
+  if (rowStarted_) out_ << separator_;
+  rowStarted_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  sep();
+  out_ << csvEscape(value, separator_);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  sep();
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  out_ << os.str();
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  sep();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  sep();
+  out_ << value;
+  return *this;
+}
+
+void CsvWriter::endRow() {
+  out_ << '\n';
+  rowStarted_ = false;
+  ++rows_;
+}
+
+}  // namespace pscd

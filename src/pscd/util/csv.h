@@ -1,0 +1,45 @@
+// Minimal CSV writer used by benches/examples to export series that can
+// be plotted externally.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pscd {
+
+/// Streams rows of a CSV table. Values containing separators, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  /// Writes a header row; may be called only before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(std::int64_t value);
+
+  /// Terminates the current row.
+  void endRow();
+
+  std::size_t rowsWritten() const { return rows_; }
+
+ private:
+  void sep();
+  std::ostream& out_;
+  char separator_;
+  bool rowStarted_ = false;
+  bool headerWritten_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes one CSV field (exposed for testing).
+std::string csvEscape(std::string_view value, char separator = ',');
+
+}  // namespace pscd

@@ -1,0 +1,163 @@
+#include "pscd/util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd {
+
+ZipfDistribution::ZipfDistribution(std::uint32_t n, double alpha)
+    : n_(n), alpha_(alpha), cdf_(n) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  double sum = 0.0;
+  for (std::uint32_t r = 1; r <= n; ++r) {
+    sum += std::pow(static_cast<double>(r), -alpha);
+    cdf_[r - 1] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::uint32_t rank) const {
+  assert(rank >= 1 && rank <= n_);
+  const double lower = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lower;
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma < 0) {
+    throw std::invalid_argument("LogNormalDistribution: sigma must be >= 0");
+  }
+}
+
+double LogNormalDistribution::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormalDistribution::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+StepwiseDistribution::StepwiseDistribution(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("StepwiseDistribution: no segments");
+  }
+  double sum = 0.0;
+  for (const auto& s : segments_) {
+    if (s.weight < 0 || s.hi < s.lo) {
+      throw std::invalid_argument("StepwiseDistribution: bad segment");
+    }
+    sum += s.weight;
+  }
+  if (sum <= 0) {
+    throw std::invalid_argument("StepwiseDistribution: zero total weight");
+  }
+  double acc = 0.0;
+  cdf_.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    acc += s.weight / sum;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+double StepwiseDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto& seg = segments_[static_cast<std::size_t>(it - cdf_.begin())];
+  return rng.uniform(seg.lo, seg.hi);
+}
+
+TruncatedPowerLawAge::TruncatedPowerLawAge(double gamma, double tau,
+                                           double maxAge)
+    : gamma_(gamma), tau_(tau), maxAge_(maxAge) {
+  if (tau <= 0 || maxAge <= 0) {
+    throw std::invalid_argument("TruncatedPowerLawAge: tau and maxAge > 0");
+  }
+  norm_ = integral(maxAge_);
+}
+
+double TruncatedPowerLawAge::integral(double x) const {
+  // \int_0^x (1 + t/tau)^-gamma dt
+  const double b = 1.0 + x / tau_;
+  if (std::abs(gamma_ - 1.0) < 1e-12) return tau_ * std::log(b);
+  return tau_ / (1.0 - gamma_) * (std::pow(b, 1.0 - gamma_) - 1.0);
+}
+
+double TruncatedPowerLawAge::cdf(double x) const {
+  if (x <= 0) return 0.0;
+  if (x >= maxAge_) return 1.0;
+  return integral(x) / norm_;
+}
+
+double TruncatedPowerLawAge::sample(Rng& rng) const {
+  const double target = rng.uniform() * norm_;
+  // Invert integral(x) = target analytically.
+  double x;
+  if (std::abs(gamma_ - 1.0) < 1e-12) {
+    x = tau_ * (std::exp(target / tau_) - 1.0);
+  } else {
+    const double inner = 1.0 + (1.0 - gamma_) * target / tau_;
+    x = tau_ * (std::pow(inner, 1.0 / (1.0 - gamma_)) - 1.0);
+  }
+  return std::clamp(x, 0.0, maxAge_);
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("DiscreteSampler: empty weights");
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w < 0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    sum += w;
+  }
+  if (sum <= 0) throw std::invalid_argument("DiscreteSampler: zero sum");
+
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {  // numerical leftovers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t DiscreteSampler::sample(Rng& rng) const {
+  const std::uint32_t i =
+      static_cast<std::uint32_t>(rng.uniformInt(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace pscd

@@ -1,0 +1,116 @@
+// Samplers for the distributions used by the paper's workload model:
+// Zipf popularity (footnote 2), log-normal page sizes (footnote 1),
+// step-wise modification intervals (section 4.1), and a truncated
+// power-law age distribution used for request timing (section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pscd/util/rng.h"
+
+namespace pscd {
+
+/// Zipf's-law distribution over ranks 1..n with homogeneity parameter
+/// alpha: P(rank = r) proportional to r^-alpha. Sampling is O(log n) via
+/// binary search on the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint32_t n, double alpha);
+
+  /// Rank in [1, n].
+  std::uint32_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank in [1, n].
+  double pmf(std::uint32_t rank) const;
+
+  std::uint32_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::uint32_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[r-1] = P(rank <= r)
+};
+
+/// Log-normal distribution: ln X ~ N(mu, sigma^2).
+class LogNormalDistribution {
+ public:
+  LogNormalDistribution(double mu, double sigma);
+
+  double sample(Rng& rng) const;
+
+  /// E[X] = exp(mu + sigma^2/2).
+  double mean() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Piecewise-uniform ("step-wise random") distribution: with probability
+/// weight_k the value is uniform in [lo_k, hi_k). Used for the page
+/// modification intervals (5% < 1h, 90% in [1h,1d], 5% > 1d).
+class StepwiseDistribution {
+ public:
+  struct Segment {
+    double weight;  // relative probability mass of this segment
+    double lo;
+    double hi;
+  };
+
+  explicit StepwiseDistribution(std::vector<Segment> segments);
+
+  double sample(Rng& rng) const;
+
+  std::span<const Segment> segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+  std::vector<double> cdf_;
+};
+
+/// Age distribution with density proportional to (1 + x/tau)^-gamma on
+/// [0, maxAge], sampled by analytic CDF inversion. gamma controls how
+/// strongly access probability decays with page age: large gamma means
+/// requests concentrate on fresh pages.
+class TruncatedPowerLawAge {
+ public:
+  TruncatedPowerLawAge(double gamma, double tau, double maxAge);
+
+  double sample(Rng& rng) const;
+
+  /// CDF at x (exposed for testing).
+  double cdf(double x) const;
+
+  double gamma() const { return gamma_; }
+  double tau() const { return tau_; }
+  double maxAge() const { return maxAge_; }
+
+ private:
+  double integral(double x) const;  // unnormalized CDF
+  double gamma_;
+  double tau_;
+  double maxAge_;
+  double norm_;  // integral(maxAge_)
+};
+
+/// O(1) sampling from an arbitrary discrete distribution via Walker's
+/// alias method. Used to assign the ~195k requests to pages.
+class DiscreteSampler {
+ public:
+  /// weights need not be normalized; must be non-negative with a
+  /// positive sum.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::uint32_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace pscd

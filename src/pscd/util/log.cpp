@@ -1,0 +1,35 @@
+#include "pscd/util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace pscd {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+std::string_view levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel logLevel() { return g_level.load(); }
+
+void logMessage(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << '[' << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace pscd

@@ -1,0 +1,45 @@
+// Lightweight leveled logging to stderr. Simulation hot paths never log;
+// this exists for the harness, examples, and debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pscd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one log line ("[LEVEL] message") to stderr if enabled.
+void logMessage(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace pscd

@@ -1,0 +1,100 @@
+#include "pscd/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::binLo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::binHi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ <= 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (x >= binHi(i)) {
+      acc += counts_[i];
+    } else {
+      acc += counts_[i] * (x - binLo(i)) / width_;
+      break;
+    }
+  }
+  return acc / total_;
+}
+
+HourlySeries::HourlySeries(std::size_t hours) : num_(hours), den_(hours) {
+  if (hours == 0) throw std::invalid_argument("HourlySeries: hours > 0");
+}
+
+void HourlySeries::add(SimTime t, double numerator, double denominator) {
+  auto h = static_cast<std::ptrdiff_t>(t / kHour);
+  h = std::clamp<std::ptrdiff_t>(h, 0,
+                                 static_cast<std::ptrdiff_t>(num_.size()) - 1);
+  num_[static_cast<std::size_t>(h)] += numerator;
+  den_[static_cast<std::size_t>(h)] += denominator;
+}
+
+double HourlySeries::ratio(std::size_t hour) const {
+  assert(hour < num_.size());
+  return den_[hour] > 0 ? num_[hour] / den_[hour] : 0.0;
+}
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace pscd

@@ -1,0 +1,86 @@
+// Small statistics helpers: running moments, histograms and the hourly
+// time series used by the evaluation figures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into
+/// the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double binLo(std::size_t i) const;
+  double binHi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  /// Fraction of mass at or below x (linear interpolation within bins).
+  double cdf(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Accumulates (numerator, denominator) pairs into hourly buckets; used
+/// for hit-ratio-per-hour (fig. 6) and traffic-per-hour (fig. 7).
+class HourlySeries {
+ public:
+  explicit HourlySeries(std::size_t hours);
+
+  void add(SimTime t, double numerator, double denominator = 1.0);
+
+  std::size_t hours() const { return num_.size(); }
+  double numerator(std::size_t hour) const { return num_[hour]; }
+  double denominator(std::size_t hour) const { return den_[hour]; }
+  /// numerator/denominator for the hour, or 0 when the hour is empty.
+  double ratio(std::size_t hour) const;
+
+  std::span<const double> numerators() const { return num_; }
+
+ private:
+  std::vector<double> num_;
+  std::vector<double> den_;
+};
+
+/// Exact quantile of a sample (copies and sorts; for tests/analysis).
+double quantile(std::span<const double> sample, double q);
+
+}  // namespace pscd

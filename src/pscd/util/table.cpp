@@ -1,0 +1,73 @@
+#include "pscd/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace pscd {
+
+std::string formatFixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("AsciiTable: no columns");
+}
+
+AsciiTable& AsciiTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("AsciiTable: call row() first");
+  if (rows_.back().size() >= header_.size()) {
+    throw std::logic_error("AsciiTable: too many cells in row");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(double value, int precision) {
+  return cell(formatFixed(value, precision));
+}
+
+AsciiTable& AsciiTable::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+AsciiTable& AsciiTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "| " : " ") << std::left
+         << std::setw(static_cast<int>(width[c])) << v << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-") << std::string(width[c], '-') << "-|";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace pscd

@@ -1,0 +1,36 @@
+// ASCII table formatting for the benchmark harness output: each bench
+// binary prints the paper's table/figure rows in a readable grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pscd {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  AsciiTable& row();
+  AsciiTable& cell(std::string value);
+  AsciiTable& cell(double value, int precision = 2);
+  AsciiTable& cell(std::uint64_t value);
+  AsciiTable& cell(std::int64_t value);
+
+  /// Renders the table, including a separator under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string formatFixed(double value, int precision);
+
+}  // namespace pscd

@@ -1,0 +1,35 @@
+// Fundamental type aliases and time constants shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace pscd {
+
+/// Identifier of a logical page (document). Modified versions of a page
+/// share the PageId and differ in Version.
+using PageId = std::uint32_t;
+
+/// Identifier of a proxy (content-distribution) server.
+using ProxyId = std::uint32_t;
+
+/// Monotonically increasing version of a page; bumped on each re-publish.
+using Version = std::uint32_t;
+
+/// Storage and transfer amounts, in bytes.
+using Bytes = std::uint64_t;
+
+/// Simulated time, in seconds since the start of the simulation.
+using SimTime = double;
+
+/// Identifier of one subscription registered with the matching engine.
+using SubscriptionId = std::uint64_t;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+}  // namespace pscd

@@ -1,0 +1,34 @@
+// Publishing-stream generator (section 4.1): first-publish times uniform
+// over the horizon, step-wise modification intervals for the updated
+// pages, log-normal sizes.
+//
+// The generator also plans each page's static popularity rank so that
+// update behaviour and popularity can be correlated: the top ranks are
+// biased towards updated pages, and among the updated pages the shortest
+// modification intervals go to the most popular ones (breaking news is
+// both read most and edited most). The request generator consumes the
+// planned ranks.
+#pragma once
+
+#include <vector>
+
+#include "pscd/pubsub/attributes.h"
+#include "pscd/util/rng.h"
+#include "pscd/workload/params.h"
+#include "pscd/workload/workload.h"
+
+namespace pscd {
+
+struct PublishingStream {
+  std::vector<PageInfo> pages;
+  std::vector<PublishEvent> events;  // sorted by time
+};
+
+/// zipfAlpha fixes the popularity-class boundaries stored on the pages;
+/// updatedPopularityBias is the probability that each top rank is held
+/// by an updated page.
+PublishingStream generatePublishing(const PublishingParams& params,
+                                    double zipfAlpha,
+                                    double updatedPopularityBias, Rng& rng);
+
+}  // namespace pscd

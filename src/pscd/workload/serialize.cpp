@@ -1,0 +1,149 @@
+#include "pscd/workload/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "pscd/util/csv.h"
+
+namespace pscd {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'C', 'D', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kFormatVersion = 2;
+
+void writeBytes(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out) throw std::runtime_error("saveWorkload: write failed");
+}
+
+void readBytes(std::istream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    throw std::runtime_error("loadWorkload: truncated input");
+  }
+}
+
+template <typename T>
+void writePod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  writeBytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T readPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  readBytes(in, &v, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void writeVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  writePod<std::uint64_t>(out, v.size());
+  if (!v.empty()) writeBytes(out, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> readVec(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = readPod<std::uint64_t>(in);
+  // Sanity cap: no trace component exceeds a billion elements.
+  if (n > (1ull << 30)) throw std::runtime_error("loadWorkload: bad length");
+  std::vector<T> v(n);
+  if (n > 0) readBytes(in, v.data(), n * sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void saveWorkload(const Workload& w, std::ostream& out) {
+  writeBytes(out, kMagic, sizeof(kMagic));
+  writePod(out, kFormatVersion);
+  static_assert(std::is_trivially_copyable_v<WorkloadParams>);
+  writePod(out, w.params);
+  writeVec(out, w.pages);
+  writeVec(out, w.publishes);
+  writeVec(out, w.requests);
+  writeVec(out, w.subOffsets);
+  writeVec(out, w.subEntries);
+  writeVec(out, w.churn);
+  writeVec(out, w.uniqueBytesRequested);
+}
+
+Workload loadWorkload(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  readBytes(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("loadWorkload: bad magic");
+  }
+  if (readPod<std::uint32_t>(in) != kFormatVersion) {
+    throw std::runtime_error("loadWorkload: unsupported format version");
+  }
+  Workload w;
+  w.params = readPod<WorkloadParams>(in);
+  w.pages = readVec<PageInfo>(in);
+  w.publishes = readVec<PublishEvent>(in);
+  w.requests = readVec<RequestEvent>(in);
+  w.subOffsets = readVec<std::uint32_t>(in);
+  w.subEntries = readVec<Notification>(in);
+  w.churn = readVec<SubscriptionChurnEvent>(in);
+  w.uniqueBytesRequested = readVec<Bytes>(in);
+  w.validate();
+  return w;
+}
+
+void saveWorkloadFile(const Workload& w, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveWorkloadFile: cannot open " + path);
+  saveWorkload(w, out);
+}
+
+Workload loadWorkloadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("loadWorkloadFile: cannot open " + path);
+  return loadWorkload(in);
+}
+
+void exportPublishesCsv(const Workload& w, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"time", "page", "version", "size"});
+  for (const auto& e : w.publishes) {
+    csv.field(e.time)
+        .field(static_cast<std::uint64_t>(e.page))
+        .field(static_cast<std::uint64_t>(e.version))
+        .field(static_cast<std::uint64_t>(e.size));
+    csv.endRow();
+  }
+}
+
+void exportRequestsCsv(const Workload& w, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"time", "page", "proxy", "notification_driven"});
+  for (const auto& r : w.requests) {
+    csv.field(r.time)
+        .field(static_cast<std::uint64_t>(r.page))
+        .field(static_cast<std::uint64_t>(r.proxy))
+        .field(static_cast<std::uint64_t>(r.notificationDriven ? 1 : 0));
+    csv.endRow();
+  }
+}
+
+void exportSubscriptionsCsv(const Workload& w, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"page", "proxy", "subscriptions"});
+  for (PageId page = 0; page < w.numPages(); ++page) {
+    for (const auto& n : w.subscriptions(page)) {
+      csv.field(static_cast<std::uint64_t>(page))
+          .field(static_cast<std::uint64_t>(n.proxy))
+          .field(static_cast<std::uint64_t>(n.matchCount));
+      csv.endRow();
+    }
+  }
+}
+
+}  // namespace pscd

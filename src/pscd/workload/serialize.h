@@ -1,0 +1,28 @@
+// Binary serialization of generated workloads (so expensive traces can
+// be produced once and replayed) and CSV export for external analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pscd/workload/workload.h"
+
+namespace pscd {
+
+/// Writes the workload in the versioned binary trace format.
+void saveWorkload(const Workload& workload, std::ostream& out);
+
+/// Reads a workload written by saveWorkload. Throws std::runtime_error
+/// on magic/version mismatch or truncation.
+Workload loadWorkload(std::istream& in);
+
+/// Convenience file wrappers.
+void saveWorkloadFile(const Workload& workload, const std::string& path);
+Workload loadWorkloadFile(const std::string& path);
+
+/// CSV exports (one row per event; header included).
+void exportPublishesCsv(const Workload& workload, std::ostream& out);
+void exportRequestsCsv(const Workload& workload, std::ostream& out);
+void exportSubscriptionsCsv(const Workload& workload, std::ostream& out);
+
+}  // namespace pscd

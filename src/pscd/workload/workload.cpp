@@ -1,0 +1,144 @@
+#include "pscd/workload/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <stdexcept>
+
+#include "pscd/util/rng.h"
+#include "pscd/workload/publishing.h"
+#include "pscd/workload/requests.h"
+#include "pscd/workload/subscriptions.h"
+
+namespace pscd {
+
+WorkloadParams newsTraceParams() {
+  WorkloadParams p;
+  p.request.zipfAlpha = 1.5;
+  return p;
+}
+
+WorkloadParams alternativeTraceParams() {
+  WorkloadParams p;
+  p.request.zipfAlpha = 1.0;
+  return p;
+}
+
+std::span<const Notification> Workload::subscriptions(PageId page) const {
+  if (page >= numPages()) {
+    throw std::out_of_range("Workload::subscriptions: page out of range");
+  }
+  return {subEntries.data() + subOffsets[page],
+          subEntries.data() + subOffsets[page + 1]};
+}
+
+std::uint32_t Workload::subscriptionCount(PageId page, ProxyId proxy) const {
+  const auto row = subscriptions(page);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), proxy,
+      [](const Notification& n, ProxyId p) { return n.proxy < p; });
+  return (it != row.end() && it->proxy == proxy) ? it->matchCount : 0;
+}
+
+std::uint64_t Workload::totalSubscriptions() const {
+  std::uint64_t total = 0;
+  for (const auto& e : subEntries) total += e.matchCount;
+  return total;
+}
+
+void Workload::validate() const {
+  if (pages.size() != params.publishing.numPages) {
+    throw std::logic_error("Workload: page count mismatch");
+  }
+  if (subOffsets.size() != pages.size() + 1 ||
+      subOffsets.back() != subEntries.size() || subOffsets.front() != 0) {
+    throw std::logic_error("Workload: CSR shape invalid");
+  }
+  for (std::size_t i = 0; i + 1 < subOffsets.size(); ++i) {
+    if (subOffsets[i] > subOffsets[i + 1]) {
+      throw std::logic_error("Workload: CSR offsets not monotone");
+    }
+    for (std::uint32_t k = subOffsets[i]; k + 1 < subOffsets[i + 1]; ++k) {
+      if (subEntries[k].proxy >= subEntries[k + 1].proxy) {
+        throw std::logic_error("Workload: CSR row not sorted by proxy");
+      }
+    }
+  }
+  const SimTime horizon = params.publishing.horizon;
+  SimTime prev = 0.0;
+  for (const auto& e : publishes) {
+    if (e.time < prev || e.time > horizon || e.page >= numPages()) {
+      throw std::logic_error("Workload: bad publish event");
+    }
+    prev = e.time;
+  }
+  prev = 0.0;
+  for (const auto& r : requests) {
+    if (r.time < prev || r.time > horizon || r.page >= numPages() ||
+        r.proxy >= numProxies()) {
+      throw std::logic_error("Workload: bad request event");
+    }
+    if (r.time < pages[r.page].firstPublish) {
+      throw std::logic_error("Workload: request precedes first publish");
+    }
+    prev = r.time;
+  }
+  if (uniqueBytesRequested.size() != numProxies()) {
+    throw std::logic_error("Workload: uniqueBytesRequested size mismatch");
+  }
+  prev = 0.0;
+  for (const auto& c : churn) {
+    if (c.time < prev || c.time > horizon || c.proxy >= numProxies() ||
+        c.fromPage >= numPages() || c.toPage >= numPages()) {
+      throw std::logic_error("Workload: bad churn event");
+    }
+    prev = c.time;
+  }
+}
+
+Workload buildWorkload(const WorkloadParams& params) {
+  Rng master(params.seed);
+  // Independent streams per component: tweaking one generator does not
+  // perturb the randomness of the others.
+  Rng publishRng = master.split();
+  Rng requestRng = master.split();
+  Rng subscriptionRng = master.split();
+
+  Workload w;
+  w.params = params;
+
+  PublishingStream publishing = generatePublishing(
+      params.publishing, params.request.zipfAlpha,
+      params.request.updatedPopularityBias, publishRng);
+  w.pages = std::move(publishing.pages);
+  w.publishes = std::move(publishing.events);
+
+  w.requests = generateRequests(params.request, params.publishing.horizon,
+                                w.pages, requestRng);
+
+  SubscriptionTable subs = generateSubscriptions(
+      params.subscription, w.requests, w.numPages(), w.numProxies(),
+      subscriptionRng);
+  w.churn = generateSubscriptionChurn(params.subscription, subs, w.pages,
+                                      params.request.zipfAlpha,
+                                      params.publishing.horizon,
+                                      subscriptionRng);
+  w.subOffsets = std::move(subs.offsets);
+  w.subEntries = std::move(subs.entries);
+
+  // Unique bytes requested per proxy (for the capacity settings): the
+  // total size of the distinct pages each proxy requests over the whole
+  // trace, as in section 5.1.
+  w.uniqueBytesRequested.assign(w.numProxies(), 0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(w.requests.size());
+  for (const RequestEvent& r : w.requests) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(r.page) << 32) |
+                              r.proxy;
+    if (seen.insert(key).second) {
+      w.uniqueBytesRequested[r.proxy] += w.pages[r.page].size;
+    }
+  }
+  return w;
+}
+
+}  // namespace pscd

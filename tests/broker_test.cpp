@@ -1,0 +1,120 @@
+#include "pscd/pubsub/broker.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+ContentAttributes pageAttrs(PageId page) {
+  ContentAttributes a;
+  a.page = page;
+  return a;
+}
+
+TEST(BrokerTest, AggregatedCountsAccumulate) {
+  Broker b(4);
+  b.subscribeAggregated(1, 10, 3);
+  b.subscribeAggregated(1, 10, 2);
+  EXPECT_EQ(b.aggregatedCount(1, 10), 5u);
+  EXPECT_EQ(b.aggregatedCount(0, 10), 0u);
+  EXPECT_EQ(b.aggregatedCount(1, 11), 0u);
+}
+
+TEST(BrokerTest, ZeroCountIgnored) {
+  Broker b(2);
+  b.subscribeAggregated(0, 5, 0);
+  EXPECT_EQ(b.aggregatedCount(0, 5), 0u);
+  EXPECT_TRUE(b.publish(pageAttrs(5)).empty());
+}
+
+TEST(BrokerTest, PublishReturnsSortedNotifications) {
+  Broker b(5);
+  b.subscribeAggregated(3, 7, 2);
+  b.subscribeAggregated(0, 7, 1);
+  b.subscribeAggregated(4, 7, 9);
+  const auto n = b.publish(pageAttrs(7));
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], (Notification{0, 1}));
+  EXPECT_EQ(n[1], (Notification{3, 2}));
+  EXPECT_EQ(n[2], (Notification{4, 9}));
+}
+
+TEST(BrokerTest, PredicateSubscriptionsMergeWithAggregated) {
+  Broker b(3);
+  b.subscribeAggregated(1, 7, 2);
+  Subscription s;
+  s.proxy = 1;
+  s.conjuncts = {{Predicate::Kind::kPageIdEq, 7}};
+  b.subscribe(s);
+  Subscription s2;
+  s2.proxy = 2;
+  s2.conjuncts = {{Predicate::Kind::kPageIdEq, 7}};
+  b.subscribe(s2);
+  const auto n = b.publish(pageAttrs(7));
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0], (Notification{1, 3}));  // 2 aggregated + 1 predicate
+  EXPECT_EQ(n[1], (Notification{2, 1}));
+}
+
+TEST(BrokerTest, UnsubscribeStopsNotifications) {
+  Broker b(2);
+  Subscription s;
+  s.proxy = 0;
+  s.conjuncts = {{Predicate::Kind::kCategoryEq, 1}};
+  const auto id = b.subscribe(s);
+  ContentAttributes a;
+  a.page = 0;
+  a.category = 1;
+  EXPECT_EQ(b.publish(a).size(), 1u);
+  EXPECT_TRUE(b.unsubscribe(id));
+  EXPECT_TRUE(b.publish(a).empty());
+}
+
+TEST(BrokerTest, StatisticsTracked) {
+  Broker b(2);
+  b.subscribeAggregated(0, 1, 4);
+  b.publish(pageAttrs(1));
+  b.publish(pageAttrs(2));
+  EXPECT_EQ(b.publishCount(), 2u);
+  EXPECT_EQ(b.notificationCount(), 4u);
+}
+
+TEST(BrokerTest, UnsubscribeAggregatedClampsAndRemoves) {
+  Broker b(3);
+  b.subscribeAggregated(1, 5, 4);
+  EXPECT_EQ(b.unsubscribeAggregated(1, 5, 3), 3u);
+  EXPECT_EQ(b.aggregatedCount(1, 5), 1u);
+  // Removing more than present clamps and erases the entry entirely.
+  EXPECT_EQ(b.unsubscribeAggregated(1, 5, 10), 1u);
+  EXPECT_EQ(b.aggregatedCount(1, 5), 0u);
+  ContentAttributes a;
+  a.page = 5;
+  EXPECT_TRUE(b.publish(a).empty());
+}
+
+TEST(BrokerTest, UnsubscribeUnknownIsNoop) {
+  Broker b(2);
+  EXPECT_EQ(b.unsubscribeAggregated(0, 9, 1), 0u);
+  b.subscribeAggregated(0, 9, 1);
+  EXPECT_EQ(b.unsubscribeAggregated(1, 9, 1), 0u);  // other proxy
+  EXPECT_THROW(b.unsubscribeAggregated(5, 9, 1), std::out_of_range);
+}
+
+TEST(BrokerTest, RangeChecks) {
+  Broker b(2);
+  EXPECT_THROW(b.subscribeAggregated(2, 0, 1), std::out_of_range);
+  Subscription s;
+  s.proxy = 9;
+  s.conjuncts = {{Predicate::Kind::kPageIdEq, 0}};
+  EXPECT_THROW(b.subscribe(s), std::out_of_range);
+  EXPECT_THROW(Broker(0), std::invalid_argument);
+}
+
+TEST(BrokerTest, PublishForUnknownPageIsEmpty) {
+  Broker b(2);
+  EXPECT_TRUE(b.publish(pageAttrs(42)).empty());
+  EXPECT_EQ(b.publishCount(), 1u);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,130 @@
+#include "pscd/pubsub/covering.h"
+
+#include <gtest/gtest.h>
+
+#include "pscd/util/rng.h"
+
+namespace pscd {
+namespace {
+
+Subscription sub(std::vector<Predicate> preds, ProxyId proxy = 0) {
+  Subscription s;
+  s.proxy = proxy;
+  s.conjuncts = std::move(preds);
+  return s;
+}
+
+const Predicate kCat1{Predicate::Kind::kCategoryEq, 1};
+const Predicate kCat2{Predicate::Kind::kCategoryEq, 2};
+const Predicate kKw7{Predicate::Kind::kKeywordContains, 7};
+const Predicate kPage5{Predicate::Kind::kPageIdEq, 5};
+
+TEST(NormalizeTest, SortsAndDeduplicates) {
+  const auto n = normalizeConjuncts({kKw7, kCat1, kKw7, kCat1});
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0], kCat1);
+  EXPECT_EQ(n[1], kKw7);
+}
+
+TEST(CoversTest, SubsetCovers) {
+  // {cat==1} covers {cat==1 AND kw~7}: fewer constraints match more.
+  EXPECT_TRUE(covers(sub({kCat1}), sub({kCat1, kKw7})));
+  EXPECT_FALSE(covers(sub({kCat1, kKw7}), sub({kCat1})));
+}
+
+TEST(CoversTest, SelfCovering) {
+  EXPECT_TRUE(covers(sub({kCat1, kKw7}), sub({kKw7, kCat1})));
+}
+
+TEST(CoversTest, DisjointDoNotCover) {
+  EXPECT_FALSE(covers(sub({kCat1}), sub({kCat2})));
+  EXPECT_FALSE(covers(sub({kCat1}), sub({kKw7})));
+}
+
+TEST(CoversTest, EmptyNeverCovers) {
+  EXPECT_FALSE(covers(sub({}), sub({kCat1})));
+}
+
+TEST(CoversTest, SemanticSoundnessOnEvents) {
+  // If a covers b, every event matching b must match a.
+  const auto a = sub({kCat1});
+  const auto b = sub({kCat1, kKw7});
+  ASSERT_TRUE(covers(a, b));
+  ContentAttributes e;
+  e.page = 5;
+  e.category = 1;
+  e.keywords = {7};
+  EXPECT_TRUE(b.matches(e));
+  EXPECT_TRUE(a.matches(e));
+}
+
+TEST(CoveringSetTest, AbsorbsCoveredAdditions) {
+  CoveringSet set;
+  EXPECT_TRUE(set.add(sub({kCat1})));
+  EXPECT_FALSE(set.add(sub({kCat1, kKw7})));  // covered
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CoveringSetTest, NewcomerEvictsCoveredMembers) {
+  CoveringSet set;
+  EXPECT_TRUE(set.add(sub({kCat1, kKw7})));
+  EXPECT_TRUE(set.add(sub({kCat2, kKw7})));
+  EXPECT_EQ(set.size(), 2u);
+  // {kw~7} covers both members: frontier collapses to one entry.
+  EXPECT_TRUE(set.add(sub({kKw7})));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CoveringSetTest, DuplicateAbsorbed) {
+  CoveringSet set;
+  EXPECT_TRUE(set.add(sub({kPage5})));
+  EXPECT_FALSE(set.add(sub({kPage5})));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CoveringSetTest, IsCoveredAndMatches) {
+  CoveringSet set;
+  set.add(sub({kCat1}));
+  EXPECT_TRUE(set.isCovered(sub({kCat1, kPage5})));
+  EXPECT_FALSE(set.isCovered(sub({kCat2})));
+  ContentAttributes e;
+  e.category = 1;
+  EXPECT_TRUE(set.matches(e));
+  e.category = 2;
+  EXPECT_FALSE(set.matches(e));
+}
+
+TEST(CoveringSetTest, FrontierEquivalentToFullSet) {
+  // Property: for random subscription batches, the covering frontier
+  // matches exactly the same events as the full set.
+  Rng rng(11);
+  std::vector<Subscription> all;
+  CoveringSet frontier;
+  for (int i = 0; i < 200; ++i) {
+    Subscription s;
+    const int n = 1 + static_cast<int>(rng.uniformInt(std::uint64_t{2}));
+    for (int k = 0; k < n; ++k) {
+      Predicate p;
+      p.kind = rng.bernoulli(0.5) ? Predicate::Kind::kCategoryEq
+                                  : Predicate::Kind::kKeywordContains;
+      p.value = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{4}));
+      s.conjuncts.push_back(p);
+    }
+    all.push_back(s);
+    frontier.add(s);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    ContentAttributes e;
+    e.category = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{4}));
+    if (rng.bernoulli(0.7)) {
+      e.keywords.push_back(
+          static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{4})));
+    }
+    bool fullMatch = false;
+    for (const auto& s : all) fullMatch |= s.matches(e);
+    EXPECT_EQ(frontier.matches(e), fullMatch);
+  }
+}
+
+}  // namespace
+}  // namespace pscd

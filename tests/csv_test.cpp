@@ -1,0 +1,74 @@
+#include "pscd/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pscd {
+namespace {
+
+TEST(CsvEscapeTest, PlainValueUnchanged) {
+  EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, QuotesValueWithSeparator) {
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, QuotesNewlines) {
+  EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvEscapeTest, RespectsCustomSeparator) {
+  EXPECT_EQ(csvEscape("a,b", ';'), "a,b");
+  EXPECT_EQ(csvEscape("a;b", ';'), "\"a;b\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"x", "y"});
+  w.field(std::uint64_t{1}).field("two");
+  w.endRow();
+  EXPECT_EQ(os.str(), "x,y\n1,two\n");
+  EXPECT_EQ(w.rowsWritten(), 1u);
+}
+
+TEST(CsvWriterTest, FormatsDoubles) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field(1.5).field(-2.25);
+  w.endRow();
+  EXPECT_EQ(os.str(), "1.5,-2.25\n");
+}
+
+TEST(CsvWriterTest, SignedIntegers) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field(std::int64_t{-42});
+  w.endRow();
+  EXPECT_EQ(os.str(), "-42\n");
+}
+
+TEST(CsvWriterTest, HeaderAfterRowThrows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("a");
+  w.endRow();
+  EXPECT_THROW(w.header({"x"}), std::logic_error);
+}
+
+TEST(CsvWriterTest, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter w(os, '\t');
+  w.field("a").field("b");
+  w.endRow();
+  EXPECT_EQ(os.str(), "a\tb\n");
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,208 @@
+#include "pscd/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pscd {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution z(100, 1.5);
+  double sum = 0.0;
+  for (std::uint32_t r = 1; r <= 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfFollowsPowerLaw) {
+  const ZipfDistribution z(1000, 1.5);
+  // pmf(1)/pmf(8) = 8^1.5
+  EXPECT_NEAR(z.pmf(1) / z.pmf(8), std::pow(8.0, 1.5), 1e-9);
+}
+
+TEST(ZipfTest, SampleInRange) {
+  const ZipfDistribution z(50, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = z.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 50u);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  const ZipfDistribution z(10, 1.5);
+  Rng rng(2);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::uint32_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfDistribution z(4, 0.0);
+  for (std::uint32_t r = 1; r <= 4; ++r) EXPECT_NEAR(z.pmf(r), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, RejectsEmpty) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(LogNormalTest, MeanMatchesFormula) {
+  const LogNormalDistribution d(9.357, 1.14804);
+  EXPECT_NEAR(d.mean(), std::exp(9.357 + 0.5 * 1.318), 10.0);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n / d.mean(), 1.0, 0.05);
+}
+
+TEST(LogNormalTest, SamplesArePositive) {
+  const LogNormalDistribution d(0.0, 2.0);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) ASSERT_GT(d.sample(rng), 0.0);
+}
+
+TEST(LogNormalTest, RejectsNegativeSigma) {
+  EXPECT_THROW(LogNormalDistribution(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(StepwiseTest, SamplesRespectSegments) {
+  const StepwiseDistribution d({{0.05, 0.0, 1.0},
+                                {0.90, 1.0, 24.0},
+                                {0.05, 24.0, 72.0}});
+  Rng rng(5);
+  int low = 0, mid = 0, high = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 72.0);
+    if (x < 1.0) {
+      ++low;
+    } else if (x < 24.0) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.05, 0.01);
+  EXPECT_NEAR(static_cast<double>(mid) / n, 0.90, 0.01);
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.05, 0.01);
+}
+
+TEST(StepwiseTest, NormalizesWeights) {
+  const StepwiseDistribution d({{2.0, 0.0, 1.0}, {2.0, 1.0, 2.0}});
+  Rng rng(6);
+  int first = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) first += (d.sample(rng) < 1.0);
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.5, 0.01);
+}
+
+TEST(StepwiseTest, RejectsInvalid) {
+  EXPECT_THROW(StepwiseDistribution({}), std::invalid_argument);
+  EXPECT_THROW(StepwiseDistribution({{-1.0, 0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(StepwiseDistribution({{1.0, 2.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(StepwiseDistribution({{0.0, 0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(TruncatedPowerLawTest, CdfBoundaries) {
+  const TruncatedPowerLawAge d(2.0, 3600.0, 86400.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(86400.0), 1.0);
+  EXPECT_GT(d.cdf(3600.0), 0.0);
+  EXPECT_LT(d.cdf(3600.0), 1.0);
+}
+
+TEST(TruncatedPowerLawTest, CdfMonotone) {
+  const TruncatedPowerLawAge d(1.5, 1000.0, 100000.0);
+  double prev = -1.0;
+  for (double x = 0; x <= 100000.0; x += 5000.0) {
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TruncatedPowerLawTest, SamplingMatchesCdf) {
+  const TruncatedPowerLawAge d(2.5, 3600.0, 7 * 86400.0);
+  Rng rng(7);
+  const int n = 100000;
+  int below = 0;
+  const double q = 7200.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 7 * 86400.0);
+    below += (x <= q);
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, d.cdf(q), 0.01);
+}
+
+TEST(TruncatedPowerLawTest, GammaOneUsesLogForm) {
+  const TruncatedPowerLawAge d(1.0, 100.0, 10000.0);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 10000.0);
+  }
+  EXPECT_NEAR(d.cdf(10000.0), 1.0, 1e-12);
+}
+
+TEST(TruncatedPowerLawTest, StrongGammaConcentratesEarly) {
+  const TruncatedPowerLawAge strong(4.0, 3600.0, 7 * 86400.0);
+  const TruncatedPowerLawAge weak(0.5, 3600.0, 7 * 86400.0);
+  EXPECT_GT(strong.cdf(3600.0), weak.cdf(3600.0));
+}
+
+TEST(TruncatedPowerLawTest, RejectsBadParams) {
+  EXPECT_THROW(TruncatedPowerLawAge(2.0, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(TruncatedPowerLawAge(2.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  const DiscreteSampler s(w);
+  Rng rng(9);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[s.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.01);
+  }
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  const DiscreteSampler s(w);
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, SingleElement) {
+  const std::vector<double> w = {5.0};
+  const DiscreteSampler s(w);
+  Rng rng(11);
+  EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, RejectsInvalid) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscd

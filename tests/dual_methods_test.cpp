@@ -1,0 +1,128 @@
+// DM (section 3.3): one shared cache, SUB replacement at push time over
+// the subscription values, classic GD* at access time over the access
+// values — including the overlap problem the paper describes.
+#include "pscd/cache/dual_methods.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+PushContext push(PageId page, Bytes size, std::uint32_t subs,
+                 Version version = 0) {
+  return PushContext{page, version, size, subs, 0.0};
+}
+
+RequestContext req(PageId page, Bytes size, Version latest = 0,
+                   std::uint32_t subs = 0) {
+  return RequestContext{page, latest, size, subs, 0.0};
+}
+
+TEST(DualMethodsTest, BasicPushAndHit) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  EXPECT_TRUE(s.pushCapable());
+  EXPECT_TRUE(s.onPush(push(1, 50, 5)).stored);
+  EXPECT_TRUE(s.onRequest(req(1, 50)).hit);
+}
+
+TEST(DualMethodsTest, MissAlwaysAdmitsLikeGdStar) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  const auto out = s.onRequest(req(7, 80));
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.storedAfterMiss);
+  EXPECT_EQ(s.usedBytes(), 80u);
+}
+
+TEST(DualMethodsTest, PushEvictionOrderedBySubscriptionValue) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  // Page 1 is access-hot (high gd value) but has few subscriptions.
+  s.onRequest(req(1, 50, 0, 1));
+  s.onRequest(req(1, 50, 0, 1));
+  s.onRequest(req(1, 50, 0, 1));
+  // Page 2 cached via push with moderate subscriptions.
+  s.onPush(push(2, 50, 5));
+  // A push with a higher subscription value evicts page 1 FIRST even
+  // though it is in hot use — the overlap problem of DM.
+  EXPECT_TRUE(s.onPush(push(3, 60, 50)).stored);
+  EXPECT_FALSE(s.size() > 2);
+  EXPECT_FALSE(s.onRequest(req(1, 50, 0, 1)).hit);
+}
+
+TEST(DualMethodsTest, AccessEvictionOrderedByGdValue) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  // Page 1: pushed with huge subscription value but never accessed ->
+  // gd value is tiny (a = 0).
+  s.onPush(push(1, 50, 1000));
+  // Page 2: accessed repeatedly -> higher gd value.
+  s.onRequest(req(2, 40, 0, 0));
+  s.onRequest(req(2, 40, 0, 0));
+  // A miss needing space evicts page 1 (lowest gd value) despite its
+  // high subscription count.
+  const auto out = s.onRequest(req(3, 50, 0, 0));
+  EXPECT_TRUE(out.storedAfterMiss);
+  EXPECT_FALSE(s.onRequest(req(1, 50, 0, 1000)).hit);
+  EXPECT_TRUE(s.onRequest(req(2, 40, 0, 0)).hit);
+}
+
+TEST(DualMethodsTest, PushRefusedWhenSubCandidatesInsufficient) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  s.onPush(push(1, 50, 100));
+  s.onPush(push(2, 50, 100));
+  EXPECT_FALSE(s.onPush(push(3, 50, 1)).stored);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(DualMethodsTest, InflationTracksAccessEvictions) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  s.onRequest(req(1, 100, 0, 0));  // gd value = 0.01
+  EXPECT_DOUBLE_EQ(s.inflation(), 0.0);
+  s.onRequest(req(2, 100, 0, 0));  // evicts page 1
+  EXPECT_DOUBLE_EQ(s.inflation(), 0.01);
+}
+
+TEST(DualMethodsTest, VersionPushRefreshesKeepingHistory) {
+  DualMethodsStrategy s(1000, 1.0, 1.0);
+  s.onPush(push(1, 100, 5, 0));
+  s.onRequest(req(1, 100, 0, 5));
+  s.onPush(push(1, 150, 5, 1));
+  const auto out = s.onRequest(req(1, 150, 1, 5));
+  EXPECT_TRUE(out.hit);
+  EXPECT_EQ(s.usedBytes(), 150u);
+}
+
+TEST(DualMethodsTest, StaleHandledAtAccessTime) {
+  DualMethodsStrategy s(1000, 1.0, 1.0);
+  s.onPush(push(1, 100, 5, 0));
+  const auto out = s.onRequest(req(1, 100, 4, 5));
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.stale);
+  EXPECT_TRUE(out.storedAfterMiss);
+  EXPECT_TRUE(s.onRequest(req(1, 100, 4, 5)).hit);
+}
+
+TEST(DualMethodsTest, OversizedMissNotStored) {
+  DualMethodsStrategy s(100, 1.0, 1.0);
+  EXPECT_FALSE(s.onRequest(req(1, 500)).storedAfterMiss);
+}
+
+TEST(DualMethodsTest, InvariantsUnderChurn) {
+  DualMethodsStrategy s(400, 1.5, 2.0);
+  for (int i = 0; i < 400; ++i) {
+    const PageId p = i % 11;
+    if (i % 2 == 0) {
+      s.onPush(push(p, 30 + (i % 6) * 25, (i % 9) + 1, i % 3));
+    } else {
+      s.onRequest(req(p, 30 + (i % 6) * 25, i % 3, (i % 9) + 1));
+    }
+    s.checkInvariants();
+  }
+  EXPECT_LE(s.usedBytes(), s.capacityBytes());
+}
+
+TEST(DualMethodsTest, RejectsBadParams) {
+  EXPECT_THROW(DualMethodsStrategy(100, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DualMethodsStrategy(100, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscd

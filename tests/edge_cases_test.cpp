@@ -1,0 +1,167 @@
+// Edge cases across modules that the per-module suites do not reach:
+// full-scale workload validation (a boundary bug once lived only at the
+// 195k-request scale), degenerate capacities, deep broker chains, and
+// serializer version gating.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pscd/pscd.h"
+
+namespace pscd {
+namespace {
+
+TEST(FullScaleTest, NewsWorkloadValidates) {
+  const Workload w = buildWorkload(newsTraceParams());
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.requests.size(), 195000u);
+  // The paper's publishing stream is ~30k events; ours lands nearby.
+  EXPECT_GT(w.publishes.size(), 25000u);
+  EXPECT_LT(w.publishes.size(), 45000u);
+}
+
+TEST(FullScaleTest, AlternativeWorkloadValidates) {
+  const Workload w = buildWorkload(alternativeTraceParams());
+  EXPECT_NO_THROW(w.validate());
+  // Flatter popularity: many more distinct (page, proxy) pairs.
+  const Workload news = buildWorkload(newsTraceParams());
+  EXPECT_GT(w.subEntries.size(), news.subEntries.size());
+}
+
+TEST(EdgeCaseTest, ZipfSingleRank) {
+  const ZipfDistribution z(1, 1.5);
+  Rng rng(1);
+  EXPECT_EQ(z.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.pmf(1), 1.0);
+}
+
+TEST(EdgeCaseTest, ZeroCapacityCacheNeverStores) {
+  for (const StrategyKind kind : kPaperStrategies) {
+    const auto s = makeStrategy(kind, {.capacity = 0, .fetchCost = 1.0,
+                                       .beta = 2.0});
+    s->onPush({1, 0, 10, 5, 0.0});
+    const auto out = s->onRequest({1, 0, 10, 5, 1.0});
+    EXPECT_FALSE(out.hit) << strategyName(kind);
+    EXPECT_EQ(s->usedBytes(), 0u) << strategyName(kind);
+    s->checkInvariants();
+  }
+}
+
+TEST(EdgeCaseTest, OneBytePagesInOneByteCache) {
+  const auto s = makeStrategy(StrategyKind::kSG2,
+                              {.capacity = 1, .fetchCost = 1.0, .beta = 2.0});
+  EXPECT_TRUE(s->onPush({1, 0, 1, 5, 0.0}).stored);
+  EXPECT_TRUE(s->onRequest({1, 0, 1, 5, 1.0}).hit);
+  // The next push must displace the (drained) single resident.
+  EXPECT_TRUE(s->onPush({2, 0, 1, 5, 2.0}).stored);
+  EXPECT_FALSE(s->onRequest({1, 0, 1, 5, 3.0}).hit);
+}
+
+TEST(EdgeCaseTest, PushWithZeroSubscriptionsIsHarmless) {
+  for (const StrategyKind kind : kPaperStrategies) {
+    const auto s = makeStrategy(kind, {.capacity = 1000, .fetchCost = 1.0,
+                                       .beta = 2.0});
+    EXPECT_NO_THROW(s->onPush({1, 0, 10, 0, 0.0})) << strategyName(kind);
+    s->checkInvariants();
+  }
+}
+
+TEST(EdgeCaseTest, BrokerChainTopology) {
+  // A pure chain 0 <- 1 <- 2 <- 3: advertisements travel the full depth.
+  BrokerTree chain({0, 0, 1, 2});
+  chain.attachProxy(0, 3);
+  Subscription s;
+  s.proxy = 0;
+  s.conjuncts = {{Predicate::Kind::kCategoryEq, 1}};
+  chain.subscribe(s);
+  EXPECT_EQ(chain.controlMessages(), 3u);
+  ContentAttributes e;
+  e.category = 1;
+  const auto out = chain.publish(e);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(chain.eventMessages(), 3u);
+}
+
+TEST(EdgeCaseTest, SingleBrokerTreeIsCentralized) {
+  BrokerTree solo(std::vector<BrokerId>{0});
+  solo.attachProxy(2, 0);
+  Subscription s;
+  s.proxy = 2;
+  s.conjuncts = {{Predicate::Kind::kPageIdEq, 4}};
+  solo.subscribe(s);
+  EXPECT_EQ(solo.controlMessages(), 0u);
+  ContentAttributes e;
+  e.page = 4;
+  EXPECT_EQ(solo.publish(e).size(), 1u);
+  EXPECT_EQ(solo.eventMessages(), 0u);
+  EXPECT_EQ(solo.floodEventMessages(), 0u);
+}
+
+TEST(EdgeCaseTest, EmptyCoveringSetMatchesNothing) {
+  const CoveringSet set;
+  ContentAttributes e;
+  e.category = 1;
+  EXPECT_FALSE(set.matches(e));
+  Subscription s;
+  s.conjuncts = {{Predicate::Kind::kCategoryEq, 1}};
+  EXPECT_FALSE(set.isCovered(s));
+}
+
+TEST(EdgeCaseTest, SerializerRejectsOldFormatVersion) {
+  // Craft a header with the right magic but format version 1.
+  std::stringstream buf;
+  buf.write("PSCDTRC1", 8);
+  const std::uint32_t v1 = 1;
+  buf.write(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  buf << std::string(64, '\0');
+  EXPECT_THROW(loadWorkload(buf), std::runtime_error);
+}
+
+TEST(EdgeCaseTest, HourlySeriesAcceptsHorizonBoundary) {
+  HourlySeries s(168);
+  s.add(168 * kHour, 1.0);  // exactly the end of the week clamps in
+  EXPECT_DOUBLE_EQ(s.numerator(167), 1.0);
+}
+
+TEST(EdgeCaseTest, RequestsNeverExceedHorizon) {
+  // Regression: pages published in the horizon's last minute must not
+  // generate requests past the end of the week.
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 500;
+  p.publishing.numUpdatedPages = 200;
+  p.request.totalRequests = 50000;
+  p.request.numProxies = 10;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    p.seed = seed;
+    const Workload w = buildWorkload(p);
+    for (const auto& r : w.requests) {
+      ASSERT_LE(r.time, p.publishing.horizon);
+    }
+  }
+}
+
+TEST(EdgeCaseTest, OracleWithEmptySchedule) {
+  OracleStrategy s(100, RequestSchedule{});
+  EXPECT_FALSE(s.onPush({1, 0, 10, 5, 0.0}).stored);
+  EXPECT_FALSE(s.onRequest({1, 0, 10, 5, 1.0}).hit);
+  EXPECT_EQ(s.usedBytes(), 0u);
+}
+
+TEST(EdgeCaseTest, HierarchySingleProxyPerParent) {
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 200;
+  p.publishing.numUpdatedPages = 80;
+  p.request.totalRequests = 3000;
+  p.request.numProxies = 4;
+  p.request.minServerPool = 2;
+  const Workload w = buildWorkload(p);
+  Rng rng(2);
+  const Network net(NetworkParams{.numProxies = 4}, rng);
+  HierarchyConfig hc;
+  hc.numParents = 4;  // one leaf per parent
+  const auto r = runHierarchical(w, net, hc);
+  EXPECT_EQ(r.requests, w.requests.size());
+}
+
+}  // namespace
+}  // namespace pscd

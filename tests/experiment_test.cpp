@@ -1,0 +1,57 @@
+#include "pscd/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+TEST(ExperimentTest, TraceNames) {
+  EXPECT_EQ(traceName(TraceKind::kNews), "NEWS");
+  EXPECT_EQ(traceName(TraceKind::kAlternative), "ALTERNATIVE");
+}
+
+TEST(ExperimentTest, TraceParamsCarryAlphaAndQuality) {
+  const auto news = traceParams(TraceKind::kNews, 0.5);
+  EXPECT_DOUBLE_EQ(news.request.zipfAlpha, 1.5);
+  EXPECT_DOUBLE_EQ(news.subscription.quality, 0.5);
+  const auto alt = traceParams(TraceKind::kAlternative, 1.0);
+  EXPECT_DOUBLE_EQ(alt.request.zipfAlpha, 1.0);
+}
+
+TEST(ExperimentTest, PaperBetaRules) {
+  // NEWS: beta = 2 for the GD*-based methods.
+  EXPECT_DOUBLE_EQ(paperBeta(StrategyKind::kGDStar, TraceKind::kNews, 0.05),
+                   2.0);
+  EXPECT_DOUBLE_EQ(paperBeta(StrategyKind::kSG1, TraceKind::kNews, 0.01),
+                   2.0);
+  // ALTERNATIVE: SG2 always 0.5; others 1 at 1% and 2 at 5%/10%.
+  EXPECT_DOUBLE_EQ(
+      paperBeta(StrategyKind::kSG2, TraceKind::kAlternative, 0.05), 0.5);
+  EXPECT_DOUBLE_EQ(
+      paperBeta(StrategyKind::kGDStar, TraceKind::kAlternative, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(
+      paperBeta(StrategyKind::kGDStar, TraceKind::kAlternative, 0.10), 2.0);
+  // Strategies without a beta parameter.
+  EXPECT_DOUBLE_EQ(paperBeta(StrategyKind::kSUB, TraceKind::kNews, 0.05),
+                   1.0);
+  EXPECT_DOUBLE_EQ(paperBeta(StrategyKind::kSR, TraceKind::kAlternative, 0.05),
+                   1.0);
+}
+
+TEST(ExperimentTest, WorkloadsMemoized) {
+  ExperimentContext ctx;
+  const Workload& a = ctx.workload(TraceKind::kNews, 1.0);
+  const Workload& b = ctx.workload(TraceKind::kNews, 1.0);
+  EXPECT_EQ(&a, &b);
+  const Workload& c = ctx.workload(TraceKind::kNews, 0.5);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ExperimentTest, NetworkMemoized) {
+  ExperimentContext ctx;
+  EXPECT_EQ(&ctx.network(), &ctx.network());
+  EXPECT_EQ(ctx.network().numProxies(), 100u);
+}
+
+}  // namespace
+}  // namespace pscd

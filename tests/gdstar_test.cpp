@@ -1,0 +1,157 @@
+// Conformance tests of the GD* baseline against the paper's pseudo-code
+// (section 3.1): V(p) = L + (f(p) c(p)/s(p))^(1/beta), always-admit on
+// miss, L set to the value of the page evicted last, In-Cache frequency
+// counting, and staleness handling for modified pages.
+#include "pscd/cache/gds_family.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pscd {
+namespace {
+
+PushContext push(PageId page, Bytes size, std::uint32_t subs,
+                 Version version = 0, SimTime now = 0.0) {
+  return PushContext{page, version, size, subs, now};
+}
+
+RequestContext req(PageId page, Bytes size, Version latest = 0,
+                   SimTime now = 0.0, std::uint32_t subs = 0) {
+  return RequestContext{page, latest, size, subs, now};
+}
+
+TEST(GdStarTest, NotPushCapable) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  EXPECT_FALSE(s.pushCapable());
+  EXPECT_FALSE(s.onPush(push(1, 10, 5)).stored);
+  EXPECT_EQ(s.usedBytes(), 0u);
+}
+
+TEST(GdStarTest, MissAlwaysAdmits) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  const auto out = s.onRequest(req(1, 60));
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.storedAfterMiss);
+  EXPECT_EQ(s.usedBytes(), 60u);
+}
+
+TEST(GdStarTest, SecondRequestHits) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 60));
+  const auto out = s.onRequest(req(1, 60));
+  EXPECT_TRUE(out.hit);
+}
+
+TEST(GdStarTest, OversizedPageNotCached) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  const auto out = s.onRequest(req(1, 150));
+  EXPECT_FALSE(out.hit);
+  EXPECT_FALSE(out.storedAfterMiss);
+  EXPECT_EQ(s.usedBytes(), 0u);
+}
+
+TEST(GdStarTest, EvictsLeastValuablePage) {
+  // beta=1, c=1: V = L + f/size. Page 1 (size 50, 1 access) has lower
+  // value than page 2 (size 10, 1 access); inserting page 3 (50 bytes)
+  // into the full 100-byte cache must evict page 1.
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 50));
+  s.onRequest(req(2, 10));
+  s.onRequest(req(3, 50));
+  EXPECT_FALSE(s.cache().contains(1));
+  EXPECT_TRUE(s.cache().contains(2));
+  EXPECT_TRUE(s.cache().contains(3));
+}
+
+TEST(GdStarTest, InflationSetToLastEvictedValue) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  EXPECT_DOUBLE_EQ(s.inflation(), 0.0);
+  s.onRequest(req(1, 100));  // V = 0 + 1/100 = 0.01
+  s.onRequest(req(2, 100));  // evicts page 1 -> L = 0.01
+  EXPECT_DOUBLE_EQ(s.inflation(), 0.01);
+  // Page 2's value built on the new L: V = 0.01 + 1/100.
+  EXPECT_DOUBLE_EQ(s.cache().find(2)->value, 0.02);
+}
+
+TEST(GdStarTest, FrequencyRaisesValueOnHit) {
+  GdsFamilyStrategy s(1000, 1.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 100));
+  const double v1 = s.cache().find(1)->value;
+  s.onRequest(req(1, 100));
+  const double v2 = s.cache().find(1)->value;
+  EXPECT_DOUBLE_EQ(v1, 0.01);
+  EXPECT_DOUBLE_EQ(v2, 0.02);  // f = 2 now
+}
+
+TEST(GdStarTest, BetaCompressesUtility) {
+  // beta = 2: V = L + sqrt(f c / s).
+  GdsFamilyStrategy s(1000, 1.0, gdStarConfig(2.0));
+  s.onRequest(req(1, 100));
+  EXPECT_DOUBLE_EQ(s.cache().find(1)->value, std::sqrt(0.01));
+}
+
+TEST(GdStarTest, FetchCostScalesValue) {
+  GdsFamilyStrategy s(1000, 4.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 100));
+  EXPECT_DOUBLE_EQ(s.cache().find(1)->value, 0.04);
+}
+
+TEST(GdStarTest, InCacheCountingDiscardsFrequencyOnEviction) {
+  GdsFamilyStrategy s(100, 1.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 100));
+  s.onRequest(req(1, 100));
+  s.onRequest(req(1, 100));  // f(1) = 3
+  s.onRequest(req(2, 100));  // evicts page 1
+  s.onRequest(req(1, 100));  // page 1 returns with f = 1
+  EXPECT_EQ(s.cache().find(1)->accessCount, 1u);
+}
+
+TEST(GdStarTest, StaleVersionIsMissAndRefreshed) {
+  GdsFamilyStrategy s(1000, 1.0, gdStarConfig(1.0));
+  s.onRequest(req(1, 100, 0));
+  const auto out = s.onRequest(req(1, 100, 3));  // publisher has v3
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.stale);
+  EXPECT_TRUE(out.storedAfterMiss);
+  EXPECT_EQ(s.cache().find(1)->version, 3u);
+  // Access history survives the refresh (same page, new content).
+  EXPECT_EQ(s.cache().find(1)->accessCount, 2u);
+}
+
+TEST(GdStarTest, InvariantsHoldThroughChurn) {
+  GdsFamilyStrategy s(500, 1.0, gdStarConfig(2.0));
+  for (PageId p = 0; p < 200; ++p) {
+    s.onRequest(req(p % 17, 30 + (p % 7) * 20, p % 3));
+    s.checkInvariants();
+  }
+  EXPECT_LE(s.usedBytes(), s.capacityBytes());
+}
+
+TEST(GdStarTest, RejectsBadConstruction) {
+  EXPECT_THROW(GdsFamilyStrategy(100, 1.0, gdStarConfig(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(GdsFamilyStrategy(100, 0.0, gdStarConfig(1.0)),
+               std::invalid_argument);
+}
+
+TEST(GdsBaselineTest, GdsIgnoresFrequency) {
+  // GDS: f = 1 constant, so a hit must not change the value.
+  GdsFamilyStrategy s(1000, 1.0, gdsConfig());
+  s.onRequest(req(1, 100));
+  const double v1 = s.cache().find(1)->value;
+  s.onRequest(req(1, 100));
+  EXPECT_DOUBLE_EQ(s.cache().find(1)->value, v1);
+}
+
+TEST(GdsBaselineTest, LfuDaIgnoresCostAndSize) {
+  // LFU-DA: V = L + f regardless of size or cost.
+  GdsFamilyStrategy s(1000, 3.0, lfuDaConfig());
+  s.onRequest(req(1, 100));
+  s.onRequest(req(2, 500));
+  EXPECT_DOUBLE_EQ(s.cache().find(1)->value, 1.0);
+  EXPECT_DOUBLE_EQ(s.cache().find(2)->value, 1.0);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,66 @@
+#include "pscd/topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+TEST(GraphTest, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_EQ(g.numNodes(), 0u);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphTest, AddEdgeSymmetric) {
+  Graph g(3);
+  g.addEdge(0, 1, 2.5);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(GraphTest, NeighborsCarryWeights) {
+  Graph g(2);
+  g.addEdge(0, 1, 7.0);
+  const auto n = g.neighbors(0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0].to, 1u);
+  EXPECT_DOUBLE_EQ(n[0].weight, 7.0);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndBadWeight) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 1, -2.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(GraphTest, ComponentsIdentified) {
+  Graph g(5);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(2, 3, 1.0);
+  const auto comps = g.components();
+  EXPECT_EQ(comps.size(), 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_FALSE(g.isConnected());
+}
+
+TEST(GraphTest, ConnectivityDetected) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(1, 2, 1.0);
+  g.addEdge(2, 3, 1.0);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphTest, SingleNodeConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.components().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,116 @@
+#include "pscd/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "pscd/sim/simulator.h"
+
+namespace pscd {
+namespace {
+
+WorkloadParams miniParams() {
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 400;
+  p.publishing.numUpdatedPages = 160;
+  p.publishing.maxVersionsPerPage = 25;
+  p.request.totalRequests = 12000;
+  p.request.numProxies = 12;
+  p.request.minServerPool = 3;
+  p.seed = 5;
+  return p;
+}
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest()
+      : workload_(buildWorkload(miniParams())),
+        rng_(13),
+        network_(NetworkParams{.numProxies = 12}, rng_) {}
+
+  HierarchyResult run(HierarchyConfig config) {
+    return runHierarchical(workload_, network_, config);
+  }
+
+  Workload workload_;
+  Rng rng_;
+  Network network_;
+};
+
+TEST_F(HierarchyTest, ProcessesWholeTrace) {
+  const auto r = run({});
+  EXPECT_EQ(r.requests, workload_.requests.size());
+  EXPECT_GT(r.leafHitRatio(), 0.0);
+  EXPECT_GE(r.combinedHitRatio(), r.leafHitRatio());
+  EXPECT_LE(r.combinedHitRatio(), 1.0);
+}
+
+TEST_F(HierarchyTest, LeafTierMatchesFlatSimulator) {
+  // With the same leaf strategy and capacity, the hierarchy's leaf tier
+  // behaves exactly like the flat simulator (the parent tier only sees
+  // misses and cannot change leaf behaviour).
+  HierarchyConfig hc;
+  hc.leafStrategy = StrategyKind::kGDStar;
+  hc.leafCapacityFraction = 0.05;
+  const auto hier = run(hc);
+  SimConfig sc;
+  sc.strategy = StrategyKind::kGDStar;
+  sc.beta = 2.0;
+  sc.capacityFraction = 0.05;
+  const auto flat = Simulator(workload_, network_, sc).run();
+  EXPECT_EQ(hier.leafHits, flat.hits());
+}
+
+TEST_F(HierarchyTest, ParentTierRescuesMisses) {
+  const auto r = run({});
+  EXPECT_GT(r.parentHits, 0u);
+}
+
+TEST_F(HierarchyTest, ResponseTimeBetweenBounds) {
+  HierarchyConfig hc;
+  const auto r = run(hc);
+  EXPECT_GE(r.meanResponseTimeMs, hc.leafLatencyMs);
+  EXPECT_LE(r.meanResponseTimeMs, hc.publisherLatencyMs);
+}
+
+TEST_F(HierarchyTest, BiggerParentsServeMoreMisses) {
+  HierarchyConfig small;
+  small.parentCapacityFraction = 0.01;
+  HierarchyConfig large;
+  large.parentCapacityFraction = 0.30;
+  EXPECT_GE(run(large).parentHits, run(small).parentHits);
+}
+
+TEST_F(HierarchyTest, FewerParentsMeanLargerSubtrees) {
+  // One parent aggregates everything; its subtree filter still works.
+  HierarchyConfig hc;
+  hc.numParents = 1;
+  const auto r = run(hc);
+  EXPECT_EQ(r.requests, workload_.requests.size());
+  EXPECT_GT(r.parentHits, 0u);
+}
+
+TEST_F(HierarchyTest, PushCapableParentsReceivePushes) {
+  HierarchyConfig push;
+  push.leafStrategy = StrategyKind::kSG2;
+  push.parentStrategy = StrategyKind::kSG2;
+  const auto withPush = run(push);
+  // Push-based leaves already intercept most requests, so the parent
+  // tier adds less than it does for the access-only baseline.
+  HierarchyConfig passive;
+  const auto withoutPush = run(passive);
+  EXPECT_GT(withPush.leafHitRatio(), withoutPush.leafHitRatio());
+  EXPECT_LT(withPush.combinedHitRatio() - withPush.leafHitRatio(),
+            withoutPush.combinedHitRatio() - withoutPush.leafHitRatio());
+}
+
+TEST_F(HierarchyTest, InvalidConfigRejected) {
+  HierarchyConfig hc;
+  hc.numParents = 0;
+  EXPECT_THROW(run(hc), std::invalid_argument);
+  Rng rng(1);
+  const Network other(NetworkParams{.numProxies = 3}, rng);
+  EXPECT_THROW(runHierarchical(workload_, other, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscd

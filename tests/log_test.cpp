@@ -1,0 +1,50 @@
+#include "pscd/util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pscd {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    old_ = std::cerr.rdbuf(captured_.rdbuf());
+    setLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    std::cerr.rdbuf(old_);
+    setLogLevel(LogLevel::kInfo);
+  }
+  std::ostringstream captured_;
+  std::streambuf* old_ = nullptr;
+};
+
+TEST_F(LogTest, InfoEmitsAtInfoLevel) {
+  logInfo() << "hello " << 42;
+  EXPECT_EQ(captured_.str(), "[INFO] hello 42\n");
+}
+
+TEST_F(LogTest, DebugSuppressedAtInfoLevel) {
+  logDebug() << "nope";
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  setLogLevel(LogLevel::kError);
+  logWarn() << "warn";
+  EXPECT_TRUE(captured_.str().empty());
+  logError() << "bad";
+  EXPECT_EQ(captured_.str(), "[ERROR] bad\n");
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  setLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(logLevel(), LogLevel::kDebug);
+  logDebug() << "dbg";
+  EXPECT_EQ(captured_.str(), "[DEBUG] dbg\n");
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,176 @@
+#include "pscd/pubsub/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pscd/util/rng.h"
+
+namespace pscd {
+namespace {
+
+Subscription sub(ProxyId proxy, std::vector<Predicate> preds) {
+  Subscription s;
+  s.proxy = proxy;
+  s.conjuncts = std::move(preds);
+  return s;
+}
+
+ContentAttributes attrs(PageId page, std::uint32_t category,
+                        std::vector<std::uint32_t> keywords = {}) {
+  ContentAttributes a;
+  a.page = page;
+  a.category = category;
+  a.keywords = std::move(keywords);
+  return a;
+}
+
+TEST(PredicateTest, PageIdEq) {
+  const Predicate p{Predicate::Kind::kPageIdEq, 7};
+  EXPECT_TRUE(p.matches(attrs(7, 0)));
+  EXPECT_FALSE(p.matches(attrs(8, 0)));
+}
+
+TEST(PredicateTest, CategoryEq) {
+  const Predicate p{Predicate::Kind::kCategoryEq, 3};
+  EXPECT_TRUE(p.matches(attrs(0, 3)));
+  EXPECT_FALSE(p.matches(attrs(0, 4)));
+}
+
+TEST(PredicateTest, KeywordContains) {
+  const Predicate p{Predicate::Kind::kKeywordContains, 11};
+  EXPECT_TRUE(p.matches(attrs(0, 0, {5, 11, 9})));
+  EXPECT_FALSE(p.matches(attrs(0, 0, {5, 9})));
+  EXPECT_FALSE(p.matches(attrs(0, 0)));
+}
+
+TEST(SubscriptionTest, ConjunctionSemantics) {
+  const auto s = sub(0, {{Predicate::Kind::kCategoryEq, 2},
+                         {Predicate::Kind::kKeywordContains, 4}});
+  EXPECT_TRUE(s.matches(attrs(1, 2, {4})));
+  EXPECT_FALSE(s.matches(attrs(1, 2, {5})));
+  EXPECT_FALSE(s.matches(attrs(1, 3, {4})));
+}
+
+TEST(SubscriptionTest, EmptyConjunctionNeverMatches) {
+  const Subscription s;
+  EXPECT_FALSE(s.matches(attrs(0, 0)));
+}
+
+TEST(SubscriptionTest, ToStringReadable) {
+  const auto s = sub(3, {{Predicate::Kind::kCategoryEq, 7}});
+  EXPECT_EQ(toString(s), "proxy 3: category==7");
+}
+
+TEST(MatchingEngineTest, SingleSubscriptionMatch) {
+  MatchingEngine e;
+  const auto id = e.addSubscription(sub(2, {{Predicate::Kind::kPageIdEq, 5}}));
+  const auto r = e.match(attrs(5, 0));
+  ASSERT_EQ(r.subscriptions.size(), 1u);
+  EXPECT_EQ(r.subscriptions[0], id);
+  ASSERT_EQ(r.proxyCounts.size(), 1u);
+  EXPECT_EQ(r.proxyCounts[0], (std::pair<ProxyId, std::uint32_t>{2, 1}));
+}
+
+TEST(MatchingEngineTest, ConjunctionRequiresAllPredicates) {
+  MatchingEngine e;
+  e.addSubscription(sub(0, {{Predicate::Kind::kCategoryEq, 1},
+                            {Predicate::Kind::kKeywordContains, 9}}));
+  EXPECT_TRUE(e.match(attrs(0, 1, {9})).subscriptions.size() == 1);
+  EXPECT_TRUE(e.match(attrs(0, 1, {8})).subscriptions.empty());
+  EXPECT_TRUE(e.match(attrs(0, 2, {9})).subscriptions.empty());
+}
+
+TEST(MatchingEngineTest, DuplicatePredicatesCollapsed) {
+  MatchingEngine e;
+  e.addSubscription(sub(0, {{Predicate::Kind::kCategoryEq, 1},
+                            {Predicate::Kind::kCategoryEq, 1}}));
+  // If duplicates were kept, numConjuncts would be 2 and a single
+  // category hit could never satisfy the subscription.
+  EXPECT_EQ(e.match(attrs(0, 1)).subscriptions.size(), 1u);
+}
+
+TEST(MatchingEngineTest, PerProxyCountsAggregate) {
+  MatchingEngine e;
+  e.addSubscription(sub(1, {{Predicate::Kind::kCategoryEq, 5}}));
+  e.addSubscription(sub(1, {{Predicate::Kind::kKeywordContains, 3}}));
+  e.addSubscription(sub(4, {{Predicate::Kind::kCategoryEq, 5}}));
+  const auto r = e.match(attrs(0, 5, {3}));
+  ASSERT_EQ(r.proxyCounts.size(), 2u);
+  EXPECT_EQ(r.proxyCounts[0], (std::pair<ProxyId, std::uint32_t>{1, 2}));
+  EXPECT_EQ(r.proxyCounts[1], (std::pair<ProxyId, std::uint32_t>{4, 1}));
+}
+
+TEST(MatchingEngineTest, RemoveSubscription) {
+  MatchingEngine e;
+  const auto id = e.addSubscription(sub(0, {{Predicate::Kind::kPageIdEq, 1}}));
+  EXPECT_EQ(e.size(), 1u);
+  EXPECT_TRUE(e.removeSubscription(id));
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_TRUE(e.match(attrs(1, 0)).subscriptions.empty());
+  EXPECT_FALSE(e.removeSubscription(id));     // double remove
+  EXPECT_FALSE(e.removeSubscription(99999));  // unknown id
+}
+
+TEST(MatchingEngineTest, EmptyConjunctionRejected) {
+  MatchingEngine e;
+  EXPECT_THROW(e.addSubscription(sub(0, {})), std::invalid_argument);
+}
+
+TEST(MatchingEngineTest, KeywordOnlyNeedsOneOccurrence) {
+  MatchingEngine e;
+  e.addSubscription(sub(0, {{Predicate::Kind::kKeywordContains, 7}}));
+  // Page attributes listing the keyword twice must not double-count.
+  EXPECT_EQ(e.match(attrs(0, 0, {7, 7})).subscriptions.size(), 1u);
+}
+
+TEST(MatchingEngineTest, MatchesAgreeWithBruteForce) {
+  // Property test: inverted-index matching == naive evaluation.
+  Rng rng(123);
+  MatchingEngine e;
+  std::vector<Subscription> subs;
+  for (int i = 0; i < 300; ++i) {
+    Subscription s;
+    s.proxy = static_cast<ProxyId>(rng.uniformInt(std::uint64_t{10}));
+    const int n = 1 + static_cast<int>(rng.uniformInt(std::uint64_t{3}));
+    for (int k = 0; k < n; ++k) {
+      Predicate p;
+      switch (rng.uniformInt(std::uint64_t{3})) {
+        case 0:
+          p.kind = Predicate::Kind::kPageIdEq;
+          p.value =
+              static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{20}));
+          break;
+        case 1:
+          p.kind = Predicate::Kind::kCategoryEq;
+          p.value =
+              static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{5}));
+          break;
+        default:
+          p.kind = Predicate::Kind::kKeywordContains;
+          p.value =
+              static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{8}));
+      }
+      s.conjuncts.push_back(p);
+    }
+    subs.push_back(s);
+    e.addSubscription(s);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    ContentAttributes a;
+    a.page = static_cast<PageId>(rng.uniformInt(std::uint64_t{20}));
+    a.category = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{5}));
+    const int kw = static_cast<int>(rng.uniformInt(std::uint64_t{4}));
+    for (int k = 0; k < kw; ++k) {
+      a.keywords.push_back(
+          static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{8})));
+    }
+    const auto got = e.match(a);
+    std::size_t expected = 0;
+    for (const auto& s : subs) expected += s.matches(a);
+    EXPECT_EQ(got.subscriptions.size(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace pscd

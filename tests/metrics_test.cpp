@@ -1,0 +1,93 @@
+#include "pscd/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+TEST(MetricsTest, HitRatioAggregates) {
+  SimMetrics m(3, 0);
+  m.recordRequest(0, 1.0, true, false, 0);
+  m.recordRequest(1, 2.0, false, false, 100);
+  m.recordRequest(1, 3.0, true, false, 0);
+  m.recordRequest(2, 4.0, false, true, 50);
+  EXPECT_EQ(m.requests(), 4u);
+  EXPECT_EQ(m.hits(), 2u);
+  EXPECT_DOUBLE_EQ(m.hitRatio(), 0.5);
+  EXPECT_EQ(m.staleMisses(), 1u);
+}
+
+TEST(MetricsTest, PerProxyRatios) {
+  SimMetrics m(2, 0);
+  m.recordRequest(0, 1.0, true, false, 0);
+  m.recordRequest(0, 2.0, false, false, 10);
+  m.recordRequest(1, 3.0, true, false, 0);
+  EXPECT_DOUBLE_EQ(m.proxyHitRatio(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.proxyHitRatio(1), 1.0);
+  EXPECT_THROW(m.proxyHitRatio(5), std::out_of_range);
+}
+
+TEST(MetricsTest, MeanResponseTimeAverages) {
+  SimMetrics m(1, 0);
+  m.recordRequest(0, 1.0, true, false, 0, 5.0);
+  m.recordRequest(0, 2.0, false, false, 10, 105.0);
+  EXPECT_DOUBLE_EQ(m.meanResponseTime(), 55.0);
+}
+
+TEST(MetricsTest, MeanResponseTimeEmptyIsZero) {
+  SimMetrics m(1, 0);
+  EXPECT_DOUBLE_EQ(m.meanResponseTime(), 0.0);
+}
+
+TEST(MetricsTest, EmptyRatiosAreZero) {
+  SimMetrics m(1, 0);
+  EXPECT_DOUBLE_EQ(m.hitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.proxyHitRatio(0), 0.0);
+}
+
+TEST(MetricsTest, TrafficSplit) {
+  SimMetrics m(1, 0);
+  m.recordPush(1.0, 3, 300);
+  m.recordRequest(0, 2.0, false, false, 120);
+  EXPECT_EQ(m.traffic().pushPages, 3u);
+  EXPECT_EQ(m.traffic().pushBytes, 300u);
+  EXPECT_EQ(m.traffic().fetchPages, 1u);
+  EXPECT_EQ(m.traffic().fetchBytes, 120u);
+  EXPECT_EQ(m.traffic().totalPages(), 4u);
+  EXPECT_EQ(m.traffic().totalBytes(), 420u);
+}
+
+TEST(MetricsTest, HitsGenerateNoTraffic) {
+  SimMetrics m(1, 0);
+  m.recordRequest(0, 1.0, true, false, 0);
+  EXPECT_EQ(m.traffic().totalPages(), 0u);
+}
+
+TEST(MetricsTest, HourlySeriesPopulated) {
+  SimMetrics m(2, 48);
+  ASSERT_TRUE(m.hasHourly());
+  EXPECT_EQ(m.hours(), 48u);
+  m.recordRequest(0, 10.0, true, false, 0);
+  m.recordRequest(0, 20.0, false, false, 100);
+  m.recordPush(3700.0, 2, 500);
+  EXPECT_DOUBLE_EQ(m.hourlyHitRatio(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.hourlyTrafficPages(0), 1.0);  // the fetch
+  EXPECT_DOUBLE_EQ(m.hourlyTrafficPages(1), 2.0);  // the push
+  EXPECT_EQ(m.hourlyTrafficBytes(1), 500u);
+}
+
+TEST(MetricsTest, HourlyDisabledThrows) {
+  SimMetrics m(1, 0);
+  EXPECT_FALSE(m.hasHourly());
+  EXPECT_EQ(m.hours(), 0u);
+  EXPECT_THROW(m.hourlyHitRatio(0), std::logic_error);
+  EXPECT_THROW(m.hourlyTrafficPages(0), std::logic_error);
+}
+
+TEST(MetricsTest, ProxyRangeChecked) {
+  SimMetrics m(1, 0);
+  EXPECT_THROW(m.recordRequest(4, 0.0, true, false, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,197 @@
+#include "pscd/pubsub/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "pscd/util/rng.h"
+
+namespace pscd {
+namespace {
+
+Subscription sub(ProxyId proxy, std::vector<Predicate> preds) {
+  Subscription s;
+  s.proxy = proxy;
+  s.conjuncts = std::move(preds);
+  return s;
+}
+
+ContentAttributes attrs(PageId page, std::uint32_t category = 0,
+                        std::vector<std::uint32_t> keywords = {}) {
+  ContentAttributes a;
+  a.page = page;
+  a.category = category;
+  a.keywords = std::move(keywords);
+  return a;
+}
+
+const Predicate kCat1{Predicate::Kind::kCategoryEq, 1};
+const Predicate kKw7{Predicate::Kind::kKeywordContains, 7};
+
+TEST(BrokerTreeTest, BalancedShape) {
+  const auto t = BrokerTree::balanced(7, 2);
+  EXPECT_EQ(t.numBrokers(), 7u);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 0u);
+  EXPECT_EQ(t.parent(5), 2u);
+  EXPECT_FALSE(t.isLeaf(0));
+  EXPECT_TRUE(t.isLeaf(6));
+}
+
+TEST(BrokerTreeTest, RejectsBadTopology) {
+  EXPECT_THROW(BrokerTree({}), std::invalid_argument);
+  EXPECT_THROW(BrokerTree({0, 2, 1}), std::invalid_argument);  // 1's parent 2
+  EXPECT_THROW(BrokerTree::balanced(0, 2), std::invalid_argument);
+  EXPECT_THROW(BrokerTree::balanced(3, 0), std::invalid_argument);
+}
+
+TEST(BrokerTreeTest, AttachGuards) {
+  auto t = BrokerTree::balanced(3, 2);
+  t.attachProxy(0, 1);
+  EXPECT_THROW(t.attachProxy(0, 2), std::logic_error);  // twice
+  EXPECT_THROW(t.attachProxy(1, 9), std::out_of_range);
+  EXPECT_THROW(t.subscribe(sub(5, {kCat1})), std::logic_error);  // unattached
+}
+
+TEST(BrokerTreeTest, DeliversToSubscribedProxy) {
+  auto t = BrokerTree::balanced(7, 2);
+  t.attachProxy(3, 5);
+  t.subscribe(sub(3, {kCat1}));
+  const auto out = t.publish(attrs(0, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Notification{3, 1}));
+  EXPECT_TRUE(t.publish(attrs(0, 2)).empty());
+}
+
+TEST(BrokerTreeTest, EventMessagesFollowMatchedPathOnly) {
+  auto t = BrokerTree::balanced(7, 2);  // root 0; 1,2; leaves 3..6
+  t.attachProxy(0, 3);                  // path 0 -> 1 -> 3
+  t.subscribe(sub(0, {kCat1}));
+  t.publish(attrs(0, 1));
+  EXPECT_EQ(t.eventMessages(), 2u);  // 0->1, 1->3
+  t.publish(attrs(0, 2));            // no match: no link used
+  EXPECT_EQ(t.eventMessages(), 2u);
+  EXPECT_EQ(t.floodEventMessages(), 12u);  // 2 publishes x 6 links
+}
+
+TEST(BrokerTreeTest, ControlMessagesCountAdvertisements) {
+  auto t = BrokerTree::balanced(7, 2);
+  t.attachProxy(0, 5);  // path 5 -> 2 -> 0: two advertisement hops
+  t.subscribe(sub(0, {kCat1}));
+  EXPECT_EQ(t.controlMessages(), 2u);
+}
+
+TEST(BrokerTreeTest, CoveringPrunesDuplicateAdvertisements) {
+  auto t = BrokerTree::balanced(7, 2, /*useCovering=*/true);
+  t.attachProxy(0, 5);
+  t.attachProxy(1, 5);
+  t.subscribe(sub(0, {kCat1}));
+  t.subscribe(sub(1, {kCat1}));  // identical: absorbed at broker 5
+  EXPECT_EQ(t.controlMessages(), 2u);
+  // Both proxies are still notified.
+  const auto out = t.publish(attrs(0, 1));
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(BrokerTreeTest, CoveringPrunesNarrowerSubscriptions) {
+  auto t = BrokerTree::balanced(3, 2, true);
+  t.attachProxy(0, 1);
+  t.subscribe(sub(0, {kCat1}));        // advertised: 1 hop
+  t.subscribe(sub(0, {kCat1, kKw7}));  // covered by the first
+  EXPECT_EQ(t.controlMessages(), 1u);
+  // Narrower subscription still delivered correctly.
+  const auto out = t.publish(attrs(0, 1, {7}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].matchCount, 2u);
+  // An event matching only the broad one counts once.
+  EXPECT_EQ(t.publish(attrs(0, 1)).at(0).matchCount, 1u);
+}
+
+TEST(BrokerTreeTest, WithoutCoveringEveryAdvertisementTravels) {
+  auto t = BrokerTree::balanced(3, 2, /*useCovering=*/false);
+  t.attachProxy(0, 1);
+  t.subscribe(sub(0, {kCat1}));
+  t.subscribe(sub(0, {kCat1}));
+  EXPECT_EQ(t.controlMessages(), 2u);
+}
+
+TEST(BrokerTreeTest, RootAttachedProxyWorks) {
+  auto t = BrokerTree::balanced(3, 2);
+  t.attachProxy(7, 0);
+  t.subscribe(sub(7, {kCat1}));
+  EXPECT_EQ(t.controlMessages(), 0u);  // already at the root
+  EXPECT_EQ(t.publish(attrs(0, 1)).at(0).proxy, 7u);
+}
+
+TEST(BrokerTreeTest, EquivalentToCentralizedBroker) {
+  // Property: for random subscription sets and events, the distributed
+  // tree (with covering) produces exactly the per-proxy counts of the
+  // centralized Broker.
+  Rng rng(29);
+  for (const bool covering : {true, false}) {
+    auto tree = BrokerTree::balanced(15, 2, covering);
+    Broker flat(10);
+    for (ProxyId p = 0; p < 10; ++p) {
+      tree.attachProxy(p, static_cast<BrokerId>(rng.uniformInt(
+                              std::uint64_t{15})));
+    }
+    for (int i = 0; i < 250; ++i) {
+      Subscription s;
+      s.proxy = static_cast<ProxyId>(rng.uniformInt(std::uint64_t{10}));
+      const int n = 1 + static_cast<int>(rng.uniformInt(std::uint64_t{2}));
+      for (int k = 0; k < n; ++k) {
+        Predicate p;
+        const auto kindPick = rng.uniformInt(std::uint64_t{3});
+        p.kind = kindPick == 0   ? Predicate::Kind::kPageIdEq
+                 : kindPick == 1 ? Predicate::Kind::kCategoryEq
+                                 : Predicate::Kind::kKeywordContains;
+        p.value = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{6}));
+        s.conjuncts.push_back(p);
+      }
+      tree.subscribe(s);
+      flat.subscribe(s);
+    }
+    for (int trial = 0; trial < 150; ++trial) {
+      ContentAttributes e;
+      e.page = static_cast<PageId>(rng.uniformInt(std::uint64_t{6}));
+      e.category =
+          static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{6}));
+      if (rng.bernoulli(0.6)) {
+        e.keywords.push_back(
+            static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{6})));
+      }
+      const auto fromTree = tree.publish(e);
+      const auto fromFlat = flat.publish(e);
+      ASSERT_EQ(fromTree.size(), fromFlat.size()) << "covering=" << covering;
+      for (std::size_t i = 0; i < fromTree.size(); ++i) {
+        EXPECT_EQ(fromTree[i], fromFlat[i]) << "covering=" << covering;
+      }
+    }
+  }
+}
+
+TEST(BrokerTreeTest, CoveringReducesControlTraffic) {
+  Rng rng(31);
+  std::vector<Subscription> subs;
+  for (int i = 0; i < 300; ++i) {
+    Subscription s;
+    s.proxy = static_cast<ProxyId>(rng.uniformInt(std::uint64_t{8}));
+    Predicate p;
+    p.kind = Predicate::Kind::kCategoryEq;
+    p.value = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{4}));
+    s.conjuncts.push_back(p);
+    subs.push_back(s);
+  }
+  auto with = BrokerTree::balanced(15, 2, true);
+  auto without = BrokerTree::balanced(15, 2, false);
+  for (ProxyId p = 0; p < 8; ++p) {
+    with.attachProxy(p, 7 + p);
+    without.attachProxy(p, 7 + p);
+  }
+  for (const auto& s : subs) {
+    with.subscribe(s);
+    without.subscribe(s);
+  }
+  EXPECT_LT(with.controlMessages(), without.controlMessages() / 4);
+}
+
+}  // namespace
+}  // namespace pscd

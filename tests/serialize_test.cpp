@@ -1,0 +1,103 @@
+#include "pscd/workload/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace pscd {
+namespace {
+
+WorkloadParams tinyParams() {
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 200;
+  p.publishing.numUpdatedPages = 80;
+  p.publishing.maxVersionsPerPage = 10;
+  p.request.totalRequests = 3000;
+  p.request.numProxies = 8;
+  p.request.minServerPool = 2;
+  p.seed = 11;
+  return p;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const Workload w = buildWorkload(tinyParams());
+  std::stringstream buf;
+  saveWorkload(w, buf);
+  const Workload r = loadWorkload(buf);
+  EXPECT_EQ(r.numPages(), w.numPages());
+  EXPECT_EQ(r.publishes.size(), w.publishes.size());
+  ASSERT_EQ(r.requests.size(), w.requests.size());
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    EXPECT_EQ(r.requests[i].page, w.requests[i].page);
+    EXPECT_EQ(r.requests[i].proxy, w.requests[i].proxy);
+    EXPECT_DOUBLE_EQ(r.requests[i].time, w.requests[i].time);
+  }
+  EXPECT_EQ(r.subOffsets, w.subOffsets);
+  ASSERT_EQ(r.subEntries.size(), w.subEntries.size());
+  for (std::size_t i = 0; i < w.subEntries.size(); ++i) {
+    EXPECT_EQ(r.subEntries[i], w.subEntries[i]);
+  }
+  EXPECT_EQ(r.uniqueBytesRequested, w.uniqueBytesRequested);
+  EXPECT_DOUBLE_EQ(r.params.request.zipfAlpha, w.params.request.zipfAlpha);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Workload w = buildWorkload(tinyParams());
+  const std::string path = testing::TempDir() + "/pscd_trace.bin";
+  saveWorkloadFile(w, path);
+  const Workload r = loadWorkloadFile(path);
+  EXPECT_EQ(r.requests.size(), w.requests.size());
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOTATRACE-----------------";
+  EXPECT_THROW(loadWorkload(buf), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncationRejected) {
+  const Workload w = buildWorkload(tinyParams());
+  std::stringstream buf;
+  saveWorkload(w, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(loadWorkload(cut), std::runtime_error);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(loadWorkloadFile("/nonexistent/pscd.bin"),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, PublishCsvHasHeaderAndRows) {
+  const Workload w = buildWorkload(tinyParams());
+  std::ostringstream os;
+  exportPublishesCsv(w, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("time,page,version,size", 0), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(out.begin(), out.end(), '\n')),
+            w.publishes.size() + 1);
+}
+
+TEST(SerializeTest, RequestsCsvRowCount) {
+  const Workload w = buildWorkload(tinyParams());
+  std::ostringstream os;
+  exportRequestsCsv(w, os);
+  const std::string out = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n')),
+            w.requests.size() + 1);
+}
+
+TEST(SerializeTest, SubscriptionsCsvRowCount) {
+  const Workload w = buildWorkload(tinyParams());
+  std::ostringstream os;
+  exportSubscriptionsCsv(w, os);
+  const std::string out = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n')),
+            w.subEntries.size() + 1);
+}
+
+}  // namespace
+}  // namespace pscd

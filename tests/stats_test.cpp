@@ -1,0 +1,130 @@
+#include "pscd/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pscd {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, HandlesNegatives) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.binLo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.binHi(4), 10.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(-100.0);  // clamps to first bin
+  h.add(999.0);   // clamps to last bin
+  h.add(9.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(HistogramTest, CdfInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.cdf(5.0), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(h.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(11.0), 1.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HourlySeriesTest, BucketsByHour) {
+  HourlySeries s(24);
+  s.add(0.0, 1.0);
+  s.add(3599.0, 1.0);
+  s.add(3600.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.numerator(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.numerator(1), 5.0);
+  EXPECT_DOUBLE_EQ(s.denominator(0), 2.0);
+}
+
+TEST(HourlySeriesTest, RatioHandlesEmptyHours) {
+  HourlySeries s(3);
+  s.add(3700.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.ratio(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.ratio(1), 0.75);
+}
+
+TEST(HourlySeriesTest, ClampsOutOfRange) {
+  HourlySeries s(2);
+  s.add(-5.0, 1.0);
+  s.add(1e9, 1.0);
+  EXPECT_DOUBLE_EQ(s.numerator(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.numerator(1), 1.0);
+}
+
+TEST(HourlySeriesTest, RejectsZeroHours) {
+  EXPECT_THROW(HourlySeries(0), std::invalid_argument);
+}
+
+TEST(QuantileTest, Median) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v = {2.0, 8.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 8.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(QuantileTest, RejectsEmpty) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,174 @@
+#include "pscd/workload/subscriptions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pscd {
+namespace {
+
+std::vector<RequestEvent> makeRequests() {
+  // page 0: 4 requests at proxy 0, 2 at proxy 1; page 2: 1 at proxy 3.
+  std::vector<RequestEvent> reqs;
+  for (int i = 0; i < 4; ++i) reqs.push_back({1.0 * i, 0, 0, true});
+  for (int i = 0; i < 2; ++i) reqs.push_back({10.0 + i, 0, 1, true});
+  reqs.push_back({20.0, 2, 3, true});
+  return reqs;
+}
+
+TEST(SubscriptionsTest, PerfectQualityEqualsRequestCounts) {
+  Rng rng(1);
+  SubscriptionParams p;
+  p.quality = 1.0;
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  ASSERT_EQ(t.offsets.size(), 5u);
+  // Row for page 0: (proxy 0, 4), (proxy 1, 2).
+  ASSERT_EQ(t.offsets[1] - t.offsets[0], 2u);
+  EXPECT_EQ(t.entries[t.offsets[0]], (Notification{0, 4}));
+  EXPECT_EQ(t.entries[t.offsets[0] + 1], (Notification{1, 2}));
+  // Page 1 has no requests -> empty row.
+  EXPECT_EQ(t.offsets[2] - t.offsets[1], 0u);
+  // Page 2: single entry.
+  EXPECT_EQ(t.entries[t.offsets[2]], (Notification{3, 1}));
+}
+
+TEST(SubscriptionsTest, LowerQualityInflatesCounts) {
+  Rng rng(2);
+  SubscriptionParams p;
+  p.quality = 0.5;
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  // SQ_{i,j} <= 2*0.5 = 1, so counts never shrink below the requests.
+  EXPECT_GE(t.entries[t.offsets[0]].matchCount, 4u);
+  // And with the 0.05 clamp they cannot exceed P/0.05.
+  EXPECT_LE(t.entries[t.offsets[0]].matchCount, 80u);
+}
+
+TEST(SubscriptionsTest, HighQualityBounds) {
+  Rng rng(3);
+  SubscriptionParams p;
+  p.quality = 0.75;  // SQ_{i,j} uniform in [0.5, 1]
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  const auto subs = t.entries[t.offsets[0]].matchCount;
+  EXPECT_GE(subs, 4u);
+  EXPECT_LE(subs, 8u);
+}
+
+TEST(SubscriptionsTest, StatisticalMeanMatchesQuality) {
+  // With many (page, proxy) pairs of P = 8 and SQ = 0.8 the average
+  // subscription count approaches P * E[1/SQ_{i,j}].
+  std::vector<RequestEvent> reqs;
+  const std::uint32_t pages = 2000;
+  for (PageId p = 0; p < pages; ++p) {
+    for (int k = 0; k < 8; ++k) reqs.push_back({1.0, p, 0, true});
+  }
+  Rng rng(4);
+  SubscriptionParams sp;
+  sp.quality = 0.8;
+  const auto t = generateSubscriptions(sp, reqs, pages, 1, rng);
+  double sum = 0.0;
+  for (const auto& e : t.entries) sum += e.matchCount;
+  // E[1/U(0.6, 1.0)] = ln(1/0.6)/0.4 ~ 1.277 -> mean ~ 10.2.
+  EXPECT_NEAR(sum / pages, 8.0 * std::log(1.0 / 0.6) / 0.4, 0.3);
+}
+
+TEST(SubscriptionsTest, NonDrivenRequestsExcluded) {
+  std::vector<RequestEvent> reqs = makeRequests();
+  for (auto& r : reqs) r.notificationDriven = false;
+  reqs.push_back({30.0, 3, 2, true});
+  Rng rng(5);
+  SubscriptionParams p;
+  const auto t = generateSubscriptions(p, reqs, 4, 5, rng);
+  // Only the one driven request contributes.
+  EXPECT_EQ(t.entries.size(), 1u);
+  EXPECT_EQ(t.entries[0], (Notification{2, 1}));
+}
+
+TEST(SubscriptionsTest, CsrRowsSortedByProxy) {
+  std::vector<RequestEvent> reqs;
+  for (ProxyId proxy : {7u, 2u, 9u, 4u}) reqs.push_back({1.0, 0, proxy, true});
+  Rng rng(6);
+  const auto t = generateSubscriptions({}, reqs, 1, 10, rng);
+  ASSERT_EQ(t.entries.size(), 4u);
+  for (std::size_t i = 1; i < t.entries.size(); ++i) {
+    EXPECT_LT(t.entries[i - 1].proxy, t.entries[i].proxy);
+  }
+}
+
+TEST(SubscriptionChurnTest, ZeroRateMeansNoEvents) {
+  Rng rng(8);
+  SubscriptionParams p;
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  std::vector<PageInfo> pages(4);
+  for (std::uint32_t i = 0; i < 4; ++i) pages[i].popularityRank = i + 1;
+  EXPECT_TRUE(
+      generateSubscriptionChurn(p, t, pages, 1.5, 7 * kDay, rng).empty());
+}
+
+TEST(SubscriptionChurnTest, EventCountMatchesRate) {
+  Rng rng(9);
+  SubscriptionParams p;
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  // 7 subscriptions total; 0.5/day over 7 days => ~24 events.
+  p.churnPerDay = 0.5;
+  std::vector<PageInfo> pages(4);
+  for (std::uint32_t i = 0; i < 4; ++i) pages[i].popularityRank = i + 1;
+  const auto events =
+      generateSubscriptionChurn(p, t, pages, 1.5, 7 * kDay, rng);
+  EXPECT_EQ(events.size(), 24u);
+  SimTime prev = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, prev);
+    EXPECT_LE(e.time, 7 * kDay);
+    EXPECT_LT(e.proxy, 5u);
+    EXPECT_LT(e.fromPage, 4u);
+    EXPECT_LT(e.toPage, 4u);
+    prev = e.time;
+  }
+}
+
+TEST(SubscriptionChurnTest, SourcesAreExistingEntries) {
+  Rng rng(10);
+  SubscriptionParams p;
+  const auto t = generateSubscriptions(p, makeRequests(), 4, 5, rng);
+  p.churnPerDay = 1.0;
+  std::vector<PageInfo> pages(4);
+  for (std::uint32_t i = 0; i < 4; ++i) pages[i].popularityRank = i + 1;
+  const auto events =
+      generateSubscriptionChurn(p, t, pages, 1.5, 7 * kDay, rng);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    bool found = false;
+    for (std::uint32_t k = t.offsets[e.fromPage];
+         k < t.offsets[e.fromPage + 1]; ++k) {
+      found |= t.entries[k].proxy == e.proxy;
+    }
+    EXPECT_TRUE(found) << "churn source is not a subscribed pair";
+  }
+}
+
+TEST(SubscriptionChurnTest, NegativeRateRejected) {
+  Rng rng(11);
+  SubscriptionParams p;
+  p.churnPerDay = -0.1;
+  SubscriptionTable t;
+  t.offsets = {0, 0};
+  EXPECT_THROW(
+      generateSubscriptionChurn(p, t, {PageInfo{}}, 1.5, kDay, rng),
+      std::invalid_argument);
+}
+
+TEST(SubscriptionsTest, RejectsBadInputs) {
+  Rng rng(7);
+  SubscriptionParams p;
+  p.quality = 0.0;
+  EXPECT_THROW(generateSubscriptions(p, {}, 1, 1, rng),
+               std::invalid_argument);
+  p.quality = 1.5;
+  EXPECT_THROW(generateSubscriptions(p, {}, 1, 1, rng),
+               std::invalid_argument);
+  std::vector<RequestEvent> bad = {{0.0, 5, 0, true}};
+  EXPECT_THROW(generateSubscriptions({}, bad, 2, 1, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pscd

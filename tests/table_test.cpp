@@ -1,0 +1,68 @@
+#include "pscd/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+  EXPECT_EQ(formatFixed(-1.5, 1), "-1.5");
+}
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable t({"name", "v"});
+  t.row().cell("alpha").cell(std::uint64_t{1});
+  t.row().cell("b").cell(std::uint64_t{22});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1  |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorUnderHeader) {
+  AsciiTable t({"a"});
+  t.row().cell("x");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|---|"), std::string::npos);
+}
+
+TEST(AsciiTableTest, DoubleCellsUsePrecision) {
+  AsciiTable t({"h"});
+  t.row().cell(1.23456, 3);
+  EXPECT_NE(t.render().find("1.235"), std::string::npos);
+}
+
+TEST(AsciiTableTest, MissingCellsRenderEmpty) {
+  AsciiTable t({"a", "b"});
+  t.row().cell("only");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(AsciiTableTest, TooManyCellsThrows) {
+  AsciiTable t({"a"});
+  t.row().cell("1");
+  EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+TEST(AsciiTableTest, CellWithoutRowThrows) {
+  AsciiTable t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(AsciiTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTableTest, RowCount) {
+  AsciiTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,161 @@
+// Differential test: ValueCache against a deliberately naive reference
+// model (linear scans over a vector) under long random operation
+// sequences. Any divergence in contents, eviction choice or accounting
+// is a bug in the indexed implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "pscd/cache/value_cache.h"
+#include "pscd/util/rng.h"
+
+namespace pscd {
+namespace {
+
+/// Straight-line re-implementation of the ValueCache contract.
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(Bytes capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    PageId page;
+    Bytes size;
+    double value;
+  };
+
+  bool contains(PageId page) const { return find(page) != nullptr; }
+
+  const Entry* find(PageId page) const {
+    for (const auto& e : entries_) {
+      if (e.page == page) return &e;
+    }
+    return nullptr;
+  }
+
+  Bytes used() const {
+    Bytes total = 0;
+    for (const auto& e : entries_) total += e.size;
+    return total;
+  }
+
+  std::optional<std::vector<PageId>> evictFor(Bytes size) {
+    if (size > capacity_) return std::nullopt;
+    std::vector<PageId> evicted;
+    while (capacity_ - used() < size) {
+      const auto lowest = std::min_element(
+          entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+            if (a.value != b.value) return a.value < b.value;
+            return a.page < b.page;  // ties broken like std::set's key
+          });
+      evicted.push_back(lowest->page);
+      entries_.erase(lowest);
+    }
+    return evicted;
+  }
+
+  std::optional<std::vector<PageId>> tryEvictLowerThan(double value,
+                                                       Bytes size) {
+    Bytes reclaimable = capacity_ - used();
+    for (const auto& e : entries_) {
+      if (e.value < value) reclaimable += e.size;
+    }
+    if (reclaimable < size) return std::nullopt;
+    std::vector<PageId> evicted;
+    while (capacity_ - used() < size) {
+      auto lowest = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->value >= value) continue;
+        if (lowest == entries_.end() || it->value < lowest->value ||
+            (it->value == lowest->value && it->page < lowest->page)) {
+          lowest = it;
+        }
+      }
+      evicted.push_back(lowest->page);
+      entries_.erase(lowest);
+    }
+    return evicted;
+  }
+
+  void insert(PageId page, Bytes size, double value) {
+    entries_.push_back({page, size, value});
+  }
+
+  void erase(PageId page) {
+    std::erase_if(entries_, [&](const Entry& e) { return e.page == page; });
+  }
+
+  void updateValue(PageId page, double value) {
+    for (auto& e : entries_) {
+      if (e.page == page) e.value = value;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  Bytes capacity_;
+  std::vector<Entry> entries_;
+};
+
+TEST(ValueCacheModelTest, AgreesWithReferenceUnderRandomOps) {
+  Rng rng(2026);
+  ValueCache real(1000);
+  ReferenceCache model(1000);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto page = static_cast<PageId>(rng.uniformInt(std::uint64_t{40}));
+    // Distinct values avoid eviction-order ties between implementations.
+    const double value = rng.uniform() + 1e-7 * step;
+    const Bytes size = 20 + 10 * rng.uniformInt(std::uint64_t{12});
+    switch (rng.uniformInt(std::uint64_t{4})) {
+      case 0: {  // force insert (erase first if present)
+        real.erase(page);
+        model.erase(page);
+        const auto evReal = real.evictFor(size);
+        const auto evModel = model.evictFor(size);
+        ASSERT_EQ(evReal.has_value(), evModel.has_value());
+        if (evReal) {
+          std::vector<PageId> pagesReal;
+          for (const auto& e : *evReal) pagesReal.push_back(e.page);
+          ASSERT_EQ(pagesReal, *evModel) << "step " << step;
+          real.insertNoEvict({page, 0, size, 0, 0, 0.0}, value);
+          model.insert(page, size, value);
+        }
+        break;
+      }
+      case 1: {  // admission-based insert
+        if (real.contains(page)) break;
+        const auto evReal = real.tryEvictLowerThan(value, size);
+        const auto evModel = model.tryEvictLowerThan(value, size);
+        ASSERT_EQ(evReal.has_value(), evModel.has_value()) << "step " << step;
+        if (evReal) {
+          std::vector<PageId> pagesReal;
+          for (const auto& e : *evReal) pagesReal.push_back(e.page);
+          ASSERT_EQ(pagesReal, *evModel);
+          real.insertNoEvict({page, 0, size, 0, 0, 0.0}, value);
+          model.insert(page, size, value);
+        }
+        break;
+      }
+      case 2: {  // erase
+        real.erase(page);
+        model.erase(page);
+        break;
+      }
+      default: {  // revalue
+        if (real.contains(page)) {
+          real.updateValue(page, value);
+          model.updateValue(page, value);
+        }
+      }
+    }
+    ASSERT_EQ(real.size(), model.size()) << "step " << step;
+    ASSERT_EQ(real.used(), model.used()) << "step " << step;
+    real.checkInvariants();
+  }
+}
+
+}  // namespace
+}  // namespace pscd

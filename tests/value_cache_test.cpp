@@ -1,0 +1,185 @@
+#include "pscd/cache/value_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace pscd {
+namespace {
+
+CacheEntry entry(PageId page, Bytes size, Version version = 0) {
+  CacheEntry e;
+  e.page = page;
+  e.size = size;
+  e.version = version;
+  return e;
+}
+
+TEST(ValueCacheTest, InsertAndFind) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 40), 5.0);
+  EXPECT_TRUE(c.contains(1));
+  ASSERT_NE(c.find(1), nullptr);
+  EXPECT_EQ(c.find(1)->size, 40u);
+  EXPECT_DOUBLE_EQ(c.find(1)->value, 5.0);
+  EXPECT_EQ(c.used(), 40u);
+  EXPECT_EQ(c.free(), 60u);
+  EXPECT_EQ(c.size(), 1u);
+  c.checkInvariants();
+}
+
+TEST(ValueCacheTest, InsertNoEvictRequiresRoom) {
+  ValueCache c(50);
+  c.insertNoEvict(entry(1, 40), 1.0);
+  EXPECT_THROW(c.insertNoEvict(entry(2, 20), 1.0), std::logic_error);
+}
+
+TEST(ValueCacheTest, DuplicateInsertRejected) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 10), 1.0);
+  EXPECT_THROW(c.insertNoEvict(entry(1, 10), 2.0), std::logic_error);
+}
+
+TEST(ValueCacheTest, EvictForRemovesLowestFirst) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 40), 1.0);
+  c.insertNoEvict(entry(2, 40), 2.0);
+  c.insertNoEvict(entry(3, 20), 3.0);
+  const auto evicted = c.evictFor(50);
+  ASSERT_TRUE(evicted.has_value());
+  ASSERT_EQ(evicted->size(), 2u);
+  EXPECT_EQ((*evicted)[0].page, 1u);
+  EXPECT_EQ((*evicted)[1].page, 2u);
+  EXPECT_EQ(c.free(), 80u);
+  c.checkInvariants();
+}
+
+TEST(ValueCacheTest, EvictForNoopWhenRoomExists) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 10), 1.0);
+  const auto evicted = c.evictFor(80);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->empty());
+}
+
+TEST(ValueCacheTest, EvictForRefusesOversizedPage) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 50), 1.0);
+  EXPECT_FALSE(c.evictFor(150).has_value());
+  EXPECT_TRUE(c.contains(1));  // nothing evicted
+}
+
+TEST(ValueCacheTest, TryEvictLowerThanOnlyTakesCandidates) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 40), 1.0);
+  c.insertNoEvict(entry(2, 40), 5.0);
+  // Value 3.0: only page 1 is a candidate; freeing 40 + 20 free = 60.
+  const auto ok = c.tryEvictLowerThan(3.0, 60);
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].page, 1u);
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(ValueCacheTest, TryEvictLowerThanRefusesWhenInfeasible) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 50), 1.0);
+  c.insertNoEvict(entry(2, 50), 5.0);
+  // Need 80 but only page 1 (50) is below value 2.0: refuse, evict none.
+  EXPECT_FALSE(c.tryEvictLowerThan(2.0, 80).has_value());
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(ValueCacheTest, TryEvictEqualValueIsNotCandidate) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 60), 2.0);
+  c.insertNoEvict(entry(2, 40), 3.0);
+  // Strictly lower than 2.0 required: page 1 not a candidate.
+  EXPECT_FALSE(c.tryEvictLowerThan(2.0, 50).has_value());
+}
+
+TEST(ValueCacheTest, TryEvictSucceedsWithFreeSpaceOnly) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 30), 9.0);
+  const auto ok = c.tryEvictLowerThan(0.5, 70);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->empty());
+}
+
+TEST(ValueCacheTest, EraseReturnsEntry) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(4, 25), 7.0);
+  const auto removed = c.erase(4);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->page, 4u);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_FALSE(c.erase(4).has_value());
+  c.checkInvariants();
+}
+
+TEST(ValueCacheTest, UpdateValueReorders) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 40), 1.0);
+  c.insertNoEvict(entry(2, 40), 2.0);
+  c.updateValue(1, 10.0);
+  const auto evicted = c.evictFor(30);
+  ASSERT_TRUE(evicted.has_value());
+  ASSERT_EQ(evicted->size(), 1u);
+  EXPECT_EQ((*evicted)[0].page, 2u);  // page 2 is now the lowest
+  EXPECT_THROW(c.updateValue(99, 1.0), std::out_of_range);
+}
+
+TEST(ValueCacheTest, RecordAccessBumpsCounters) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 10), 1.0);
+  const auto& e = c.recordAccess(1, 42.0);
+  EXPECT_EQ(e.accessCount, 1u);
+  EXPECT_DOUBLE_EQ(e.lastAccess, 42.0);
+  c.recordAccess(1, 50.0);
+  EXPECT_EQ(c.find(1)->accessCount, 2u);
+  EXPECT_THROW(c.recordAccess(2, 0.0), std::out_of_range);
+}
+
+TEST(ValueCacheTest, MinValue) {
+  ValueCache c(100);
+  EXPECT_THROW(c.minValue(), std::logic_error);
+  c.insertNoEvict(entry(1, 10), 3.0);
+  c.insertNoEvict(entry(2, 10), 1.5);
+  EXPECT_DOUBLE_EQ(c.minValue(), 1.5);
+}
+
+TEST(ValueCacheTest, SetCapacityGuards) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 60), 1.0);
+  EXPECT_THROW(c.setCapacity(50), std::invalid_argument);
+  c.setCapacity(60);
+  EXPECT_EQ(c.free(), 0u);
+  c.setCapacity(200);
+  EXPECT_EQ(c.free(), 140u);
+}
+
+TEST(ValueCacheTest, ForEachByValueAscendsAndStops) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 10), 3.0);
+  c.insertNoEvict(entry(2, 10), 1.0);
+  c.insertNoEvict(entry(3, 10), 2.0);
+  std::vector<PageId> order;
+  c.forEachByValue([&](const ValueCache::StoredEntry& e) {
+    order.push_back(e.page);
+    return order.size() < 2;
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+}
+
+TEST(ValueCacheTest, TiedValuesBothEvictable) {
+  ValueCache c(100);
+  c.insertNoEvict(entry(1, 50), 1.0);
+  c.insertNoEvict(entry(2, 50), 1.0);
+  const auto evicted = c.evictFor(100);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->size(), 2u);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,116 @@
+#include "pscd/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pscd {
+namespace {
+
+WorkloadParams tinyParams(std::uint64_t seed = 42) {
+  WorkloadParams p = newsTraceParams();
+  p.publishing.numPages = 300;
+  p.publishing.numUpdatedPages = 120;
+  p.publishing.maxVersionsPerPage = 20;
+  p.request.totalRequests = 8000;
+  p.request.numProxies = 10;
+  p.request.minServerPool = 2;
+  p.seed = seed;
+  return p;
+}
+
+TEST(WorkloadTest, BuildsValidWorkload) {
+  const Workload w = buildWorkload(tinyParams());
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.numPages(), 300u);
+  EXPECT_EQ(w.numProxies(), 10u);
+  EXPECT_EQ(w.requests.size(), 8000u);
+  EXPECT_GT(w.publishes.size(), 300u);  // originals + modifications
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const Workload a = buildWorkload(tinyParams(7));
+  const Workload b = buildWorkload(tinyParams(7));
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].page, b.requests[i].page);
+    EXPECT_EQ(a.requests[i].proxy, b.requests[i].proxy);
+  }
+  EXPECT_EQ(a.subEntries.size(), b.subEntries.size());
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  const Workload a = buildWorkload(tinyParams(1));
+  const Workload b = buildWorkload(tinyParams(2));
+  bool different = a.requests.size() != b.requests.size();
+  for (std::size_t i = 0; !different && i < a.requests.size(); ++i) {
+    different = a.requests[i].page != b.requests[i].page;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(WorkloadTest, SubscriptionLookupMatchesCsr) {
+  const Workload w = buildWorkload(tinyParams());
+  for (PageId page = 0; page < w.numPages(); ++page) {
+    for (const auto& n : w.subscriptions(page)) {
+      EXPECT_EQ(w.subscriptionCount(page, n.proxy), n.matchCount);
+    }
+  }
+  EXPECT_EQ(w.subscriptionCount(0, 9999u % w.numProxies()),
+            w.subscriptionCount(0, 9999u % w.numProxies()));
+  EXPECT_THROW(w.subscriptions(w.numPages()), std::out_of_range);
+}
+
+TEST(WorkloadTest, PerfectQualityTotalsEqualRequests) {
+  const Workload w = buildWorkload(tinyParams());
+  EXPECT_EQ(w.totalSubscriptions(), w.requests.size());
+}
+
+TEST(WorkloadTest, EveryRequestedPairHasSubscription) {
+  const Workload w = buildWorkload(tinyParams());
+  std::set<std::pair<PageId, ProxyId>> pairs;
+  for (const auto& r : w.requests) pairs.insert({r.page, r.proxy});
+  for (const auto& [page, proxy] : pairs) {
+    EXPECT_GE(w.subscriptionCount(page, proxy), 1u);
+  }
+}
+
+TEST(WorkloadTest, UniqueBytesConsistent) {
+  const Workload w = buildWorkload(tinyParams());
+  // Recompute independently.
+  std::vector<Bytes> expect(w.numProxies(), 0);
+  std::set<std::pair<PageId, ProxyId>> seen;
+  for (const auto& r : w.requests) {
+    if (seen.insert({r.page, r.proxy}).second) {
+      expect[r.proxy] += w.pages[r.page].size;
+    }
+  }
+  for (ProxyId p = 0; p < w.numProxies(); ++p) {
+    EXPECT_EQ(w.uniqueBytesRequested[p], expect[p]);
+    EXPECT_GT(w.uniqueBytesRequested[p], 0u);
+  }
+}
+
+TEST(WorkloadTest, TraceParamsDifferOnlyInAlpha) {
+  const auto news = newsTraceParams();
+  const auto alt = alternativeTraceParams();
+  EXPECT_DOUBLE_EQ(news.request.zipfAlpha, 1.5);
+  EXPECT_DOUBLE_EQ(alt.request.zipfAlpha, 1.0);
+  EXPECT_EQ(news.publishing.numPages, alt.publishing.numPages);
+}
+
+TEST(WorkloadTest, ValidateCatchesCorruption) {
+  Workload w = buildWorkload(tinyParams());
+  w.subOffsets.back() += 1;
+  EXPECT_THROW(w.validate(), std::logic_error);
+}
+
+TEST(WorkloadTest, ValidateCatchesUnsortedRequests) {
+  Workload w = buildWorkload(tinyParams());
+  ASSERT_GT(w.requests.size(), 2u);
+  std::swap(w.requests.front(), w.requests.back());
+  EXPECT_THROW(w.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,143 @@
+// pscd_sim: command-line front end to the simulator. Runs one strategy
+// over a canonical or customized trace and reports hit ratio and
+// traffic; optionally dumps the hourly series as CSV.
+//
+//   $ pscd_sim --trace NEWS --strategy SG2 --capacity 0.05
+//   $ pscd_sim --trace ALT --strategy "GD*" --sq 0.5 --hourly-csv h.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "pscd/pscd.h"
+#include "pscd/util/args.h"
+
+using namespace pscd;
+
+int main(int argc, char** argv) {
+  ArgParser args("pscd_sim",
+                 "content-distribution simulation for publish/subscribe "
+                 "(Chen, LaPaugh & Singh, Middleware 2003)");
+  args.addOption("trace", "NEWS (Zipf 1.5) or ALT (Zipf 1.0)", "NEWS");
+  args.addOption("strategy",
+                 "GD*, SUB, SG1, SG2, SR, DM, DC-FP, DC-AP, DC-LAP, LRU, "
+                 "GDS, LFU-DA",
+                 "SG2");
+  args.addOption("capacity", "cache capacity fraction of unique bytes",
+                 "0.05");
+  args.addOption("sq", "subscription quality in (0, 1]", "1.0");
+  args.addOption("beta", "GD* balance factor; 'auto' = paper setting",
+                 "auto");
+  args.addOption("scheme", "push scheme: always | necessary", "always");
+  args.addOption("seed", "workload seed", "42");
+  args.addOption("topology-seed", "overlay topology seed", "7");
+  args.addOption("requests", "total requests (0 = paper default)", "0");
+  args.addOption("pages", "distinct pages (0 = paper default)", "0");
+  args.addOption("proxies", "number of proxies (0 = paper default)", "0");
+  args.addOption("hourly-csv", "write hour,hit_ratio,traffic_pages CSV", "");
+  args.addFlag("quiet", "print only the hit ratio");
+
+  if (!args.parse(argc, argv)) {
+    if (!args.error().empty()) {
+      std::fprintf(stderr, "error: %s\n\n", args.error().c_str());
+    }
+    std::fputs(args.help().c_str(), args.error().empty() ? stdout : stderr);
+    return args.error().empty() ? 0 : 2;
+  }
+
+  try {
+    const std::string traceArg = args.option("trace");
+    const TraceKind trace = traceArg == "NEWS"  ? TraceKind::kNews
+                            : traceArg == "ALT" ? TraceKind::kAlternative
+                                                : throw std::invalid_argument(
+                                                      "--trace must be NEWS "
+                                                      "or ALT");
+    const StrategyKind kind = parseStrategyKind(args.option("strategy"));
+    const double capacity = args.optionDouble("capacity");
+    const double sq = args.optionDouble("sq");
+
+    WorkloadParams params = traceParams(trace, sq);
+    params.seed = static_cast<std::uint64_t>(args.optionInt("seed"));
+    if (const auto n = args.optionInt("requests"); n > 0) {
+      params.request.totalRequests = static_cast<std::uint64_t>(n);
+    }
+    if (const auto n = args.optionInt("pages"); n > 0) {
+      params.publishing.numPages = static_cast<std::uint32_t>(n);
+      params.publishing.numUpdatedPages =
+          static_cast<std::uint32_t>(n * 2 / 5);
+    }
+    if (const auto n = args.optionInt("proxies"); n > 0) {
+      params.request.numProxies = static_cast<std::uint32_t>(n);
+    }
+
+    const bool quiet = args.flag("quiet");
+    if (!quiet) std::printf("generating %s workload...\n", traceArg.c_str());
+    const Workload workload = buildWorkload(params);
+
+    Rng topoRng(static_cast<std::uint64_t>(args.optionInt("topology-seed")));
+    NetworkParams np;
+    np.numProxies = workload.numProxies();
+    const Network network(np, topoRng);
+
+    SimConfig config;
+    config.strategy = kind;
+    config.capacityFraction = capacity;
+    config.beta = args.option("beta") == "auto"
+                      ? paperBeta(kind, trace, capacity)
+                      : args.optionDouble("beta");
+    const std::string scheme = args.option("scheme");
+    if (scheme == "always") {
+      config.pushScheme = PushScheme::kAlwaysPushing;
+    } else if (scheme == "necessary") {
+      config.pushScheme = PushScheme::kPushingWhenNecessary;
+    } else {
+      throw std::invalid_argument("--scheme must be always or necessary");
+    }
+    config.collectHourly = !args.option("hourly-csv").empty();
+
+    Simulator sim(workload, network, config);
+    const SimMetrics m = sim.run();
+
+    if (quiet) {
+      std::printf("%.6f\n", m.hitRatio());
+    } else {
+      std::printf(
+          "strategy %s, trace %s, capacity %.1f%%, SQ %.2f, beta %.4g, "
+          "scheme %s\n",
+          std::string(strategyName(kind)).c_str(), traceArg.c_str(),
+          100 * capacity, sq, config.beta, scheme.c_str());
+      std::printf("hit ratio H      : %.2f%% (%llu / %llu, %llu stale)\n",
+                  100 * m.hitRatio(),
+                  static_cast<unsigned long long>(m.hits()),
+                  static_cast<unsigned long long>(m.requests()),
+                  static_cast<unsigned long long>(m.staleMisses()));
+      std::printf("mean response    : %.1f ms\n", m.meanResponseTime());
+      std::printf("push traffic     : %llu pages, %.1f MB\n",
+                  static_cast<unsigned long long>(m.traffic().pushPages),
+                  m.traffic().pushBytes / 1e6);
+      std::printf("fetch traffic    : %llu pages, %.1f MB\n",
+                  static_cast<unsigned long long>(m.traffic().fetchPages),
+                  m.traffic().fetchBytes / 1e6);
+    }
+
+    if (config.collectHourly) {
+      std::ofstream out(args.option("hourly-csv"));
+      if (!out) throw std::runtime_error("cannot open hourly CSV for write");
+      CsvWriter csv(out);
+      csv.header({"hour", "hit_ratio", "traffic_pages"});
+      for (std::size_t h = 0; h < m.hours(); ++h) {
+        csv.field(static_cast<std::uint64_t>(h))
+            .field(m.hourlyHitRatio(h))
+            .field(m.hourlyTrafficPages(h));
+        csv.endRow();
+      }
+      if (!quiet) {
+        std::printf("hourly series    : %s (%zu rows)\n",
+                    args.option("hourly-csv").c_str(), m.hours());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
