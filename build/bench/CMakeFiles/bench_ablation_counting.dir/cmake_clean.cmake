@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_counting.dir/bench_ablation_counting.cpp.o"
+  "CMakeFiles/bench_ablation_counting.dir/bench_ablation_counting.cpp.o.d"
+  "bench_ablation_counting"
+  "bench_ablation_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

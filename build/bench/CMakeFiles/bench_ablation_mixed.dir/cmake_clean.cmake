@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mixed.dir/bench_ablation_mixed.cpp.o"
+  "CMakeFiles/bench_ablation_mixed.dir/bench_ablation_mixed.cpp.o.d"
+  "bench_ablation_mixed"
+  "bench_ablation_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dualcaches.dir/bench_fig3_dualcaches.cpp.o"
+  "CMakeFiles/bench_fig3_dualcaches.dir/bench_fig3_dualcaches.cpp.o.d"
+  "bench_fig3_dualcaches"
+  "bench_fig3_dualcaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dualcaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

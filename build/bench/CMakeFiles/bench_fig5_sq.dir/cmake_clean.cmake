@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sq.dir/bench_fig5_sq.cpp.o"
+  "CMakeFiles/bench_fig5_sq.dir/bench_fig5_sq.cpp.o.d"
+  "bench_fig5_sq"
+  "bench_fig5_sq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

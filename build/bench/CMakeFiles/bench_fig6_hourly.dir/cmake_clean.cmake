@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hourly.dir/bench_fig6_hourly.cpp.o"
+  "CMakeFiles/bench_fig6_hourly.dir/bench_fig6_hourly.cpp.o.d"
+  "bench_fig6_hourly"
+  "bench_fig6_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

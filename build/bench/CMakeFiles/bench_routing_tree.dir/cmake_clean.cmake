@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_tree.dir/bench_routing_tree.cpp.o"
+  "CMakeFiles/bench_routing_tree.dir/bench_routing_tree.cpp.o.d"
+  "bench_routing_tree"
+  "bench_routing_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_improvement.dir/bench_table2_improvement.cpp.o"
+  "CMakeFiles/bench_table2_improvement.dir/bench_table2_improvement.cpp.o.d"
+  "bench_table2_improvement"
+  "bench_table2_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_brokers.dir/distributed_brokers.cpp.o"
+  "CMakeFiles/distributed_brokers.dir/distributed_brokers.cpp.o.d"
+  "distributed_brokers"
+  "distributed_brokers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_brokers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

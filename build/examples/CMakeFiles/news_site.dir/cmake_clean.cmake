@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_site.dir/news_site.cpp.o"
+  "CMakeFiles/news_site.dir/news_site.cpp.o.d"
+  "news_site"
+  "news_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pscd/cache/dual_cache.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/dual_cache.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/dual_cache.cpp.o.d"
+  "/root/repo/src/pscd/cache/dual_methods.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/dual_methods.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/dual_methods.cpp.o.d"
+  "/root/repo/src/pscd/cache/gds_family.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/gds_family.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/gds_family.cpp.o.d"
+  "/root/repo/src/pscd/cache/lru_strategy.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/lru_strategy.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/lru_strategy.cpp.o.d"
+  "/root/repo/src/pscd/cache/oracle_strategy.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/oracle_strategy.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/oracle_strategy.cpp.o.d"
+  "/root/repo/src/pscd/cache/strategy_factory.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/strategy_factory.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/strategy_factory.cpp.o.d"
+  "/root/repo/src/pscd/cache/sub_strategy.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/sub_strategy.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/sub_strategy.cpp.o.d"
+  "/root/repo/src/pscd/cache/value_cache.cpp" "src/CMakeFiles/pscd.dir/pscd/cache/value_cache.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/cache/value_cache.cpp.o.d"
+  "/root/repo/src/pscd/core/engine.cpp" "src/CMakeFiles/pscd.dir/pscd/core/engine.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/core/engine.cpp.o.d"
+  "/root/repo/src/pscd/core/hierarchy.cpp" "src/CMakeFiles/pscd.dir/pscd/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/core/hierarchy.cpp.o.d"
+  "/root/repo/src/pscd/pubsub/broker.cpp" "src/CMakeFiles/pscd.dir/pscd/pubsub/broker.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/pubsub/broker.cpp.o.d"
+  "/root/repo/src/pscd/pubsub/covering.cpp" "src/CMakeFiles/pscd.dir/pscd/pubsub/covering.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/pubsub/covering.cpp.o.d"
+  "/root/repo/src/pscd/pubsub/matcher.cpp" "src/CMakeFiles/pscd.dir/pscd/pubsub/matcher.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/pubsub/matcher.cpp.o.d"
+  "/root/repo/src/pscd/pubsub/routing.cpp" "src/CMakeFiles/pscd.dir/pscd/pubsub/routing.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/pubsub/routing.cpp.o.d"
+  "/root/repo/src/pscd/pubsub/subscription.cpp" "src/CMakeFiles/pscd.dir/pscd/pubsub/subscription.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/pubsub/subscription.cpp.o.d"
+  "/root/repo/src/pscd/sim/experiment.cpp" "src/CMakeFiles/pscd.dir/pscd/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/sim/experiment.cpp.o.d"
+  "/root/repo/src/pscd/sim/metrics.cpp" "src/CMakeFiles/pscd.dir/pscd/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/sim/metrics.cpp.o.d"
+  "/root/repo/src/pscd/sim/simulator.cpp" "src/CMakeFiles/pscd.dir/pscd/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/sim/simulator.cpp.o.d"
+  "/root/repo/src/pscd/topology/barabasi_albert.cpp" "src/CMakeFiles/pscd.dir/pscd/topology/barabasi_albert.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/topology/barabasi_albert.cpp.o.d"
+  "/root/repo/src/pscd/topology/graph.cpp" "src/CMakeFiles/pscd.dir/pscd/topology/graph.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/topology/graph.cpp.o.d"
+  "/root/repo/src/pscd/topology/network.cpp" "src/CMakeFiles/pscd.dir/pscd/topology/network.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/topology/network.cpp.o.d"
+  "/root/repo/src/pscd/topology/shortest_path.cpp" "src/CMakeFiles/pscd.dir/pscd/topology/shortest_path.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/topology/shortest_path.cpp.o.d"
+  "/root/repo/src/pscd/topology/waxman.cpp" "src/CMakeFiles/pscd.dir/pscd/topology/waxman.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/topology/waxman.cpp.o.d"
+  "/root/repo/src/pscd/util/args.cpp" "src/CMakeFiles/pscd.dir/pscd/util/args.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/args.cpp.o.d"
+  "/root/repo/src/pscd/util/csv.cpp" "src/CMakeFiles/pscd.dir/pscd/util/csv.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/csv.cpp.o.d"
+  "/root/repo/src/pscd/util/distributions.cpp" "src/CMakeFiles/pscd.dir/pscd/util/distributions.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/distributions.cpp.o.d"
+  "/root/repo/src/pscd/util/log.cpp" "src/CMakeFiles/pscd.dir/pscd/util/log.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/log.cpp.o.d"
+  "/root/repo/src/pscd/util/rng.cpp" "src/CMakeFiles/pscd.dir/pscd/util/rng.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/rng.cpp.o.d"
+  "/root/repo/src/pscd/util/stats.cpp" "src/CMakeFiles/pscd.dir/pscd/util/stats.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/stats.cpp.o.d"
+  "/root/repo/src/pscd/util/table.cpp" "src/CMakeFiles/pscd.dir/pscd/util/table.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/util/table.cpp.o.d"
+  "/root/repo/src/pscd/workload/publishing.cpp" "src/CMakeFiles/pscd.dir/pscd/workload/publishing.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/workload/publishing.cpp.o.d"
+  "/root/repo/src/pscd/workload/requests.cpp" "src/CMakeFiles/pscd.dir/pscd/workload/requests.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/workload/requests.cpp.o.d"
+  "/root/repo/src/pscd/workload/serialize.cpp" "src/CMakeFiles/pscd.dir/pscd/workload/serialize.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/workload/serialize.cpp.o.d"
+  "/root/repo/src/pscd/workload/subscriptions.cpp" "src/CMakeFiles/pscd.dir/pscd/workload/subscriptions.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/workload/subscriptions.cpp.o.d"
+  "/root/repo/src/pscd/workload/workload.cpp" "src/CMakeFiles/pscd.dir/pscd/workload/workload.cpp.o" "gcc" "src/CMakeFiles/pscd.dir/pscd/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covering_test.dir/covering_test.cpp.o"
+  "CMakeFiles/covering_test.dir/covering_test.cpp.o.d"
+  "covering_test"
+  "covering_test.pdb"
+  "covering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

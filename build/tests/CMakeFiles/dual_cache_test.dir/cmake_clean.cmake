@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_cache_test.dir/dual_cache_test.cpp.o"
+  "CMakeFiles/dual_cache_test.dir/dual_cache_test.cpp.o.d"
+  "dual_cache_test"
+  "dual_cache_test.pdb"
+  "dual_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

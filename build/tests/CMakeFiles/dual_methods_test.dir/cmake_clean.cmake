@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_methods_test.dir/dual_methods_test.cpp.o"
+  "CMakeFiles/dual_methods_test.dir/dual_methods_test.cpp.o.d"
+  "dual_methods_test"
+  "dual_methods_test.pdb"
+  "dual_methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdstar_test.dir/gdstar_test.cpp.o"
+  "CMakeFiles/gdstar_test.dir/gdstar_test.cpp.o.d"
+  "gdstar_test"
+  "gdstar_test.pdb"
+  "gdstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publishing_test.dir/publishing_test.cpp.o"
+  "CMakeFiles/publishing_test.dir/publishing_test.cpp.o.d"
+  "publishing_test"
+  "publishing_test.pdb"
+  "publishing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publishing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

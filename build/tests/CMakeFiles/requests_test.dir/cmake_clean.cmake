@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requests_test.dir/requests_test.cpp.o"
+  "CMakeFiles/requests_test.dir/requests_test.cpp.o.d"
+  "requests_test"
+  "requests_test.pdb"
+  "requests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

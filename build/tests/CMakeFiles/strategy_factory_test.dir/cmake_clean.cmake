@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_factory_test.dir/strategy_factory_test.cpp.o"
+  "CMakeFiles/strategy_factory_test.dir/strategy_factory_test.cpp.o.d"
+  "strategy_factory_test"
+  "strategy_factory_test.pdb"
+  "strategy_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

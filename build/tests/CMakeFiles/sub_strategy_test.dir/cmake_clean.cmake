@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sub_strategy_test.dir/sub_strategy_test.cpp.o"
+  "CMakeFiles/sub_strategy_test.dir/sub_strategy_test.cpp.o.d"
+  "sub_strategy_test"
+  "sub_strategy_test.pdb"
+  "sub_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sub_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscriptions_test.dir/subscriptions_test.cpp.o"
+  "CMakeFiles/subscriptions_test.dir/subscriptions_test.cpp.o.d"
+  "subscriptions_test"
+  "subscriptions_test.pdb"
+  "subscriptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscriptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_cache_test.dir/value_cache_test.cpp.o"
+  "CMakeFiles/value_cache_test.dir/value_cache_test.cpp.o.d"
+  "value_cache_test"
+  "value_cache_test.pdb"
+  "value_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[ValueCacheModelTest.AgreesWithReferenceUnderRandomOps]=]  /root/repo/build/tests/value_cache_model_test [==[--gtest_filter=ValueCacheModelTest.AgreesWithReferenceUnderRandomOps]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ValueCacheModelTest.AgreesWithReferenceUnderRandomOps]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  value_cache_model_test_TESTS ValueCacheModelTest.AgreesWithReferenceUnderRandomOps)

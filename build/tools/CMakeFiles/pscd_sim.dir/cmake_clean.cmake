@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscd_sim.dir/pscd_sim.cpp.o"
+  "CMakeFiles/pscd_sim.dir/pscd_sim.cpp.o.d"
+  "pscd_sim"
+  "pscd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscd_trace.dir/pscd_trace.cpp.o"
+  "CMakeFiles/pscd_trace.dir/pscd_trace.cpp.o.d"
+  "pscd_trace"
+  "pscd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
