@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 namespace {
@@ -212,27 +214,27 @@ RequestOutcome DualCacheStrategy::onRequest(const RequestContext& ctx) {
 void DualCacheStrategy::checkInvariants() const {
   pc_.checkInvariants();
   ac_.checkInvariants();
-  if (pc_.capacity() + ac_.capacity() != totalCapacity_) {
-    throw std::logic_error("DualCacheStrategy: budgets do not sum");
-  }
+  PSCD_CHECK_EQ(pc_.capacity() + ac_.capacity(), totalCapacity_)
+      << "DualCacheStrategy: partition budgets do not sum to the total";
   if (config_.mode == PartitionMode::kFixed) {
-    if (pc_.capacity() != pcBytesFor(config_.initialPcFraction,
-                                     totalCapacity_)) {
-      throw std::logic_error("DualCacheStrategy: FP partition moved");
-    }
+    PSCD_CHECK_EQ(pc_.capacity(),
+                  pcBytesFor(config_.initialPcFraction, totalCapacity_))
+        << "DualCacheStrategy: fixed partition moved";
   }
   if (config_.mode == PartitionMode::kLimitedAdaptive) {
-    const Bytes minPc = pcBytesFor(config_.minPcFraction, totalCapacity_);
-    const Bytes maxPc = pcBytesFor(config_.maxPcFraction, totalCapacity_);
-    if (pc_.capacity() < minPc || pc_.capacity() > maxPc) {
-      throw std::logic_error("DualCacheStrategy: LAP bounds violated");
-    }
+    PSCD_CHECK_GE(pc_.capacity(),
+                  pcBytesFor(config_.minPcFraction, totalCapacity_))
+        << "DualCacheStrategy: PC below the LAP lower bound";
+    PSCD_CHECK_LE(pc_.capacity(),
+                  pcBytesFor(config_.maxPcFraction, totalCapacity_))
+        << "DualCacheStrategy: PC above the LAP upper bound";
   }
+  PSCD_CHECK(std::isfinite(inflation_) && inflation_ >= 0.0)
+      << "DualCacheStrategy: bad inflation value L";
   // A page must never be in both portions.
   pc_.forEach([&](const ValueCache::StoredEntry& e) {
-    if (ac_.contains(e.page)) {
-      throw std::logic_error("DualCacheStrategy: page in both caches");
-    }
+    PSCD_CHECK(!ac_.contains(e.page))
+        << "DualCacheStrategy: page " << e.page << " in both caches";
   });
 }
 

@@ -1,8 +1,9 @@
 #include "pscd/cache/dual_methods.h"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -36,7 +37,8 @@ void DualMethodsStrategy::removeEntry(
 }
 
 void DualMethodsStrategy::store(const DmEntry& entry) {
-  assert(used_ + entry.size <= capacity_);
+  PSCD_DCHECK_LE(used_ + entry.size, capacity_)
+      << "DualMethodsStrategy::store without room for page " << entry.page;
   entries_.emplace(entry.page, entry);
   subIndex_.emplace(entry.subValue, entry.page);
   gdIndex_.emplace(entry.gdValue, entry.page);
@@ -68,7 +70,8 @@ PushOutcome DualMethodsStrategy::onPush(const PushContext& ctx) {
   if (!feasible) return {false};
   while (capacity_ - used_ < ctx.size) {
     const auto low = subIndex_.begin();
-    assert(low != subIndex_.end() && low->first < entry.subValue);
+    PSCD_DCHECK(low != subIndex_.end() && low->first < entry.subValue)
+        << "DualMethodsStrategy: SUB admission evicting non-candidate";
     removeEntry(entries_.find(low->second));
   }
   store(entry);
@@ -114,24 +117,25 @@ RequestOutcome DualMethodsStrategy::onRequest(const RequestContext& ctx) {
 }
 
 void DualMethodsStrategy::checkInvariants() const {
-  if (entries_.size() != subIndex_.size() ||
-      entries_.size() != gdIndex_.size()) {
-    throw std::logic_error("DualMethodsStrategy: index size mismatch");
-  }
+  PSCD_CHECK_EQ(entries_.size(), subIndex_.size())
+      << "DualMethodsStrategy: SUB index size mismatch";
+  PSCD_CHECK_EQ(entries_.size(), gdIndex_.size())
+      << "DualMethodsStrategy: GD* index size mismatch";
   Bytes total = 0;
   for (const auto& [page, e] : entries_) {
-    if (!subIndex_.contains({e.subValue, page}) ||
-        !gdIndex_.contains({e.gdValue, page})) {
-      throw std::logic_error("DualMethodsStrategy: index missing entry");
-    }
+    PSCD_CHECK_EQ(e.page, page) << "DualMethodsStrategy: entry id mismatch";
+    PSCD_CHECK(std::isfinite(e.subValue) && std::isfinite(e.gdValue))
+        << "DualMethodsStrategy: non-finite value for page " << page;
+    PSCD_CHECK(subIndex_.contains({e.subValue, page}))
+        << "DualMethodsStrategy: SUB index missing page " << page;
+    PSCD_CHECK(gdIndex_.contains({e.gdValue, page}))
+        << "DualMethodsStrategy: GD* index missing page " << page;
     total += e.size;
   }
-  if (total != used_) {
-    throw std::logic_error("DualMethodsStrategy: used mismatch");
-  }
-  if (used_ > capacity_) {
-    throw std::logic_error("DualMethodsStrategy: over capacity");
-  }
+  PSCD_CHECK_EQ(total, used_) << "DualMethodsStrategy: byte accounting drift";
+  PSCD_CHECK_LE(used_, capacity_) << "DualMethodsStrategy: over capacity";
+  PSCD_CHECK(std::isfinite(inflation_) && inflation_ >= 0.0)
+      << "DualMethodsStrategy: bad inflation value L";
 }
 
 }  // namespace pscd

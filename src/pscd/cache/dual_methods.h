@@ -32,6 +32,8 @@ class DualMethodsStrategy final : public DistributionStrategy {
   double inflation() const { return inflation_; }
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   struct DmEntry : CacheEntry {
     double subValue = 0.0;  // SUB ordering (push module)
     double gdValue = 0.0;   // GD* ordering (access module)

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 GdsFamilyConfig gdStarConfig(double beta) {
@@ -185,6 +187,15 @@ RequestOutcome GdsFamilyStrategy::onRequest(const RequestContext& ctx) {
   return out;
 }
 
-void GdsFamilyStrategy::checkInvariants() const { cache_.checkInvariants(); }
+void GdsFamilyStrategy::checkInvariants() const {
+  cache_.checkInvariants();
+  PSCD_CHECK(std::isfinite(inflation_) && inflation_ >= 0.0)
+      << "GdsFamilyStrategy: bad inflation value L";
+  if (!config_.persistentAccessCounts) {
+    PSCD_CHECK(accessHistory_.empty())
+        << "GdsFamilyStrategy: access history populated without "
+           "persistentAccessCounts";
+  }
+}
 
 }  // namespace pscd

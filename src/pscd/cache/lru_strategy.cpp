@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 LruStrategy::LruStrategy(Bytes capacity) : capacity_(capacity) {}
@@ -51,13 +53,18 @@ RequestOutcome LruStrategy::onRequest(const RequestContext& ctx) {
 }
 
 void LruStrategy::checkInvariants() const {
-  if (map_.size() != lru_.size()) {
-    throw std::logic_error("LruStrategy: map/list size mismatch");
-  }
+  PSCD_CHECK_EQ(map_.size(), lru_.size())
+      << "LruStrategy: map and recency list disagree";
   Bytes total = 0;
-  for (const auto& e : lru_) total += e.size;
-  if (total != used_) throw std::logic_error("LruStrategy: used mismatch");
-  if (used_ > capacity_) throw std::logic_error("LruStrategy: over capacity");
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const auto mapIt = map_.find(it->page);
+    PSCD_CHECK(mapIt != map_.end() && mapIt->second == it)
+        << "LruStrategy: map does not point at list node for page "
+        << it->page;
+    total += it->size;
+  }
+  PSCD_CHECK_EQ(total, used_) << "LruStrategy: byte accounting drifted";
+  PSCD_CHECK_LE(used_, capacity_) << "LruStrategy: over capacity";
 }
 
 }  // namespace pscd

@@ -28,6 +28,8 @@ class LruStrategy final : public DistributionStrategy {
   std::size_t size() const { return map_.size(); }
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   void evictUntil(Bytes size);
 
   Bytes capacity_;

@@ -1,8 +1,9 @@
 #include "pscd/cache/value_cache.h"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -24,7 +25,8 @@ ValueCache::StoredEntry ValueCache::removeLowest(std::set<Key>::iterator it) {
   const PageId page = it->second;
   index_.erase(it);
   const auto entryIt = entries_.find(page);
-  assert(entryIt != entries_.end());
+  PSCD_CHECK(entryIt != entries_.end())
+      << "ValueCache: index references unknown page " << page;
   StoredEntry removed = entryIt->second;
   used_ -= removed.size;
   entries_.erase(entryIt);
@@ -36,7 +38,7 @@ std::optional<std::vector<ValueCache::StoredEntry>> ValueCache::evictFor(
   if (size > capacity_) return std::nullopt;
   std::vector<StoredEntry> evicted;
   while (free() < size) {
-    assert(!index_.empty());
+    PSCD_DCHECK(!index_.empty()) << "ValueCache::evictFor ran out of victims";
     evicted.push_back(removeLowest(index_.begin()));
   }
   return evicted;
@@ -59,7 +61,8 @@ ValueCache::tryEvictLowerThan(double value, Bytes size) {
   if (!feasible) return std::nullopt;
   std::vector<StoredEntry> evicted;
   while (free() < size) {
-    assert(!index_.empty() && index_.begin()->first < value);
+    PSCD_DCHECK(!index_.empty() && index_.begin()->first < value)
+        << "ValueCache::tryEvictLowerThan evicting non-candidate";
     evicted.push_back(removeLowest(index_.begin()));
   }
   return evicted;
@@ -129,19 +132,22 @@ void ValueCache::forEachByValue(
 }
 
 void ValueCache::checkInvariants() const {
-  if (entries_.size() != index_.size()) {
-    throw std::logic_error("ValueCache: index size mismatch");
-  }
+  PSCD_CHECK_EQ(entries_.size(), index_.size())
+      << "ValueCache: entry map and value index disagree";
   Bytes total = 0;
   for (const auto& [page, entry] : entries_) {
-    if (entry.page != page) throw std::logic_error("ValueCache: id mismatch");
-    if (!index_.contains({entry.value, page})) {
-      throw std::logic_error("ValueCache: index missing entry");
-    }
+    PSCD_CHECK_EQ(entry.page, page) << "ValueCache: entry id mismatch";
+    PSCD_CHECK_GT(entry.size, 0u) << "ValueCache: zero-sized page " << page;
+    PSCD_CHECK(std::isfinite(entry.value))
+        << "ValueCache: non-finite value for page " << page;
+    PSCD_CHECK(index_.contains({entry.value, page}))
+        << "ValueCache: index missing page " << page;
     total += entry.size;
   }
-  if (total != used_) throw std::logic_error("ValueCache: used mismatch");
-  if (used_ > capacity_) throw std::logic_error("ValueCache: over capacity");
+  // The index carries exactly the same keys (sizes match and every entry
+  // was found), so the eviction order is a permutation of the entries.
+  PSCD_CHECK_EQ(total, used_) << "ValueCache: byte accounting drifted";
+  PSCD_CHECK_LE(used_, capacity_) << "ValueCache: over capacity";
 }
 
 }  // namespace pscd

@@ -81,6 +81,8 @@ class ValueCache {
   void checkInvariants() const;
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   using Key = std::pair<double, PageId>;
 
   StoredEntry removeLowest(std::set<Key>::iterator it);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 ContentDistributionEngine::ContentDistributionEngine(const Network& network,
@@ -124,7 +126,25 @@ DistributionStrategy& ContentDistributionEngine::strategy(ProxyId proxy) {
 }
 
 void ContentDistributionEngine::checkInvariants() const {
-  for (const auto& p : proxies_) p->checkInvariants();
+  broker_.checkInvariants();
+  for (std::size_t p = 0; p < proxies_.size(); ++p) {
+    proxies_[p]->checkInvariants();
+    PSCD_CHECK_LE(proxies_[p]->usedBytes(), proxies_[p]->capacityBytes())
+        << "engine: proxy " << p << " strategy over its capacity";
+    PSCD_CHECK_EQ(proxies_[p]->capacityBytes(), config_.proxyCapacities[p])
+        << "engine: proxy " << p << " capacity drifted from the config";
+  }
+  for (const auto& [page, state] : pages_) {
+    PSCD_CHECK_GT(state.size, 0u)
+        << "engine: published page " << page << " with zero size";
+    for (std::size_t i = 0; i < state.matches.size(); ++i) {
+      PSCD_CHECK_LT(state.matches[i].proxy, proxies_.size())
+          << "engine: notification for page " << page << " off the overlay";
+      PSCD_CHECK(i == 0 ||
+                 state.matches[i - 1].proxy < state.matches[i].proxy)
+          << "engine: notification list for page " << page << " unsorted";
+    }
+  }
 }
 
 }  // namespace pscd

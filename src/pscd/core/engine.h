@@ -88,7 +88,10 @@ class ContentDistributionEngine {
   const DistributionStrategy& strategy(ProxyId proxy) const;
   DistributionStrategy& strategy(ProxyId proxy);
 
-  /// Test hook: checks every proxy's strategy invariants.
+  /// Deep validation: broker/matcher invariants, every proxy strategy's
+  /// internal invariants, and the published-page table (positive sizes,
+  /// per-page notification lists sorted by proxy). Throws CheckFailure
+  /// on any violation.
   void checkInvariants() const;
 
  private:

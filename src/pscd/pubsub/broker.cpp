@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 Broker::Broker(std::uint32_t numProxies) : numProxies_(numProxies) {
@@ -55,6 +57,9 @@ std::uint32_t Broker::unsubscribeAggregated(ProxyId proxy, PageId page,
   const std::uint32_t removed = std::min(count, it->matchCount);
   it->matchCount -= removed;
   if (it->matchCount == 0) list.erase(it);
+  // Drop the page entry entirely once its list drains so churn-heavy
+  // workloads do not accumulate empty lists.
+  if (list.empty()) aggregated_.erase(pageIt);
   return removed;
 }
 
@@ -92,6 +97,26 @@ std::vector<Notification> Broker::publish(const ContentAttributes& attrs) {
 
   for (const auto& n : out) notificationCount_ += n.matchCount;
   return out;
+}
+
+void Broker::checkInvariants() const {
+  engine_.checkInvariants();
+  for (const auto& [page, list] : aggregated_) {
+    PSCD_CHECK(!list.empty())
+        << "Broker: empty aggregation list kept for page " << page;
+    ProxyId prev = 0;
+    bool first = true;
+    for (const Notification& n : list) {
+      PSCD_CHECK_LT(n.proxy, numProxies_)
+          << "Broker: aggregated proxy out of range for page " << page;
+      PSCD_CHECK_GT(n.matchCount, 0u)
+          << "Broker: zero aggregated count kept for page " << page;
+      PSCD_CHECK(first || prev < n.proxy)
+          << "Broker: aggregation list for page " << page << " unsorted";
+      prev = n.proxy;
+      first = false;
+    }
+  }
 }
 
 }  // namespace pscd

@@ -60,7 +60,14 @@ class Broker {
 
   const MatchingEngine& engine() const { return engine_; }
 
+  /// Validates the matching engine plus the aggregated-subscription
+  /// tables (sorted per page, positive counts, proxies in range).
+  /// Throws CheckFailure on any violation.
+  void checkInvariants() const;
+
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   std::uint32_t numProxies_;
   MatchingEngine engine_;
   // page -> (proxy -> count), kept sorted by proxy id.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pscd/util/check.h"
+
 namespace pscd {
 
 SubscriptionId MatchingEngine::addSubscription(Subscription sub) {
@@ -78,6 +80,44 @@ MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
   result.proxyCounts.assign(counts.begin(), counts.end());
   std::sort(result.proxyCounts.begin(), result.proxyCounts.end());
   return result;
+}
+
+void MatchingEngine::checkInvariants() const {
+  // Count the postings per subscription while validating each postings
+  // list (ids in range, no duplicate posting of one sub under one key).
+  std::vector<std::uint32_t> postings(subs_.size(), 0);
+  for (const auto& [key, list] : index_) {
+    PSCD_CHECK(!list.empty()) << "MatchingEngine: empty postings list";
+    for (const SubscriptionId id : list) {
+      PSCD_CHECK_LT(id, subs_.size())
+          << "MatchingEngine: posting references unknown subscription";
+      ++postings[id];
+    }
+    auto sorted = list;
+    std::sort(sorted.begin(), sorted.end());
+    PSCD_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+               sorted.end())
+        << "MatchingEngine: duplicate posting under one key";
+  }
+  std::size_t live = 0;
+  for (SubscriptionId id = 0; id < subs_.size(); ++id) {
+    const SubRecord& rec = subs_[id];
+    PSCD_CHECK_GT(rec.numConjuncts, 0u)
+        << "MatchingEngine: subscription " << id << " has no conjuncts";
+    // Lazy deletion keeps dead subscriptions' postings in place, so the
+    // posting count must match for live and dead records alike.
+    PSCD_CHECK_EQ(postings[id], rec.numConjuncts)
+        << "MatchingEngine: posting count of subscription " << id
+        << " disagrees with its conjunct count";
+    if (rec.live) ++live;
+  }
+  PSCD_CHECK_EQ(live, liveCount_)
+      << "MatchingEngine: live counter disagrees with the records";
+  // The epoch-stamped scratch arrays grow together with subs_.
+  PSCD_CHECK_EQ(hitCount_.size(), stamp_.size())
+      << "MatchingEngine: scratch arrays out of sync";
+  PSCD_CHECK_LE(hitCount_.size(), subs_.size())
+      << "MatchingEngine: scratch arrays larger than the record table";
 }
 
 }  // namespace pscd

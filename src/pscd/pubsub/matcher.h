@@ -39,7 +39,16 @@ class MatchingEngine {
   /// Number of live subscriptions.
   std::size_t size() const { return liveCount_; }
 
+  /// Validates the inverted index against the registered subscriptions:
+  /// every posting references a known subscription, postings are unique
+  /// per key, each subscription is referenced by exactly numConjuncts
+  /// postings, and the live counter matches the records. Throws
+  /// CheckFailure on any violation.
+  void checkInvariants() const;
+
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   struct SubRecord {
     ProxyId proxy = 0;
     std::uint32_t numConjuncts = 0;

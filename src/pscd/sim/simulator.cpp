@@ -54,15 +54,28 @@ SimMetrics Simulator::run() {
           : 0;
   SimMetrics metrics(workload_.numProxies(), hours);
 
+#ifdef NDEBUG
+  const bool selfCheck = config_.selfCheckHourly;
+#else
+  const bool selfCheck = true;  // debug builds always self-check
+#endif
+  if (selfCheck) network_.checkInvariants();
+
   // Merge the time-sorted streams (publishes, requests, and optional
   // subscription churn); publishes win ties so a request issued at
   // publish time sees the fresh version, and churn applies before the
   // publishes it should affect.
   std::size_t pi = 0, ri = 0, ci = 0;
   std::uint64_t eventCount = 0;
-  const auto maybeCheck = [&] {
+  SimTime checkedUpTo = 0.0;  // hour boundary already validated
+  const auto maybeCheck = [&](SimTime now) {
     if (config_.invariantCheckInterval > 0 &&
         ++eventCount % config_.invariantCheckInterval == 0) {
+      engine.checkInvariants();
+    }
+    if (selfCheck && now >= checkedUpTo + kHour) {
+      // Validate once per simulated hour, however far the clock jumped.
+      checkedUpTo += kHour * std::floor((now - checkedUpTo) / kHour);
       engine.checkInvariants();
     }
   };
@@ -81,13 +94,16 @@ SimMetrics Simulator::run() {
       const SubscriptionChurnEvent& ev = workload_.churn[ci++];
       engine.broker().unsubscribeAggregated(ev.proxy, ev.fromPage, 1);
       engine.broker().subscribeAggregated(ev.proxy, ev.toPage, 1);
+      maybeCheck(ev.time);
       continue;
     }
     const bool takePublish = nextPublish <= nextRequest;
+    SimTime now = 0.0;
     if (takePublish) {
       const PublishEvent& ev = workload_.publishes[pi++];
       const PublishSummary s = engine.publish(ev);
       metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred);
+      now = ev.time;
     } else {
       const RequestEvent& ev = workload_.requests[ri++];
       const RequestSummary s = engine.request(ev.proxy, ev.page, ev.time);
@@ -98,10 +114,13 @@ SimMetrics Simulator::run() {
                        network_.fetchCost(ev.proxy));
       metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
                             s.bytesTransferred, responseTime);
+      now = ev.time;
     }
-    maybeCheck();
+    maybeCheck(now);
   }
-  if (config_.invariantCheckInterval > 0) engine.checkInvariants();
+  if (config_.invariantCheckInterval > 0 || selfCheck) {
+    engine.checkInvariants();
+  }
   return metrics;
 }
 

@@ -27,6 +27,11 @@ struct SimConfig {
   /// Strategy invariants re-checked every N events (0 = never); used by
   /// integration tests, far too slow for benches.
   std::uint64_t invariantCheckInterval = 0;
+  /// Deep self-check mode (pscd_sim --self-check): validates the network
+  /// once up front and the whole engine (broker, matcher, every proxy
+  /// strategy) after each simulated hour and at the end of the run.
+  /// Debug (!NDEBUG) builds always run these checks.
+  bool selfCheckHourly = false;
   /// Latency model for the response-time metric: a hit is served from
   /// the local proxy in localLatency ms; a miss additionally pays the
   /// publisher round trip scaled by the proxy's normalized network

@@ -1,8 +1,11 @@
 #include "pscd/topology/graph.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <tuple>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -27,7 +30,7 @@ bool Graph::hasEdge(NodeId a, NodeId b) const {
 }
 
 std::span<const Graph::Edge> Graph::neighbors(NodeId n) const {
-  assert(n < numNodes());
+  PSCD_DCHECK_LT(n, numNodes()) << "Graph::neighbors node out of range";
   return adj_[n];
 }
 
@@ -58,6 +61,30 @@ std::vector<std::vector<NodeId>> Graph::components() const {
 bool Graph::isConnected() const {
   if (numNodes() == 0) return true;
   return components().size() == 1;
+}
+
+void Graph::checkInvariants() const {
+  std::vector<std::tuple<NodeId, NodeId, double>> directed;
+  directed.reserve(2 * edges_);
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    for (const Edge& e : adj_[n]) {
+      PSCD_CHECK_LT(e.to, numNodes())
+          << "Graph: edge from " << n << " to out-of-range node";
+      PSCD_CHECK_NE(e.to, n) << "Graph: self loop";
+      PSCD_CHECK(std::isfinite(e.weight) && e.weight > 0)
+          << "Graph: bad weight on edge " << n << " -> " << e.to;
+      directed.emplace_back(n, e.to, e.weight);
+    }
+  }
+  PSCD_CHECK_EQ(directed.size(), 2 * edges_)
+      << "Graph: edge counter disagrees with adjacency lists";
+  // Symmetry: the multiset of (a, b, w) entries must equal the multiset
+  // of reversed (b, a, w) entries.
+  auto reversed = directed;
+  for (auto& [a, b, w] : reversed) std::swap(a, b);
+  std::sort(directed.begin(), directed.end());
+  std::sort(reversed.begin(), reversed.end());
+  PSCD_CHECK(directed == reversed) << "Graph: asymmetric adjacency";
 }
 
 }  // namespace pscd

@@ -46,7 +46,15 @@ class Graph {
   /// component (used by generators to patch connectivity).
   std::vector<std::vector<NodeId>> components() const;
 
+  /// Throws CheckFailure unless the adjacency is symmetric (every a->b
+  /// entry has a matching b->a entry with the same weight), all weights
+  /// are positive and finite, there are no self loops, and the edge
+  /// counter matches the adjacency lists.
+  void checkInvariants() const;
+
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   std::vector<std::vector<Edge>> adj_;
   std::size_t edges_ = 0;
 };

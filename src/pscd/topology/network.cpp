@@ -1,10 +1,12 @@
 #include "pscd/topology/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
 #include "pscd/topology/shortest_path.h"
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -50,6 +52,41 @@ Network::Network(const NetworkParams& params, Rng& rng) {
   for (auto& c : fetchCost_) {
     c = std::max(c / mean, 0.01);  // normalize; publisher-colocated
                                    // proxies keep a small positive cost
+  }
+}
+
+void Network::checkInvariants() const {
+  graph_.checkInvariants();
+  PSCD_CHECK_LT(publisherNode_, graph_.numNodes())
+      << "Network: publisher off the graph";
+  PSCD_CHECK(!proxyNode_.empty()) << "Network: no proxies placed";
+  PSCD_CHECK_EQ(proxyNode_.size(), fetchCost_.size())
+      << "Network: one fetch cost per proxy required";
+  std::vector<bool> taken(graph_.numNodes(), false);
+  taken[publisherNode_] = true;
+  for (const NodeId n : proxyNode_) {
+    PSCD_CHECK_LT(n, graph_.numNodes()) << "Network: proxy off the graph";
+    PSCD_CHECK(!taken[n]) << "Network: node " << n << " hosts two roles";
+    taken[n] = true;
+  }
+  // Re-derive the fetch costs from a fresh Dijkstra run and compare
+  // against the stored, normalized values.
+  const std::vector<double> dist = shortestPaths(graph_, publisherNode_);
+  checkShortestPathTree(graph_, publisherNode_, dist);
+  double sum = 0.0;
+  for (std::size_t p = 0; p < proxyNode_.size(); ++p) {
+    PSCD_CHECK(std::isfinite(dist[proxyNode_[p]]))
+        << "Network: proxy " << p << " unreachable from the publisher";
+    sum += dist[proxyNode_[p]];
+  }
+  const double mean = sum / static_cast<double>(proxyNode_.size());
+  PSCD_CHECK_GT(mean, 0.0) << "Network: degenerate distances";
+  for (std::size_t p = 0; p < proxyNode_.size(); ++p) {
+    const double expected = std::max(dist[proxyNode_[p]] / mean, 0.01);
+    PSCD_CHECK(std::abs(fetchCost_[p] - expected) <=
+               1e-9 * (1.0 + expected))
+        << "Network: fetch cost of proxy " << p
+        << " inconsistent with the topology";
   }
 }
 

@@ -48,7 +48,15 @@ class Network {
 
   const Graph& graph() const { return graph_; }
 
+  /// Validates the overlay end to end: graph invariants, role placement
+  /// (publisher and proxies on distinct in-range nodes), a re-run of
+  /// Dijkstra against the stored fetch costs, and the mean-1
+  /// normalization. Throws CheckFailure on any violation.
+  void checkInvariants() const;
+
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   Graph graph_;
   NodeId publisherNode_ = 0;
   std::vector<NodeId> proxyNode_;

@@ -1,9 +1,12 @@
 #include "pscd/topology/shortest_path.h"
 
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 #include <utility>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -30,6 +33,36 @@ std::vector<double> shortestPaths(const Graph& g, NodeId src) {
     }
   }
   return dist;
+}
+
+void checkShortestPathTree(const Graph& g, NodeId src,
+                           std::span<const double> dist) {
+  PSCD_CHECK_EQ(dist.size(), g.numNodes())
+      << "shortest-path check: one distance per node required";
+  PSCD_CHECK_LT(src, g.numNodes()) << "shortest-path check: bad source";
+  PSCD_CHECK_EQ(dist[src], 0.0) << "shortest-path check: nonzero source";
+  // Relative tolerance for the float additions along a path.
+  constexpr double kEps = 1e-9;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    PSCD_CHECK(dist[u] >= 0.0) << "shortest-path check: negative distance";
+    if (std::isinf(dist[u])) continue;
+    const double slack = kEps * (1.0 + dist[u]);
+    for (const Graph::Edge& e : g.neighbors(u)) {
+      PSCD_CHECK_LE(dist[e.to], dist[u] + e.weight + slack)
+          << "shortest-path check: relaxable edge " << u << " -> " << e.to;
+    }
+    if (u == src) continue;
+    // Tree property: some neighbor must witness this distance exactly.
+    bool witnessed = false;
+    for (const Graph::Edge& e : g.neighbors(u)) {
+      if (std::abs(dist[e.to] + e.weight - dist[u]) <= slack) {
+        witnessed = true;
+        break;
+      }
+    }
+    PSCD_CHECK(witnessed)
+        << "shortest-path check: node " << u << " has no tight predecessor";
+  }
 }
 
 }  // namespace pscd

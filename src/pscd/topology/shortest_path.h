@@ -2,6 +2,7 @@
 // derive the publisher->proxy fetch costs c(p).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "pscd/topology/graph.h"
@@ -10,5 +11,13 @@ namespace pscd {
 
 /// Distances from src to every node; unreachable nodes get +infinity.
 std::vector<double> shortestPaths(const Graph& g, NodeId src);
+
+/// Validates a distance vector as a shortest-path solution for (g, src):
+/// dist[src] == 0, every edge satisfies the relaxation inequality
+/// dist[v] <= dist[u] + w, and every finite non-source distance is
+/// witnessed by a tight incoming edge (the Dijkstra tree property).
+/// Throws CheckFailure on any violation.
+void checkShortestPathTree(const Graph& g, NodeId src,
+                           std::span<const double> dist);
 
 }  // namespace pscd

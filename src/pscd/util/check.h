@@ -1,0 +1,150 @@
+// Runtime invariant checking for the whole pscd stack.
+//
+// PSCD_CHECK(cond) evaluates in every build; PSCD_DCHECK(cond) compiles
+// out in NDEBUG builds (the condition is still type-checked but never
+// evaluated). Both accept streamed context and throw pscd::CheckFailure
+// — which derives from std::logic_error, so call sites and tests that
+// catch the legacy exception keep working:
+//
+//   PSCD_CHECK(used <= capacity) << "cache " << name << " over budget";
+//   PSCD_CHECK_EQ(entries.size(), index.size());
+//   PSCD_DCHECK_LT(idx, table.size()) << "lookup out of range";
+//
+// Unlike assert(), a failed check is a catchable exception: tests can
+// EXPECT_THROW on deliberately corrupted state, and the simulator's
+// --self-check mode reports the violated invariant instead of aborting.
+//
+// The comparison macros re-evaluate their operands once more on the
+// failure path to render both values into the message; keep operands
+// side-effect free (as with assert()).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pscd {
+
+/// Thrown by a failed PSCD_CHECK / PSCD_DCHECK and by every
+/// checkInvariants() validator in the library.
+class CheckFailure : public std::logic_error {
+ public:
+  CheckFailure(const std::string& message, const char* file, int line)
+      : std::logic_error(message), file_(file), line_(line) {}
+
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+
+/// Collects the streamed context of a failing check and throws the
+/// resulting CheckFailure when destroyed at the end of the full
+/// expression. Only ever constructed on the failure branch.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, std::string_view condition)
+      : file_(file), line_(line) {
+    stream_ << file << ':' << line << ": " << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() noexcept(false) {
+    throw CheckFailure(stream_.str(), file_, line_);
+  }
+
+  /// Renders both operands of a failed comparison: "... (lhs vs rhs)".
+  template <typename A, typename B>
+  CheckFailureStream& withOperands(const A& a, const B& b) {
+    stream_ << " (" << a << " vs " << b << ')';
+    return *this;
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    if (!separatorDone_) {
+      stream_ << ": ";
+      separatorDone_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  bool separatorDone_ = false;
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< void sink, so the whole check expression has
+/// type void on both ternary branches. Takes a const reference so it
+/// binds both the bare temporary (no streamed context) and the lvalue
+/// reference returned by operator<<.
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace detail
+}  // namespace pscd
+
+// Expression form (no outer parentheses!) so that trailing `<< context`
+// chains onto the failure stream before Voidify and ?: apply.
+#define PSCD_CHECK(cond)                              \
+  (cond) ? (void)0                                    \
+         : ::pscd::detail::Voidify() &                \
+               ::pscd::detail::CheckFailureStream(    \
+                   __FILE__, __LINE__, "PSCD_CHECK(" #cond ") failed")
+
+#define PSCD_CHECK_OP_IMPL(opname, op, a, b)                             \
+  ((a)op(b)) ? (void)0                                                   \
+             : ::pscd::detail::Voidify() &                               \
+                   ::pscd::detail::CheckFailureStream(                   \
+                       __FILE__, __LINE__,                               \
+                       "PSCD_CHECK_" #opname "(" #a ", " #b ") failed")  \
+                       .withOperands((a), (b))
+
+#define PSCD_CHECK_EQ(a, b) PSCD_CHECK_OP_IMPL(EQ, ==, a, b)
+#define PSCD_CHECK_NE(a, b) PSCD_CHECK_OP_IMPL(NE, !=, a, b)
+#define PSCD_CHECK_LT(a, b) PSCD_CHECK_OP_IMPL(LT, <, a, b)
+#define PSCD_CHECK_LE(a, b) PSCD_CHECK_OP_IMPL(LE, <=, a, b)
+#define PSCD_CHECK_GT(a, b) PSCD_CHECK_OP_IMPL(GT, >, a, b)
+#define PSCD_CHECK_GE(a, b) PSCD_CHECK_OP_IMPL(GE, >=, a, b)
+
+// Debug-only checks: active unless NDEBUG (or when PSCD_DCHECK_ALWAYS_ON
+// forces them on, e.g. for sanitizer builds of release binaries). The
+// `while (false)` form keeps the condition and any streamed context
+// type-checked while guaranteeing neither is evaluated at runtime.
+#if defined(NDEBUG) && !defined(PSCD_DCHECK_ALWAYS_ON)
+#define PSCD_DCHECK_IS_ON() 0
+#define PSCD_DCHECK(cond) \
+  while (false) PSCD_CHECK(cond)
+#define PSCD_DCHECK_EQ(a, b) \
+  while (false) PSCD_CHECK_EQ(a, b)
+#define PSCD_DCHECK_NE(a, b) \
+  while (false) PSCD_CHECK_NE(a, b)
+#define PSCD_DCHECK_LT(a, b) \
+  while (false) PSCD_CHECK_LT(a, b)
+#define PSCD_DCHECK_LE(a, b) \
+  while (false) PSCD_CHECK_LE(a, b)
+#define PSCD_DCHECK_GT(a, b) \
+  while (false) PSCD_CHECK_GT(a, b)
+#define PSCD_DCHECK_GE(a, b) \
+  while (false) PSCD_CHECK_GE(a, b)
+#else
+#define PSCD_DCHECK_IS_ON() 1
+#define PSCD_DCHECK(cond) PSCD_CHECK(cond)
+#define PSCD_DCHECK_EQ(a, b) PSCD_CHECK_EQ(a, b)
+#define PSCD_DCHECK_NE(a, b) PSCD_CHECK_NE(a, b)
+#define PSCD_DCHECK_LT(a, b) PSCD_CHECK_LT(a, b)
+#define PSCD_DCHECK_LE(a, b) PSCD_CHECK_LE(a, b)
+#define PSCD_DCHECK_GT(a, b) PSCD_CHECK_GT(a, b)
+#define PSCD_DCHECK_GE(a, b) PSCD_CHECK_GE(a, b)
+#endif

@@ -1,6 +1,5 @@
 #include "pscd/util/csv.h"
 
-#include <cassert>
 #include <sstream>
 #include <stdexcept>
 

@@ -1,9 +1,10 @@
 #include "pscd/util/distributions.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -26,7 +27,8 @@ std::uint32_t ZipfDistribution::sample(Rng& rng) const {
 }
 
 double ZipfDistribution::pmf(std::uint32_t rank) const {
-  assert(rank >= 1 && rank <= n_);
+  PSCD_CHECK(rank >= 1 && rank <= n_)
+      << "ZipfDistribution::pmf rank " << rank << " outside [1, " << n_ << "]";
   const double lower = rank == 1 ? 0.0 : cdf_[rank - 2];
   return cdf_[rank - 1] - lower;
 }

@@ -1,8 +1,9 @@
 #include "pscd/util/rng.h"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -44,12 +45,12 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
+  PSCD_DCHECK_LE(lo, hi);
   return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::uniformInt(std::uint64_t n) {
-  assert(n > 0);
+  PSCD_DCHECK_GT(n, 0u);
   // Lemire's nearly-divisionless bounded sampling with rejection.
   const std::uint64_t threshold = (0 - n) % n;
   for (;;) {
@@ -62,7 +63,7 @@ std::uint64_t Rng::uniformInt(std::uint64_t n) {
 }
 
 std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PSCD_DCHECK_LE(lo, hi);
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   return lo + static_cast<std::int64_t>(uniformInt(span));
@@ -83,7 +84,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 double Rng::exponential(double lambda) {
-  assert(lambda > 0);
+  PSCD_CHECK_GT(lambda, 0.0) << "Rng::exponential rate";
   return -std::log(1.0 - uniform()) / lambda;
 }
 

@@ -1,9 +1,10 @@
 #include "pscd/util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "pscd/util/check.h"
 
 namespace pscd {
 
@@ -81,7 +82,7 @@ void HourlySeries::add(SimTime t, double numerator, double denominator) {
 }
 
 double HourlySeries::ratio(std::size_t hour) const {
-  assert(hour < num_.size());
+  PSCD_CHECK_LT(hour, num_.size()) << "HourlySeries::ratio hour out of range";
   return den_[hour] > 0 ? num_[hour] / den_[hour] : 0.0;
 }
 

@@ -1,0 +1,126 @@
+#include "pscd/util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace pscd {
+namespace {
+
+std::string messageOf(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckFailure";
+  return {};
+}
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(PSCD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PSCD_CHECK(true) << "never rendered");
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(PSCD_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, CheckFailureIsALogicError) {
+  // Legacy call sites and tests catch std::logic_error; the new
+  // exception must keep satisfying them.
+  EXPECT_THROW(PSCD_CHECK(false), std::logic_error);
+}
+
+TEST(CheckTest, MessageCarriesConditionFileLineAndContext) {
+  const std::string msg = messageOf([] {
+    PSCD_CHECK(2 < 1) << "cache " << 7 << " over budget";
+  });
+  EXPECT_NE(msg.find("PSCD_CHECK(2 < 1) failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cache 7 over budget"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("check_test.cpp"), std::string::npos) << msg;
+
+  try {
+    PSCD_CHECK(false);
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(e.file(), nullptr);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(CheckTest, ComparisonMacrosRenderBothOperands) {
+  const std::string msg = messageOf([] {
+    const int lhs = 3, rhs = 5;
+    PSCD_CHECK_EQ(lhs, rhs) << "sizes diverged";
+  });
+  EXPECT_NE(msg.find("PSCD_CHECK_EQ(lhs, rhs) failed"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("(3 vs 5)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("sizes diverged"), std::string::npos) << msg;
+}
+
+TEST(CheckTest, AllComparisonMacros) {
+  EXPECT_NO_THROW(PSCD_CHECK_EQ(2, 2));
+  EXPECT_NO_THROW(PSCD_CHECK_NE(2, 3));
+  EXPECT_NO_THROW(PSCD_CHECK_LT(2, 3));
+  EXPECT_NO_THROW(PSCD_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(PSCD_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(PSCD_CHECK_GE(3, 3));
+  EXPECT_THROW(PSCD_CHECK_EQ(2, 3), CheckFailure);
+  EXPECT_THROW(PSCD_CHECK_NE(2, 2), CheckFailure);
+  EXPECT_THROW(PSCD_CHECK_LT(3, 3), CheckFailure);
+  EXPECT_THROW(PSCD_CHECK_LE(4, 3), CheckFailure);
+  EXPECT_THROW(PSCD_CHECK_GT(3, 3), CheckFailure);
+  EXPECT_THROW(PSCD_CHECK_GE(2, 3), CheckFailure);
+}
+
+TEST(CheckTest, PassingCheckEvaluatesConditionOnce) {
+  int calls = 0;
+  const auto touched = [&calls] {
+    ++calls;
+    return true;
+  };
+  PSCD_CHECK(touched());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, WorksAsUnbracedIfBranch) {
+  bool reachedElse = false;
+  if (false)
+    PSCD_CHECK(false) << "must not run";
+  else
+    reachedElse = true;
+  EXPECT_TRUE(reachedElse);
+}
+
+TEST(DcheckTest, MatchesBuildMode) {
+#if PSCD_DCHECK_IS_ON()
+  EXPECT_THROW(PSCD_DCHECK(false), CheckFailure);
+  EXPECT_THROW(PSCD_DCHECK_EQ(1, 2), CheckFailure);
+#else
+  // NDEBUG without PSCD_DCHECK_ALWAYS_ON: the checks compile out.
+  EXPECT_NO_THROW(PSCD_DCHECK(false));
+  EXPECT_NO_THROW(PSCD_DCHECK_EQ(1, 2));
+#endif
+  EXPECT_NO_THROW(PSCD_DCHECK(true));
+  EXPECT_NO_THROW(PSCD_DCHECK_LE(1, 2) << "context still compiles");
+}
+
+TEST(DcheckTest, CompiledOutDchecksEvaluateNothing) {
+  int calls = 0;
+  const auto touched = [&calls] {
+    ++calls;
+    return true;
+  };
+  PSCD_DCHECK(touched());
+#if PSCD_DCHECK_IS_ON()
+  EXPECT_EQ(calls, 1);
+#else
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace pscd

@@ -10,13 +10,15 @@
 
 #include "pscd/pscd.h"
 #include "pscd/util/args.h"
+#include "pscd/version.h"
 
 using namespace pscd;
 
 int main(int argc, char** argv) {
   ArgParser args("pscd_sim",
                  "content-distribution simulation for publish/subscribe "
-                 "(Chen, LaPaugh & Singh, Middleware 2003)");
+                 "(Chen, LaPaugh & Singh, Middleware 2003), pscd v" +
+                     std::string(kVersion));
   args.addOption("trace", "NEWS (Zipf 1.5) or ALT (Zipf 1.0)", "NEWS");
   args.addOption("strategy",
                  "GD*, SUB, SG1, SG2, SR, DM, DC-FP, DC-AP, DC-LAP, LRU, "
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   args.addOption("pages", "distinct pages (0 = paper default)", "0");
   args.addOption("proxies", "number of proxies (0 = paper default)", "0");
   args.addOption("hourly-csv", "write hour,hit_ratio,traffic_pages CSV", "");
+  args.addFlag("self-check",
+               "validate engine/broker/cache invariants after each "
+               "simulated hour (CheckFailure aborts the run)");
   args.addFlag("quiet", "print only the hit ratio");
 
   if (!args.parse(argc, argv)) {
@@ -93,10 +98,14 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--scheme must be always or necessary");
     }
     config.collectHourly = !args.option("hourly-csv").empty();
+    config.selfCheckHourly = args.flag("self-check");
 
     Simulator sim(workload, network, config);
     const SimMetrics m = sim.run();
 
+    if (config.selfCheckHourly && !quiet) {
+      std::printf("self-check       : invariants OK after every hour\n");
+    }
     if (quiet) {
       std::printf("%.6f\n", m.hitRatio());
     } else {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library, tools, bench,
+# example, and test sources against a compile_commands.json database.
+#
+#   tools/run_tidy.sh [--strict] [build-dir]
+#
+# build-dir defaults to build/tidy (configured on demand). With
+# --strict a missing clang-tidy binary is an error; without it the run
+# is skipped so machines without clang can still use the script in
+# pre-commit hooks. Any warning fails the run (WarningsAsErrors: '*').
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+strict=0
+if [[ "${1:-}" == "--strict" ]]; then
+  strict=1
+  shift
+fi
+build_dir="${1:-build/tidy}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  if [[ "$strict" == 1 ]]; then
+    echo "error: $tidy_bin not found (install clang-tidy or set CLANG_TIDY)" >&2
+    exit 2
+  fi
+  echo "run_tidy: $tidy_bin not found; skipping lint (use --strict to fail)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy: configuring $build_dir for compile_commands.json"
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+fi
+
+mapfile -t sources < <(git ls-files \
+  'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
+  'tests/*.cpp')
+
+echo "run_tidy: linting ${#sources[@]} files with $("$tidy_bin" --version | head -1)"
+fail=0
+for src in "${sources[@]}"; do
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$src"; then
+    fail=1
+  fi
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "run_tidy: FAILED (warnings above; the tree must stay tidy-clean)" >&2
+  exit 1
+fi
+echo "run_tidy: clean"
