@@ -14,8 +14,8 @@ using namespace pscd;
 
 int main(int argc, char** argv) {
   const std::string strategyArg = argc > 1 ? argv[1] : "SG2";
-  const double capacityPct = argc > 2 ? std::atof(argv[2]) : 5.0;
-  const double sq = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const double capacityPct = argc > 2 ? std::strtod(argv[2], nullptr) : 5.0;
+  const double sq = argc > 3 ? std::strtod(argv[3], nullptr) : 1.0;
   StrategyKind kind;
   try {
     kind = parseStrategyKind(strategyArg);

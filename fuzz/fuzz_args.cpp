@@ -1,0 +1,66 @@
+// Fuzz target for the command-line parser: an arbitrary decoded argv
+// must either parse (after which every typed getter returns a value or
+// throws std::invalid_argument) or fail with a non-empty error message.
+// Nothing here may crash or read out of bounds.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "fuzz_decoder.h"
+#include "pscd/util/args.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pscd::fuzz::FuzzDecoder in(data, size);
+
+  pscd::ArgParser parser("fuzz", "argv fuzz target");
+  parser.addOption("alpha", "a double", "1.5");
+  parser.addOption("count", "an integer", "3");
+  parser.addOption("name", "a string", "x");
+  parser.addFlag("verbose", "a flag");
+
+  std::vector<std::string> storage;
+  storage.emplace_back("fuzz");
+  const std::size_t n = in.u8() % 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in.boolean()) {
+      // Raw decoded bytes: arbitrary junk, possibly with embedded NULs
+      // (cut off at the first NUL by the C-string boundary, like a real
+      // command line would be).
+      storage.push_back(in.string(24));
+    } else {
+      // Structured-ish fragments so the parser's success paths are
+      // reached too, not only the reject paths.
+      static const char* kFragments[] = {
+          "--alpha",  "--alpha=2.5", "--count",   "--count=7",
+          "--name",   "--name=abc",  "--verbose", "--",
+          "--=x",     "-h",          "nan",       "1e999",
+          "0x1p2",    "--unknown",   "7",         "",
+      };
+      storage.emplace_back(
+          kFragments[in.u8() % (sizeof(kFragments) / sizeof(*kFragments))]);
+    }
+  }
+  std::vector<const char*> argv;
+  argv.reserve(storage.size());
+  for (const std::string& s : storage) argv.push_back(s.c_str());
+
+  if (parser.parse(static_cast<int>(argv.size()), argv.data())) {
+    FUZZ_ASSERT(parser.error().empty());
+    try {
+      (void)parser.optionDouble("alpha");
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)parser.optionInt("count");
+    } catch (const std::invalid_argument&) {
+    }
+    (void)parser.option("name");
+    (void)parser.flag("verbose");
+  }
+  (void)parser.help();
+  return 0;
+}

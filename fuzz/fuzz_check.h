@@ -1,0 +1,18 @@
+// Assertion macro for fuzz targets: on failure it prints the condition
+// and location to stderr and aborts, which every fuzzing engine (and the
+// standalone replay driver) treats as a finding. Deliberately not tied
+// to PSCD_CHECK — a target must crash on a violated oracle even in a
+// build where library checks are compiled out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n",    \
+                   #cond, __FILE__, __LINE__);                     \
+      std::abort();                                                \
+    }                                                              \
+  } while (0)

@@ -1,0 +1,75 @@
+// Structure-aware fuzz input decoder: turns the raw byte string a
+// fuzzing engine hands to LLVMFuzzerTestOneInput into typed values
+// (bounded integers, probabilities, finite doubles, strings). Follows
+// the FuzzedDataProvider convention of returning zeros once the input
+// is exhausted, so every byte string — including the empty one — decodes
+// to a valid operation sequence and the decoder itself can never be the
+// crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pscd::fuzz {
+
+class FuzzDecoder {
+ public:
+  FuzzDecoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ >= size_; }
+
+  std::uint8_t u8() {
+    if (done()) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u8();
+    return v;
+  }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Uniform-ish integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t intInRange(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;  // 0 means the full 2^64 range
+    return span == 0 ? u64() : lo + u64() % span;
+  }
+
+  /// Value in [0, 1].
+  double probability() {
+    return static_cast<double>(u32()) / 4294967295.0;
+  }
+
+  /// Finite double in [lo, hi]; never NaN/inf by construction.
+  double finiteDouble(double lo, double hi) {
+    return lo + probability() * (hi - lo);
+  }
+
+  /// Up to maxLen raw bytes as a string (may contain NULs).
+  std::string string(std::size_t maxLen) {
+    std::size_t n = intInRange(0, maxLen);
+    if (n > remaining()) n = remaining();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pscd::fuzz

@@ -1,0 +1,239 @@
+// Standalone driver for the fuzz targets, used when no fuzzing engine
+// is available (the default toolchain here is gcc, which has no
+// libFuzzer). It gives every target a `main` that can
+//
+//   * replay a committed corpus:      fuzz_x corpus/fuzz_x [more paths]
+//   * run bounded random fuzzing:     fuzz_x --fuzz-iters 50000 --seed 7
+//                                     fuzz_x --fuzz-seconds 30 corpus/fuzz_x
+//   * reproduce one failing iter:     fuzz_x --replay-iter 1234 --seed 7
+//
+// Random inputs are derived from the repo's deterministic Rng, reseeded
+// per iteration from (seed, iteration), so a crash report of the form
+// "iteration N, seed S" is a complete reproduction recipe — independent
+// of how many iterations ran before it. When corpus inputs are given
+// they are replayed first and then also used as mutation bases.
+//
+// Under clang, configure with -DPSCD_FUZZ_ENGINE=ON instead to link the
+// targets against libFuzzer (-fsanitize=fuzzer); this file is then not
+// compiled at all.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pscd/util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// Context of the currently executing input, printed by the abort
+// handler so a crashing iteration is identifiable from the log alone.
+volatile std::sig_atomic_t g_inRandomIter = 0;
+std::uint64_t g_currentIter = 0;
+std::uint64_t g_currentSeed = 0;
+char g_currentFile[4096] = {0};
+
+void abortHandler(int) {
+  // Async-signal-safe output only: pre-rendered with snprintf upfront
+  // would be nicer, but write() of a static buffer is acceptable here
+  // because we are about to die anyway.
+  char buf[256];
+  int n;
+  if (g_inRandomIter) {
+    n = std::snprintf(buf, sizeof(buf),
+                      "\n[fuzz_driver] crash in random iteration %llu "
+                      "(--replay-iter %llu --seed %llu)\n",
+                      static_cast<unsigned long long>(g_currentIter),
+                      static_cast<unsigned long long>(g_currentIter),
+                      static_cast<unsigned long long>(g_currentSeed));
+  } else {
+    n = std::snprintf(buf, sizeof(buf),
+                      "\n[fuzz_driver] crash replaying corpus file %s\n",
+                      g_currentFile);
+  }
+  if (n > 0) {
+    [[maybe_unused]] auto r = write(2, buf, static_cast<std::size_t>(n));
+  }
+  std::signal(SIGABRT, SIG_DFL);  // NOLINT(concurrency-mt-unsafe)
+  std::abort();
+}
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Deterministic input for one random iteration: either fresh random
+/// bytes or a mutation (byte flips, truncation, tail append) of a
+/// corpus entry.
+std::vector<std::uint8_t> makeInput(
+    pscd::Rng& rng, std::size_t maxLen,
+    const std::vector<std::vector<std::uint8_t>>& corpus) {
+  std::vector<std::uint8_t> input;
+  if (!corpus.empty() && rng.bernoulli(0.5)) {
+    input = corpus[rng.uniformInt(corpus.size())];
+    const std::uint64_t mutations = 1 + rng.uniformInt(8);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.uniformInt(3)) {
+        case 0:  // flip a byte
+          if (!input.empty()) {
+            input[rng.uniformInt(input.size())] =
+                static_cast<std::uint8_t>(rng.uniformInt(256));
+          }
+          break;
+        case 1:  // truncate
+          if (!input.empty()) {
+            input.resize(rng.uniformInt(input.size()));
+          }
+          break;
+        default:  // append junk
+          for (std::uint64_t i = rng.uniformInt(16); i > 0; --i) {
+            input.push_back(static_cast<std::uint8_t>(rng.uniformInt(256)));
+          }
+          break;
+      }
+    }
+    if (input.size() > maxLen) input.resize(maxLen);
+  } else {
+    input.resize(rng.uniformInt(maxLen + 1));
+    for (auto& b : input) {
+      b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    }
+  }
+  return input;
+}
+
+std::uint64_t iterationSeed(std::uint64_t seed, std::uint64_t iter) {
+  std::uint64_t state = seed ^ (iter * 0x9e3779b97f4a7c15ull);
+  return pscd::splitmix64(state);
+}
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [corpus files/dirs...] [--fuzz-iters N] "
+      "[--fuzz-seconds S] [--seed X] [--max-len L] [--replay-iter I]\n",
+      prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::uint64_t fuzzIters = 0;
+  double fuzzSeconds = 0.0;
+  std::uint64_t seed = 1;
+  std::size_t maxLen = 4096;
+  std::int64_t replayIter = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    const bool takesValue = arg == "--fuzz-iters" ||
+                            arg == "--fuzz-seconds" || arg == "--seed" ||
+                            arg == "--max-len" || arg == "--replay-iter";
+    if (!takesValue) {
+      paths.push_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+    const char* v = argv[++i];
+    if (arg == "--fuzz-iters") {
+      fuzzIters = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fuzz-seconds") {
+      fuzzSeconds = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-len") {
+      maxLen = std::strtoull(v, nullptr, 10);
+    } else {
+      replayIter = std::strtoll(v, nullptr, 10);
+    }
+  }
+
+  std::signal(SIGABRT, abortHandler);  // NOLINT(concurrency-mt-unsafe)
+
+  // Gather corpus files (directories are scanned one level deep).
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (std::filesystem::exists(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "[fuzz_driver] no such input: %s\n", p.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Phase 1: corpus replay (deterministic regression mode).
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const std::string& f : files) {
+    std::snprintf(g_currentFile, sizeof(g_currentFile), "%s", f.c_str());
+    corpus.push_back(readFile(f));
+    LLVMFuzzerTestOneInput(corpus.back().data(), corpus.back().size());
+  }
+  std::printf("[fuzz_driver] replayed %zu corpus file(s) cleanly\n",
+              corpus.size());
+
+  // Phase 2: reproduce a single reported iteration.
+  if (replayIter >= 0) {
+    g_inRandomIter = 1;
+    g_currentIter = static_cast<std::uint64_t>(replayIter);
+    g_currentSeed = seed;
+    pscd::Rng rng(iterationSeed(seed, g_currentIter));
+    const auto input = makeInput(rng, maxLen, corpus);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    std::printf("[fuzz_driver] iteration %lld replayed cleanly\n",
+                static_cast<long long>(replayIter));
+    return 0;
+  }
+
+  // Phase 3: bounded random fuzzing.
+  if (fuzzIters > 0 || fuzzSeconds > 0.0) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t iter = 0;
+    g_currentSeed = seed;
+    for (;;) {
+      if (fuzzIters > 0 && iter >= fuzzIters) break;
+      if (fuzzSeconds > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() >= fuzzSeconds) break;
+      }
+      g_inRandomIter = 1;
+      g_currentIter = iter;
+      // Reseeded per iteration: reproducing iteration N never requires
+      // re-running iterations 0..N-1.
+      pscd::Rng rng(iterationSeed(seed, iter));
+      const auto input = makeInput(rng, maxLen, corpus);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      g_inRandomIter = 0;
+      ++iter;
+    }
+    std::printf("[fuzz_driver] %llu random iteration(s), seed %llu, ok\n",
+                static_cast<unsigned long long>(iter),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Fuzz target: drives the production MatchingEngine and the brute-force
+// ReferenceMatcher through the same byte-decoded operation sequence and
+// aborts on any observable difference (a differential oracle, so the
+// fuzzer needs no knowledge of what a "correct" match result is).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "fuzz_decoder.h"
+#include "pscd/oracle/reference_matcher.h"
+#include "pscd/pubsub/matcher.h"
+
+namespace {
+
+pscd::Subscription decodeSubscription(pscd::fuzz::FuzzDecoder& in) {
+  pscd::Subscription sub;
+  sub.proxy = static_cast<pscd::ProxyId>(in.u8() % 8);
+  // 0 conjuncts is deliberately reachable: both sides must reject it.
+  const std::size_t n = in.u8() % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    pscd::Predicate p;
+    switch (in.u8() % 3) {
+      case 0:
+        p.kind = pscd::Predicate::Kind::kPageIdEq;
+        break;
+      case 1:
+        p.kind = pscd::Predicate::Kind::kCategoryEq;
+        break;
+      default:
+        p.kind = pscd::Predicate::Kind::kKeywordContains;
+        break;
+    }
+    p.value = in.u8() % 16;
+    sub.conjuncts.push_back(p);
+  }
+  return sub;
+}
+
+pscd::ContentAttributes decodeAttributes(pscd::fuzz::FuzzDecoder& in) {
+  pscd::ContentAttributes attrs;
+  attrs.page = in.u8() % 16;
+  attrs.category = in.u8() % 16;
+  const std::size_t n = in.u8() % 6;
+  for (std::size_t i = 0; i < n; ++i) {
+    attrs.keywords.push_back(in.u8() % 16);
+  }
+  return attrs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pscd::fuzz::FuzzDecoder in(data, size);
+  pscd::MatchingEngine prod;
+  pscd::ReferenceMatcher ref;
+  std::vector<pscd::SubscriptionId> ids;
+
+  std::size_t steps = 0;
+  while (!in.done() && steps++ < 512) {
+    switch (in.u8() % 4) {
+      case 0:
+      case 1: {
+        const pscd::Subscription sub = decodeSubscription(in);
+        bool prodThrew = false;
+        bool refThrew = false;
+        pscd::SubscriptionId prodId = 0;
+        pscd::SubscriptionId refId = 0;
+        try {
+          prodId = prod.addSubscription(sub);
+        } catch (const std::invalid_argument&) {
+          prodThrew = true;
+        }
+        try {
+          refId = ref.addSubscription(sub);
+        } catch (const std::invalid_argument&) {
+          refThrew = true;
+        }
+        FUZZ_ASSERT(prodThrew == refThrew);
+        if (!prodThrew) {
+          FUZZ_ASSERT(prodId == refId);
+          ids.push_back(prodId);
+        }
+        break;
+      }
+      case 2: {
+        // Mix known ids with raw ones so unknown / already-removed ids
+        // are exercised too.
+        pscd::SubscriptionId id = in.u8();
+        if (!ids.empty() && in.boolean()) {
+          id = ids[in.u8() % ids.size()];
+        }
+        FUZZ_ASSERT(prod.removeSubscription(id) ==
+                    ref.removeSubscription(id));
+        break;
+      }
+      default: {
+        const pscd::ContentAttributes attrs = decodeAttributes(in);
+        pscd::MatchResult got = prod.match(attrs);
+        const pscd::MatchResult want = ref.match(attrs);
+        std::sort(got.subscriptions.begin(), got.subscriptions.end());
+        FUZZ_ASSERT(got.subscriptions == want.subscriptions);
+        FUZZ_ASSERT(got.proxyCounts == want.proxyCounts);
+        break;
+      }
+    }
+    FUZZ_ASSERT(prod.size() == ref.size());
+  }
+  prod.checkInvariants();  // a CheckFailure escaping = finding
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz target for the trace loader: arbitrary bytes must either load
+// into a valid Workload or be rejected with the documented exception
+// types — never crash, never trip a sanitizer. Accepted inputs must
+// survive a save/load round trip.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_check.h"
+#include "pscd/workload/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::stringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const pscd::Workload w = pscd::loadWorkload(in);
+    // Whatever the loader accepts must be stable under re-serialization.
+    std::stringstream buf;
+    pscd::saveWorkload(w, buf);
+    const pscd::Workload again = pscd::loadWorkload(buf);
+    FUZZ_ASSERT(again.pages.size() == w.pages.size());
+    FUZZ_ASSERT(again.publishes.size() == w.publishes.size());
+    FUZZ_ASSERT(again.requests.size() == w.requests.size());
+    FUZZ_ASSERT(again.subEntries.size() == w.subEntries.size());
+  } catch (const std::runtime_error&) {
+    // Malformed input — the documented rejection path.
+  } catch (const std::logic_error&) {
+    // Structurally valid but semantically inconsistent (validate()).
+  }
+  return 0;
+}

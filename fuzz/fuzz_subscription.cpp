@@ -1,0 +1,92 @@
+// Fuzz target for the subscription language and covering logic: checks
+// covers() against the naive coversNaive() on decoded subscription
+// pairs, and drives CoveringSet against ReferenceCoveringSet through the
+// same operation sequence, aborting on any disagreement.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_check.h"
+#include "fuzz_decoder.h"
+#include "pscd/oracle/reference_covering.h"
+#include "pscd/pubsub/covering.h"
+
+namespace {
+
+pscd::Subscription decodeSubscription(pscd::fuzz::FuzzDecoder& in) {
+  pscd::Subscription sub;
+  sub.proxy = static_cast<pscd::ProxyId>(in.u8() % 4);
+  // Tiny vocabulary so covering relations occur constantly; duplicates
+  // within one conjunction are deliberate (normalization must collapse
+  // them, the naive path must tolerate them).
+  const std::size_t n = in.u8() % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    pscd::Predicate p;
+    switch (in.u8() % 3) {
+      case 0:
+        p.kind = pscd::Predicate::Kind::kPageIdEq;
+        p.value = in.u8() % 2;
+        break;
+      case 1:
+        p.kind = pscd::Predicate::Kind::kCategoryEq;
+        p.value = in.u8() % 3;
+        break;
+      default:
+        p.kind = pscd::Predicate::Kind::kKeywordContains;
+        p.value = in.u8() % 4;
+        break;
+    }
+    sub.conjuncts.push_back(p);
+  }
+  return sub;
+}
+
+pscd::ContentAttributes decodeAttributes(pscd::fuzz::FuzzDecoder& in) {
+  pscd::ContentAttributes attrs;
+  attrs.page = in.u8() % 2;
+  attrs.category = in.u8() % 3;
+  const std::size_t n = in.u8() % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    attrs.keywords.push_back(in.u8() % 4);
+  }
+  return attrs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pscd::fuzz::FuzzDecoder in(data, size);
+  pscd::CoveringSet prod;
+  pscd::ReferenceCoveringSet ref;
+
+  std::size_t steps = 0;
+  while (!in.done() && steps++ < 256) {
+    switch (in.u8() % 4) {
+      case 0: {
+        const pscd::Subscription a = decodeSubscription(in);
+        const pscd::Subscription b = decodeSubscription(in);
+        FUZZ_ASSERT(pscd::covers(a, b) == pscd::coversNaive(a, b));
+        // Covering must be reflexive for nonempty conjunction sets.
+        if (!a.conjuncts.empty()) FUZZ_ASSERT(pscd::covers(a, a));
+        break;
+      }
+      case 1: {
+        const pscd::Subscription sub = decodeSubscription(in);
+        FUZZ_ASSERT(prod.add(sub) == ref.add(sub));
+        break;
+      }
+      case 2: {
+        const pscd::Subscription sub = decodeSubscription(in);
+        FUZZ_ASSERT(prod.isCovered(sub) == ref.isCovered(sub));
+        break;
+      }
+      default: {
+        const pscd::ContentAttributes attrs = decodeAttributes(in);
+        FUZZ_ASSERT(prod.matches(attrs) == ref.matches(attrs));
+        break;
+      }
+    }
+    FUZZ_ASSERT(prod.size() == ref.size());
+  }
+  return 0;
+}

@@ -82,6 +82,8 @@ class GdsFamilyStrategy final : public DistributionStrategy {
   const ValueCache& cache() const { return cache_; }
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   double frequency(std::uint32_t subCount, std::uint32_t accessCount) const;
   double value(double frequency, Bytes size) const;
   void noteEvictions(const std::vector<ValueCache::StoredEntry>& evicted);

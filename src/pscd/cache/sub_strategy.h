@@ -27,6 +27,8 @@ class SubStrategy final : public DistributionStrategy {
   const ValueCache& cache() const { return cache_; }
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   double value(std::uint32_t subCount, Bytes size) const;
 
   double fetchCost_;

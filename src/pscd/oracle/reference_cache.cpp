@@ -1,0 +1,458 @@
+#include "pscd/oracle/reference_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pscd {
+
+// ---------------------------------------------------------------- LRU --
+
+Bytes ReferenceLruStrategy::usedBytes() const {
+  Bytes total = 0;
+  for (const Slot& s : slots_) total += s.entry.size;
+  return total;
+}
+
+RequestOutcome ReferenceLruStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].entry.page != ctx.page) continue;
+    if (slots_[i].entry.version == ctx.latestVersion) {
+      ++slots_[i].entry.accessCount;
+      slots_[i].entry.lastAccess = ctx.now;
+      slots_[i].touched = ++clock_;
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  if (ctx.size > capacity_) return out;
+  while (capacity_ - usedBytes() < ctx.size) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].touched < slots_[victim].touched) victim = i;
+    }
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  Slot s;
+  s.entry.page = ctx.page;
+  s.entry.version = ctx.latestVersion;
+  s.entry.size = ctx.size;
+  s.entry.subCount = ctx.subCount;
+  s.entry.accessCount = 1;
+  s.entry.lastAccess = ctx.now;
+  s.touched = ++clock_;
+  slots_.push_back(s);
+  out.storedAfterMiss = true;
+  return out;
+}
+
+// --------------------------------------------------------- GDS family --
+
+ReferenceGdsFamilyStrategy::ReferenceGdsFamilyStrategy(
+    Bytes capacity, double fetchCost, const GdsFamilyConfig& config)
+    : config_(config), fetchCost_(fetchCost), capacity_(capacity) {
+  if (config.beta <= 0 || fetchCost <= 0) {
+    throw std::invalid_argument("ReferenceGdsFamilyStrategy: bad config");
+  }
+}
+
+double ReferenceGdsFamilyStrategy::frequency(
+    std::uint32_t subCount, std::uint32_t accessCount) const {
+  using FreqMode = GdsFamilyConfig::FreqMode;
+  switch (config_.freqMode) {
+    case FreqMode::kAccessOnly:
+      return accessCount;
+    case FreqMode::kSubPlusAccess:
+      return static_cast<double>(subCount) + accessCount;
+    case FreqMode::kSubMinusAccess:
+      return std::max(static_cast<double>(subCount) - accessCount, 0.0);
+    case FreqMode::kConstantOne:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double ReferenceGdsFamilyStrategy::value(double frequency, Bytes size) const {
+  double utility = frequency;
+  if (config_.useCost) utility *= fetchCost_;
+  if (config_.useSize) utility /= static_cast<double>(size);
+  const double term = std::pow(std::max(utility, 0.0), 1.0 / config_.beta);
+  return (config_.useInflation ? inflation_ : 0.0) + term;
+}
+
+std::uint32_t ReferenceGdsFamilyStrategy::effectiveAccessCount(
+    const CacheEntry& entry) const {
+  if (!config_.persistentAccessCounts) return entry.accessCount;
+  const auto it = accessHistory_.find(entry.page);
+  return it == accessHistory_.end() ? 0 : it->second;
+}
+
+Bytes ReferenceGdsFamilyStrategy::usedBytes() const {
+  Bytes total = 0;
+  for (const Slot& s : slots_) total += s.entry.size;
+  return total;
+}
+
+Bytes ReferenceGdsFamilyStrategy::freeBytes() const {
+  return capacity_ - usedBytes();
+}
+
+std::size_t ReferenceGdsFamilyStrategy::lowestSlot() const {
+  std::size_t low = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].value < slots_[low].value ||
+        (slots_[i].value == slots_[low].value &&
+         slots_[i].entry.page < slots_[low].entry.page)) {
+      low = i;
+    }
+  }
+  return low;
+}
+
+bool ReferenceGdsFamilyStrategy::eraseSlot(PageId page, CacheEntry* out) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].entry.page == page) {
+      if (out != nullptr) *out = slots_[i].entry;
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ReferenceGdsFamilyStrategy::insert(const CacheEntry& entry) {
+  const double v =
+      value(frequency(entry.subCount, effectiveAccessCount(entry)),
+            entry.size);
+  double lastEvictedValue = 0.0;
+  bool evictedAny = false;
+  if (config_.valueBasedAdmission) {
+    if (freeBytes() < entry.size) {
+      // Feasibility: can candidates strictly below v free enough space?
+      // Scan in ascending (value, page) order, as the production index
+      // would surface them.
+      std::vector<std::size_t> order(slots_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (slots_[a].value != slots_[b].value) {
+          return slots_[a].value < slots_[b].value;
+        }
+        return slots_[a].entry.page < slots_[b].entry.page;
+      });
+      Bytes reclaimable = freeBytes();
+      bool feasible = false;
+      for (const std::size_t i : order) {
+        if (!(slots_[i].value < v)) break;
+        reclaimable += slots_[i].entry.size;
+        if (reclaimable >= entry.size) {
+          feasible = true;
+          break;
+        }
+      }
+      if (!feasible) return false;
+      while (freeBytes() < entry.size) {
+        const std::size_t victim = lowestSlot();
+        lastEvictedValue = slots_[victim].value;
+        evictedAny = true;
+        slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+  } else {
+    if (entry.size > capacity_) return false;
+    while (freeBytes() < entry.size) {
+      const std::size_t victim = lowestSlot();
+      lastEvictedValue = slots_[victim].value;
+      evictedAny = true;
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  if (config_.useInflation && evictedAny) inflation_ = lastEvictedValue;
+  Slot s;
+  s.entry = entry;
+  // Re-evaluate with the post-eviction inflation, as the production
+  // pseudo-code does (evict first, then V(p) <- L + ...).
+  s.value = value(frequency(entry.subCount, effectiveAccessCount(entry)),
+                  entry.size);
+  slots_.push_back(s);
+  return true;
+}
+
+PushOutcome ReferenceGdsFamilyStrategy::onPush(const PushContext& ctx) {
+  if (!config_.pushEnabled) return {false};
+  CacheEntry entry;
+  eraseSlot(ctx.page, &entry);  // refresh in place, keep access history
+  entry.page = ctx.page;
+  entry.version = ctx.version;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  return {insert(entry)};
+}
+
+RequestOutcome ReferenceGdsFamilyStrategy::onRequest(
+    const RequestContext& ctx) {
+  RequestOutcome out;
+  if (config_.persistentAccessCounts) ++accessHistory_[ctx.page];
+  for (Slot& s : slots_) {
+    if (s.entry.page != ctx.page) continue;
+    if (s.entry.version == ctx.latestVersion) {
+      ++s.entry.accessCount;
+      s.entry.lastAccess = ctx.now;
+      s.value = value(
+          frequency(s.entry.subCount, effectiveAccessCount(s.entry)),
+          s.entry.size);
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+    break;
+  }
+  CacheEntry entry;
+  eraseSlot(ctx.page, &entry);
+  entry.page = ctx.page;
+  entry.version = ctx.latestVersion;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  ++entry.accessCount;
+  entry.lastAccess = ctx.now;
+  out.storedAfterMiss = insert(entry);
+  return out;
+}
+
+// ---------------------------------------------------------------- SUB --
+
+double ReferenceSubStrategy::value(std::uint32_t subCount, Bytes size) const {
+  return static_cast<double>(subCount) * fetchCost_ /
+         static_cast<double>(size);
+}
+
+Bytes ReferenceSubStrategy::usedBytes() const {
+  Bytes total = 0;
+  for (const Slot& s : slots_) total += s.entry.size;
+  return total;
+}
+
+std::size_t ReferenceSubStrategy::lowestSlot() const {
+  std::size_t low = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].value < slots_[low].value ||
+        (slots_[i].value == slots_[low].value &&
+         slots_[i].entry.page < slots_[low].entry.page)) {
+      low = i;
+    }
+  }
+  return low;
+}
+
+PushOutcome ReferenceSubStrategy::onPush(const PushContext& ctx) {
+  CacheEntry entry;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].entry.page == ctx.page) {
+      entry = slots_[i].entry;
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  entry.page = ctx.page;
+  entry.version = ctx.version;
+  entry.size = ctx.size;
+  entry.subCount = ctx.subCount;
+  const double v = value(ctx.subCount, ctx.size);
+  if (capacity_ - usedBytes() < ctx.size) {
+    Bytes reclaimable = capacity_ - usedBytes();
+    bool feasible = false;
+    std::vector<std::size_t> order(slots_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (slots_[a].value != slots_[b].value) {
+        return slots_[a].value < slots_[b].value;
+      }
+      return slots_[a].entry.page < slots_[b].entry.page;
+    });
+    for (const std::size_t i : order) {
+      if (!(slots_[i].value < v)) break;
+      reclaimable += slots_[i].entry.size;
+      if (reclaimable >= ctx.size) {
+        feasible = true;
+        break;
+      }
+    }
+    if (!feasible) return {false};
+    while (capacity_ - usedBytes() < ctx.size) {
+      slots_.erase(slots_.begin() +
+                   static_cast<std::ptrdiff_t>(lowestSlot()));
+    }
+  }
+  Slot s;
+  s.entry = entry;
+  s.value = v;
+  slots_.push_back(s);
+  return {true};
+}
+
+RequestOutcome ReferenceSubStrategy::onRequest(const RequestContext& ctx) {
+  RequestOutcome out;
+  for (Slot& s : slots_) {
+    if (s.entry.page != ctx.page) continue;
+    if (s.entry.version == ctx.latestVersion) {
+      ++s.entry.accessCount;  // bookkeeping only, value unchanged
+      s.entry.lastAccess = ctx.now;
+      out.hit = true;
+      return out;
+    }
+    // Stale copy stays; the next push of the page refreshes it.
+    out.stale = true;
+    break;
+  }
+  return out;  // push-time-only: fetch and forward without caching
+}
+
+// ----------------------------------------------------------------- DM --
+
+ReferenceDualMethodsStrategy::ReferenceDualMethodsStrategy(Bytes capacity,
+                                                           double fetchCost,
+                                                           double beta)
+    : capacity_(capacity), fetchCost_(fetchCost), beta_(beta) {
+  if (fetchCost <= 0 || beta <= 0) {
+    throw std::invalid_argument("ReferenceDualMethodsStrategy: bad config");
+  }
+}
+
+double ReferenceDualMethodsStrategy::subValue(std::uint32_t subCount,
+                                              Bytes size) const {
+  return static_cast<double>(subCount) * fetchCost_ /
+         static_cast<double>(size);
+}
+
+double ReferenceDualMethodsStrategy::gdValue(std::uint32_t accessCount,
+                                             Bytes size) const {
+  const double utility = static_cast<double>(accessCount) * fetchCost_ /
+                         static_cast<double>(size);
+  return inflation_ + std::pow(utility, 1.0 / beta_);
+}
+
+Bytes ReferenceDualMethodsStrategy::usedBytes() const {
+  Bytes total = 0;
+  for (const Slot& s : slots_) total += s.entry.size;
+  return total;
+}
+
+std::size_t ReferenceDualMethodsStrategy::lowestBySub() const {
+  std::size_t low = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].subValue < slots_[low].subValue ||
+        (slots_[i].subValue == slots_[low].subValue &&
+         slots_[i].entry.page < slots_[low].entry.page)) {
+      low = i;
+    }
+  }
+  return low;
+}
+
+std::size_t ReferenceDualMethodsStrategy::lowestByGd() const {
+  std::size_t low = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].gdValue < slots_[low].gdValue ||
+        (slots_[i].gdValue == slots_[low].gdValue &&
+         slots_[i].entry.page < slots_[low].entry.page)) {
+      low = i;
+    }
+  }
+  return low;
+}
+
+bool ReferenceDualMethodsStrategy::eraseSlot(PageId page, Slot* out) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].entry.page == page) {
+      if (out != nullptr) *out = slots_[i];
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+PushOutcome ReferenceDualMethodsStrategy::onPush(const PushContext& ctx) {
+  Slot entry;
+  eraseSlot(ctx.page, &entry);  // refresh in place, keep access history
+  entry.entry.page = ctx.page;
+  entry.entry.version = ctx.version;
+  entry.entry.size = ctx.size;
+  entry.entry.subCount = ctx.subCount;
+  entry.subValue = subValue(ctx.subCount, ctx.size);
+  entry.gdValue = gdValue(entry.entry.accessCount, ctx.size);
+
+  // SUB admission over the subscription ordering; push-time evictions
+  // do not advance L.
+  Bytes reclaimable = capacity_ - usedBytes();
+  bool feasible = reclaimable >= ctx.size;
+  if (!feasible) {
+    std::vector<std::size_t> order(slots_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (slots_[a].subValue != slots_[b].subValue) {
+        return slots_[a].subValue < slots_[b].subValue;
+      }
+      return slots_[a].entry.page < slots_[b].entry.page;
+    });
+    for (const std::size_t i : order) {
+      if (!(slots_[i].subValue < entry.subValue)) break;
+      reclaimable += slots_[i].entry.size;
+      if (reclaimable >= ctx.size) {
+        feasible = true;
+        break;
+      }
+    }
+  }
+  if (!feasible) return {false};
+  while (capacity_ - usedBytes() < ctx.size) {
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(lowestBySub()));
+  }
+  slots_.push_back(entry);
+  return {true};
+}
+
+RequestOutcome ReferenceDualMethodsStrategy::onRequest(
+    const RequestContext& ctx) {
+  RequestOutcome out;
+  Slot entry;
+  bool hadStale = false;
+  for (Slot& s : slots_) {
+    if (s.entry.page != ctx.page) continue;
+    if (s.entry.version == ctx.latestVersion) {
+      ++s.entry.accessCount;
+      s.entry.lastAccess = ctx.now;
+      s.gdValue = gdValue(s.entry.accessCount, s.entry.size);
+      out.hit = true;
+      return out;
+    }
+    out.stale = true;
+    hadStale = true;
+    break;
+  }
+  if (hadStale) eraseSlot(ctx.page, &entry);
+  // Miss: classic GD* placement over the access ordering (always admit).
+  if (ctx.size > capacity_) return out;
+  while (capacity_ - usedBytes() < ctx.size) {
+    const std::size_t victim = lowestByGd();
+    inflation_ = slots_[victim].gdValue;
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  entry.entry.page = ctx.page;
+  entry.entry.version = ctx.latestVersion;
+  entry.entry.size = ctx.size;
+  entry.entry.subCount = ctx.subCount;
+  ++entry.entry.accessCount;
+  entry.entry.lastAccess = ctx.now;
+  entry.subValue = subValue(ctx.subCount, ctx.size);
+  entry.gdValue = gdValue(entry.entry.accessCount, ctx.size);
+  slots_.push_back(entry);
+  out.storedAfterMiss = true;
+  return out;
+}
+
+}  // namespace pscd

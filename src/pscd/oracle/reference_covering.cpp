@@ -1,0 +1,43 @@
+#include "pscd/oracle/reference_covering.h"
+
+#include <algorithm>
+
+namespace pscd {
+
+bool coversNaive(const Subscription& a, const Subscription& b) {
+  if (a.conjuncts.empty()) return false;  // empty matches nothing
+  for (const Predicate& pa : a.conjuncts) {
+    bool found = false;
+    for (const Predicate& pb : b.conjuncts) {
+      if (pa == pb) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool ReferenceCoveringSet::add(Subscription sub) {
+  for (const Subscription& m : members_) {
+    if (coversNaive(m, sub)) return false;
+  }
+  std::erase_if(members_,
+                [&](const Subscription& m) { return coversNaive(sub, m); });
+  members_.push_back(std::move(sub));
+  return true;
+}
+
+bool ReferenceCoveringSet::isCovered(const Subscription& sub) const {
+  return std::any_of(
+      members_.begin(), members_.end(),
+      [&](const Subscription& m) { return coversNaive(m, sub); });
+}
+
+bool ReferenceCoveringSet::matches(const ContentAttributes& attrs) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Subscription& m) { return m.matches(attrs); });
+}
+
+}  // namespace pscd

@@ -1,0 +1,36 @@
+// Naive reference model of the covering relation and the
+// covering-minimal frontier: `coversNaive` tests conjunct containment
+// with an O(n*m) double loop over the *unnormalized* inputs, and
+// ReferenceCoveringSet maintains its frontier by re-running the pairwise
+// test against every member. The production CoveringSet must agree on
+// add/isCovered/matches outcomes and on the surviving member set.
+#pragma once
+
+#include <vector>
+
+#include "pscd/pubsub/subscription.h"
+
+namespace pscd {
+
+/// True when every conjunct of `a` also appears in `b` (and `a` is
+/// nonempty): fewer constraints match more events. Quadratic on purpose.
+bool coversNaive(const Subscription& a, const Subscription& b);
+
+class ReferenceCoveringSet {
+ public:
+  /// Mirrors CoveringSet::add: false when an existing member already
+  /// covers `sub`, otherwise evicts members `sub` covers and keeps it.
+  bool add(Subscription sub);
+
+  bool isCovered(const Subscription& sub) const;
+
+  bool matches(const ContentAttributes& attrs) const;
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<Subscription>& members() const { return members_; }
+
+ private:
+  std::vector<Subscription> members_;  // conjuncts kept as given
+};
+
+}  // namespace pscd

@@ -1,0 +1,43 @@
+#include "pscd/oracle/reference_matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pscd {
+
+SubscriptionId ReferenceMatcher::addSubscription(Subscription sub) {
+  if (sub.conjuncts.empty()) {
+    throw std::invalid_argument("addSubscription: empty conjunction");
+  }
+  const SubscriptionId id = subs_.size();
+  subs_.push_back(std::move(sub));
+  ++liveCount_;
+  return id;
+}
+
+bool ReferenceMatcher::removeSubscription(SubscriptionId id) {
+  if (id >= subs_.size() || !subs_[id].has_value()) return false;
+  subs_[id].reset();
+  --liveCount_;
+  return true;
+}
+
+MatchResult ReferenceMatcher::match(const ContentAttributes& attrs) const {
+  MatchResult result;
+  // Ordered map so proxyCounts comes out sorted by proxy, matching the
+  // production engine's post-sorted aggregation.
+  std::map<ProxyId, std::uint32_t> counts;
+  for (SubscriptionId id = 0; id < subs_.size(); ++id) {
+    const auto& sub = subs_[id];
+    if (!sub.has_value()) continue;
+    if (sub->matches(attrs)) {
+      result.subscriptions.push_back(id);
+      ++counts[sub->proxy];
+    }
+  }
+  result.proxyCounts.assign(counts.begin(), counts.end());
+  return result;
+}
+
+}  // namespace pscd

@@ -1,0 +1,34 @@
+#include "pscd/oracle/reference_paths.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pscd {
+
+std::vector<double> bellmanFordPaths(const Graph& g, NodeId src) {
+  if (src >= g.numNodes()) {
+    throw std::out_of_range("bellmanFordPaths: src out of range");
+  }
+  std::vector<double> dist(g.numNodes(),
+                           std::numeric_limits<double>::infinity());
+  dist[src] = 0.0;
+  // Up to |V| - 1 full relaxation sweeps; stop early once a sweep makes
+  // no progress.
+  for (NodeId round = 1; round < g.numNodes(); ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      if (dist[u] == std::numeric_limits<double>::infinity()) continue;
+      for (const Graph::Edge& e : g.neighbors(u)) {
+        const double nd = dist[u] + e.weight;
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace pscd

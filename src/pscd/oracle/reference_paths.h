@@ -1,0 +1,18 @@
+// Bellman–Ford single-source shortest paths: the naive O(V*E) reference
+// for the production Dijkstra implementation that derives the
+// publisher->proxy fetch costs c(p). Shares no code with shortestPaths()
+// beyond the Graph type.
+#pragma once
+
+#include <vector>
+
+#include "pscd/topology/graph.h"
+
+namespace pscd {
+
+/// Distances from src to every node; unreachable nodes get +infinity.
+/// All edge weights are positive (Graph::addEdge enforces it), so no
+/// negative-cycle handling is needed.
+std::vector<double> bellmanFordPaths(const Graph& g, NodeId src);
+
+}  // namespace pscd

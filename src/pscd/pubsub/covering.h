@@ -38,6 +38,8 @@ class CoveringSet {
   const std::vector<Subscription>& members() const { return members_; }
 
  private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
   std::vector<Subscription> members_;  // conjuncts kept normalized
 };
 

@@ -1,6 +1,7 @@
 #include "pscd/util/args.h"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -38,6 +39,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
   values_.clear();
   flags_.clear();
   for (int i = 1; i < argc; ++i) {
+    if (argv[i] == nullptr) {
+      error_ = "null argument in argv";
+      return false;
+    }
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") return false;
     if (!arg.starts_with("--")) {
@@ -49,6 +54,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     if (const auto eq = arg.find('='); eq != std::string_view::npos) {
       inlineValue = std::string(arg.substr(eq + 1));
       arg = arg.substr(0, eq);
+    }
+    if (arg.empty()) {
+      error_ = "missing option name after --";
+      return false;
     }
     const auto it = specs_.find(arg);
     if (it == specs_.end()) {
@@ -94,11 +103,13 @@ double ArgParser::optionDouble(std::string_view name) const {
   try {
     std::size_t used = 0;
     const double v = std::stod(raw, &used);
-    if (used != raw.size()) throw std::invalid_argument(raw);
+    if (used != raw.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(raw);
+    }
     return v;
   } catch (const std::exception&) {
     throw std::invalid_argument("option --" + std::string(name) +
-                                ": not a number: " + raw);
+                                ": not a finite number: " + raw);
   }
 }
 

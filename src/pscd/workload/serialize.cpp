@@ -1,5 +1,7 @@
 #include "pscd/workload/serialize.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -15,15 +17,39 @@ namespace {
 constexpr char kMagic[8] = {'P', 'S', 'C', 'D', 'T', 'R', 'C', '1'};
 constexpr std::uint32_t kFormatVersion = 2;
 
+/// Total payload cap per vector (1 GiB); a length field pointing past
+/// this is malformed, not merely large.
+constexpr std::uint64_t kMaxVecBytes = 1ull << 30;
+
+/// On-disk mirror of RequestEvent. The in-memory struct carries a
+/// `bool`, and reading a raw byte other than 0/1 into a bool is
+/// undefined behaviour — so the disk side uses uint8_t and the loader
+/// validates the byte. The explicit pad keeps the layout identical to
+/// RequestEvent (same field offsets, no implicit tail padding), which
+/// keeps the format compatible and makes the written bytes fully
+/// deterministic.
+struct RequestEventDisk {
+  SimTime time = 0.0;
+  PageId page = kInvalidPage;
+  ProxyId proxy = 0;
+  std::uint8_t notificationDriven = 1;
+  std::uint8_t pad[7] = {};
+};
+static_assert(sizeof(RequestEventDisk) == sizeof(RequestEvent));
+static_assert(offsetof(RequestEventDisk, notificationDriven) ==
+              offsetof(RequestEvent, notificationDriven));
+
 void writeBytes(std::ostream& out, const void* data, std::size_t n) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   if (!out) throw std::runtime_error("saveWorkload: write failed");
 }
 
-void readBytes(std::istream& in, void* data, std::size_t n) {
+void readBytes(std::istream& in, void* data, std::size_t n,
+               const char* field) {
   in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   if (in.gcount() != static_cast<std::streamsize>(n)) {
-    throw std::runtime_error("loadWorkload: truncated input");
+    throw std::runtime_error(
+        std::string("loadWorkload: truncated input reading ") + field);
   }
 }
 
@@ -34,10 +60,10 @@ void writePod(std::ostream& out, const T& v) {
 }
 
 template <typename T>
-T readPod(std::istream& in) {
+T readPod(std::istream& in, const char* field) {
   static_assert(std::is_trivially_copyable_v<T>);
   T v;
-  readBytes(in, &v, sizeof(T));
+  readBytes(in, &v, sizeof(T), field);
   return v;
 }
 
@@ -49,14 +75,55 @@ void writeVec(std::ostream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-std::vector<T> readVec(std::istream& in) {
+std::vector<T> readVec(std::istream& in, const char* field) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const auto n = readPod<std::uint64_t>(in);
-  // Sanity cap: no trace component exceeds a billion elements.
-  if (n > (1ull << 30)) throw std::runtime_error("loadWorkload: bad length");
-  std::vector<T> v(n);
-  if (n > 0) readBytes(in, v.data(), n * sizeof(T));
+  const auto n = readPod<std::uint64_t>(in, field);
+  if (n > kMaxVecBytes / sizeof(T)) {
+    throw std::runtime_error(std::string("loadWorkload: bad length for ") +
+                             field);
+  }
+  // Read in bounded chunks instead of allocating the full claimed size
+  // up front: a corrupt length field then fails on the first short read
+  // rather than committing gigabytes for data that is not there.
+  constexpr std::size_t kChunkBytes = 1 << 20;
+  const std::size_t chunkElems =
+      kChunkBytes / sizeof(T) > 0 ? kChunkBytes / sizeof(T) : 1;
+  std::vector<T> v;
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t take =
+        std::min<std::size_t>(chunkElems, static_cast<std::size_t>(n) - got);
+    v.resize(got + take);
+    readBytes(in, v.data() + got, take * sizeof(T), field);
+    got += take;
+  }
   return v;
+}
+
+std::vector<RequestEventDisk> toDisk(const std::vector<RequestEvent>& v) {
+  std::vector<RequestEventDisk> disk(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    disk[i].time = v[i].time;
+    disk[i].page = v[i].page;
+    disk[i].proxy = v[i].proxy;
+    disk[i].notificationDriven = v[i].notificationDriven ? 1 : 0;
+  }
+  return disk;
+}
+
+std::vector<RequestEvent> fromDisk(const std::vector<RequestEventDisk>& v) {
+  std::vector<RequestEvent> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].notificationDriven > 1) {
+      throw std::runtime_error(
+          "loadWorkload: invalid notificationDriven byte in requests");
+    }
+    out[i].time = v[i].time;
+    out[i].page = v[i].page;
+    out[i].proxy = v[i].proxy;
+    out[i].notificationDriven = v[i].notificationDriven != 0;
+  }
+  return out;
 }
 
 }  // namespace
@@ -68,7 +135,7 @@ void saveWorkload(const Workload& w, std::ostream& out) {
   writePod(out, w.params);
   writeVec(out, w.pages);
   writeVec(out, w.publishes);
-  writeVec(out, w.requests);
+  writeVec(out, toDisk(w.requests));
   writeVec(out, w.subOffsets);
   writeVec(out, w.subEntries);
   writeVec(out, w.churn);
@@ -77,22 +144,22 @@ void saveWorkload(const Workload& w, std::ostream& out) {
 
 Workload loadWorkload(std::istream& in) {
   char magic[sizeof(kMagic)];
-  readBytes(in, magic, sizeof(magic));
+  readBytes(in, magic, sizeof(magic), "magic");
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("loadWorkload: bad magic");
   }
-  if (readPod<std::uint32_t>(in) != kFormatVersion) {
+  if (readPod<std::uint32_t>(in, "format version") != kFormatVersion) {
     throw std::runtime_error("loadWorkload: unsupported format version");
   }
   Workload w;
-  w.params = readPod<WorkloadParams>(in);
-  w.pages = readVec<PageInfo>(in);
-  w.publishes = readVec<PublishEvent>(in);
-  w.requests = readVec<RequestEvent>(in);
-  w.subOffsets = readVec<std::uint32_t>(in);
-  w.subEntries = readVec<Notification>(in);
-  w.churn = readVec<SubscriptionChurnEvent>(in);
-  w.uniqueBytesRequested = readVec<Bytes>(in);
+  w.params = readPod<WorkloadParams>(in, "params");
+  w.pages = readVec<PageInfo>(in, "pages");
+  w.publishes = readVec<PublishEvent>(in, "publishes");
+  w.requests = fromDisk(readVec<RequestEventDisk>(in, "requests"));
+  w.subOffsets = readVec<std::uint32_t>(in, "subOffsets");
+  w.subEntries = readVec<Notification>(in, "subEntries");
+  w.churn = readVec<SubscriptionChurnEvent>(in, "churn");
+  w.uniqueBytesRequested = readVec<Bytes>(in, "uniqueBytesRequested");
   w.validate();
   return w;
 }

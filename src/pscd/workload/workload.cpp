@@ -1,6 +1,7 @@
 #include "pscd/workload/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <stdexcept>
 
@@ -46,8 +47,25 @@ std::uint64_t Workload::totalSubscriptions() const {
 }
 
 void Workload::validate() const {
+  if (!std::isfinite(params.publishing.horizon) ||
+      params.publishing.horizon < 0.0) {
+    throw std::logic_error("Workload: horizon not finite");
+  }
   if (pages.size() != params.publishing.numPages) {
     throw std::logic_error("Workload: page count mismatch");
+  }
+  for (const auto& p : pages) {
+    if (!std::isfinite(p.firstPublish) || p.firstPublish < 0.0) {
+      throw std::logic_error("Workload: page firstPublish not finite");
+    }
+    if (!std::isfinite(p.modificationInterval) ||
+        p.modificationInterval < 0.0) {
+      throw std::logic_error(
+          "Workload: page modificationInterval not finite");
+    }
+    if (p.numVersions < 1) {
+      throw std::logic_error("Workload: page numVersions < 1");
+    }
   }
   if (subOffsets.size() != pages.size() + 1 ||
       subOffsets.back() != subEntries.size() || subOffsets.front() != 0) {
@@ -66,15 +84,17 @@ void Workload::validate() const {
   const SimTime horizon = params.publishing.horizon;
   SimTime prev = 0.0;
   for (const auto& e : publishes) {
-    if (e.time < prev || e.time > horizon || e.page >= numPages()) {
+    // NaN compares false against every bound, so reject it explicitly.
+    if (!std::isfinite(e.time) || e.time < prev || e.time > horizon ||
+        e.page >= numPages()) {
       throw std::logic_error("Workload: bad publish event");
     }
     prev = e.time;
   }
   prev = 0.0;
   for (const auto& r : requests) {
-    if (r.time < prev || r.time > horizon || r.page >= numPages() ||
-        r.proxy >= numProxies()) {
+    if (!std::isfinite(r.time) || r.time < prev || r.time > horizon ||
+        r.page >= numPages() || r.proxy >= numProxies()) {
       throw std::logic_error("Workload: bad request event");
     }
     if (r.time < pages[r.page].firstPublish) {
@@ -87,8 +107,9 @@ void Workload::validate() const {
   }
   prev = 0.0;
   for (const auto& c : churn) {
-    if (c.time < prev || c.time > horizon || c.proxy >= numProxies() ||
-        c.fromPage >= numPages() || c.toPage >= numPages()) {
+    if (!std::isfinite(c.time) || c.time < prev || c.time > horizon ||
+        c.proxy >= numProxies() || c.fromPage >= numPages() ||
+        c.toPage >= numPages()) {
       throw std::logic_error("Workload: bad churn event");
     }
     prev = c.time;

@@ -83,6 +83,38 @@ TEST(ArgsTest, UndeclaredAccessThrows) {
   EXPECT_THROW(p.option("verbose"), std::logic_error);  // flag, not option
 }
 
+TEST(ArgsTest, MalformedInputRejectedWithNamedError) {
+  auto p = makeParser();
+  EXPECT_FALSE(parse(p, {"--"}));
+  EXPECT_NE(p.error().find("missing option name"), std::string::npos);
+  EXPECT_FALSE(parse(p, {"--=value"}));
+  EXPECT_NE(p.error().find("missing option name"), std::string::npos);
+  EXPECT_FALSE(parse(p, {nullptr}));
+  EXPECT_NE(p.error().find("null argument"), std::string::npos);
+}
+
+TEST(ArgsTest, NonFiniteAndOverflowingDoublesThrow) {
+  auto p = makeParser();
+  ASSERT_TRUE(parse(p, {"--ratio", "nan"}));
+  EXPECT_THROW(p.optionDouble("ratio"), std::invalid_argument);
+  ASSERT_TRUE(parse(p, {"--ratio", "inf"}));
+  EXPECT_THROW(p.optionDouble("ratio"), std::invalid_argument);
+  ASSERT_TRUE(parse(p, {"--ratio", "1e999"}));
+  EXPECT_THROW(p.optionDouble("ratio"), std::invalid_argument);
+  ASSERT_TRUE(parse(p, {"--ratio", "0x1p2"}));  // hexfloat stays accepted
+  EXPECT_DOUBLE_EQ(p.optionDouble("ratio"), 4.0);
+}
+
+TEST(ArgsTest, EmbeddedJunkBytesAreJustStrings) {
+  auto p = makeParser();
+  ASSERT_TRUE(parse(p, {"--name", "\x01\xff\x7f"}));
+  EXPECT_EQ(p.option("name"), "\x01\xff\x7f");
+  ASSERT_TRUE(parse(p, {"--count", "9223372036854775807"}));
+  EXPECT_EQ(p.optionInt("count"), 9223372036854775807ll);
+  ASSERT_TRUE(parse(p, {"--count", "9223372036854775808"}));  // overflow
+  EXPECT_THROW(p.optionInt("count"), std::invalid_argument);
+}
+
 TEST(ArgsTest, ReparseResetsState) {
   auto p = makeParser();
   ASSERT_TRUE(parse(p, {"--verbose", "--name", "a"}));

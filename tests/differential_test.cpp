@@ -1,0 +1,288 @@
+// Differential oracle tests: every optimized subsystem is driven in
+// lockstep with its deliberately naive reference model
+// (src/pscd/oracle/) over seeded randomized operation streams. A clean
+// run must complete >= 1000 steps with no divergence; a run whose
+// production side is sabotaged through the InvariantCorrupter backdoor
+// must diverge and report the replayable (seed, step) pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pscd/cache/dual_methods.h"
+#include "pscd/cache/gds_family.h"
+#include "pscd/cache/lru_strategy.h"
+#include "pscd/cache/sub_strategy.h"
+#include "pscd/cache/value_cache.h"
+#include "pscd/oracle/lockstep.h"
+#include "pscd/oracle/reference_cache.h"
+#include "pscd/pubsub/covering.h"
+#include "pscd/pubsub/matcher.h"
+
+namespace pscd {
+
+/// Test-only backdoor (friended by the core containers) that damages
+/// internal production state in ways the public API prevents, so the
+/// lockstep drivers can prove they detect a broken implementation.
+class InvariantCorrupter {
+ public:
+  static void driftUsedBytes(ValueCache& c) { ++c.used_; }
+  static void driftUsedBytes(GdsFamilyStrategy& s) {
+    driftUsedBytes(s.cache_);
+  }
+  static void driftUsedBytes(SubStrategy& s) { driftUsedBytes(s.cache_); }
+  static void driftUsedBytes(DualMethodsStrategy& s) { ++s.used_; }
+  static void driftUsedBytes(LruStrategy& s) { ++s.used_; }
+
+  static void inflateLiveCount(MatchingEngine& m) { ++m.liveCount_; }
+  static void dropIndexBucket(MatchingEngine& m) {
+    ASSERT_FALSE(m.index_.empty());
+    m.index_.erase(m.index_.begin());
+  }
+
+  static void dropFrontierMember(CoveringSet& c) {
+    ASSERT_FALSE(c.members_.empty());
+    c.members_.pop_back();
+  }
+};
+
+namespace {
+
+constexpr std::size_t kSteps = 1200;
+constexpr Bytes kCapacity = 256;
+constexpr double kFetchCost = 2.5;
+
+// ------------------------------------------------------------ matcher --
+
+TEST(MatcherLockstep, AgreesWithReferenceOverRandomStreams) {
+  for (const std::uint64_t seed : {11ull, 20260806ull}) {
+    MatcherLockstepConfig config;
+    config.seed = seed;
+    config.steps = kSteps;
+    const LockstepReport report = runMatcherLockstep(config);
+    EXPECT_FALSE(report.diverged) << toString(report);
+    EXPECT_EQ(report.stepsRun, kSteps);
+  }
+}
+
+TEST(MatcherLockstep, DetectsInflatedLiveCount) {
+  MatcherLockstepConfig config;
+  config.seed = 7;
+  config.steps = kSteps;
+  config.sabotageStep = 500;
+  config.sabotage = [](MatchingEngine& m) {
+    InvariantCorrupter::inflateLiveCount(m);
+  };
+  const LockstepReport report = runMatcherLockstep(config);
+  ASSERT_TRUE(report.diverged) << toString(report);
+  EXPECT_EQ(report.seed, 7u);
+  EXPECT_EQ(report.step, 500u);  // size compare runs after every op
+  EXPECT_FALSE(report.what.empty());
+}
+
+TEST(MatcherLockstep, DetectsDroppedIndexBucket) {
+  MatcherLockstepConfig config;
+  config.seed = 7;
+  config.steps = kSteps;
+  config.sabotageStep = 500;
+  config.sabotage = [](MatchingEngine& m) {
+    InvariantCorrupter::dropIndexBucket(m);
+  };
+  const LockstepReport report = runMatcherLockstep(config);
+  ASSERT_TRUE(report.diverged) << toString(report);
+  // A missing posting list surfaces either as a wrong match set or as a
+  // CheckFailure from the periodic invariant validation.
+  EXPECT_GE(report.step, 500u);
+  EXPECT_EQ(report.seed, 7u);
+}
+
+// ----------------------------------------------------------- covering --
+
+TEST(CoveringLockstep, AgreesWithReferenceOverRandomStreams) {
+  for (const std::uint64_t seed : {3ull, 424242ull}) {
+    CoveringLockstepConfig config;
+    config.seed = seed;
+    config.steps = kSteps;
+    const LockstepReport report = runCoveringLockstep(config);
+    EXPECT_FALSE(report.diverged) << toString(report);
+    EXPECT_EQ(report.stepsRun, kSteps);
+  }
+}
+
+TEST(CoveringLockstep, DetectsDroppedFrontierMember) {
+  CoveringLockstepConfig config;
+  config.seed = 3;
+  config.steps = kSteps;
+  config.sabotageStep = 400;
+  config.sabotage = [](CoveringSet& c) {
+    InvariantCorrupter::dropFrontierMember(c);
+  };
+  const LockstepReport report = runCoveringLockstep(config);
+  ASSERT_TRUE(report.diverged) << toString(report);
+  EXPECT_EQ(report.step, 400u);  // member sets compared after every op
+  EXPECT_EQ(report.seed, 3u);
+}
+
+// -------------------------------------------------------------- cache --
+
+struct CachePair {
+  const char* label;
+  std::function<std::unique_ptr<DistributionStrategy>()> production;
+  std::function<std::unique_ptr<DistributionStrategy>()> reference;
+  std::function<void(DistributionStrategy&)> sabotage;
+};
+
+template <typename Production>
+std::function<void(DistributionStrategy&)> driftSabotage() {
+  return [](DistributionStrategy& s) {
+    auto* typed = dynamic_cast<Production*>(&s);
+    ASSERT_NE(typed, nullptr);
+    InvariantCorrupter::driftUsedBytes(*typed);
+  };
+}
+
+std::vector<CachePair> cachePairs() {
+  std::vector<CachePair> pairs;
+  pairs.push_back({"LRU",
+                   [] { return std::make_unique<LruStrategy>(kCapacity); },
+                   [] {
+                     return std::make_unique<ReferenceLruStrategy>(kCapacity);
+                   },
+                   driftSabotage<LruStrategy>()});
+  const std::vector<std::pair<const char*, GdsFamilyConfig>> family = {
+      {"GD*", gdStarConfig(2.0)}, {"SG1", sg1Config(2.0)},
+      {"SG2", sg2Config(1.0)},    {"SR", srConfig()},
+      {"GDS", gdsConfig()},       {"LFU-DA", lfuDaConfig()},
+  };
+  for (const auto& [label, config] : family) {
+    pairs.push_back(
+        {label,
+         [config] {
+           return std::make_unique<GdsFamilyStrategy>(kCapacity, kFetchCost,
+                                                      config);
+         },
+         [config] {
+           return std::make_unique<ReferenceGdsFamilyStrategy>(
+               kCapacity, kFetchCost, config);
+         },
+         driftSabotage<GdsFamilyStrategy>()});
+  }
+  pairs.push_back(
+      {"SUB",
+       [] { return std::make_unique<SubStrategy>(kCapacity, kFetchCost); },
+       [] {
+         return std::make_unique<ReferenceSubStrategy>(kCapacity, kFetchCost);
+       },
+       driftSabotage<SubStrategy>()});
+  pairs.push_back({"DM",
+                   [] {
+                     return std::make_unique<DualMethodsStrategy>(
+                         kCapacity, kFetchCost, 1.0);
+                   },
+                   [] {
+                     return std::make_unique<ReferenceDualMethodsStrategy>(
+                         kCapacity, kFetchCost, 1.0);
+                   },
+                   driftSabotage<DualMethodsStrategy>()});
+  return pairs;
+}
+
+TEST(CacheLockstep, EveryStrategyAgreesWithItsReference) {
+  for (const CachePair& pair : cachePairs()) {
+    SCOPED_TRACE(pair.label);
+    for (const std::uint64_t seed : {5ull, 998877ull}) {
+      CacheLockstepConfig config;
+      config.seed = seed;
+      config.steps = kSteps;
+      config.capacity = kCapacity;
+      config.makeProduction = pair.production;
+      config.makeReference = pair.reference;
+      const LockstepReport report = runCacheLockstep(config);
+      EXPECT_FALSE(report.diverged)
+          << pair.label << ": " << toString(report);
+      EXPECT_EQ(report.stepsRun, kSteps);
+    }
+  }
+}
+
+TEST(CacheLockstep, EveryStrategyDetectsDriftedByteAccounting) {
+  for (const CachePair& pair : cachePairs()) {
+    SCOPED_TRACE(pair.label);
+    CacheLockstepConfig config;
+    config.seed = 5;
+    config.steps = kSteps;
+    config.capacity = kCapacity;
+    config.makeProduction = pair.production;
+    config.makeReference = pair.reference;
+    config.sabotageStep = 300;
+    config.sabotage = pair.sabotage;
+    const LockstepReport report = runCacheLockstep(config);
+    ASSERT_TRUE(report.diverged) << pair.label << ": " << toString(report);
+    // A one-byte accounting drift changes either the admission decision
+    // of the very next operation or the usedBytes comparison after it.
+    EXPECT_EQ(report.step, 300u) << pair.label;
+    EXPECT_EQ(report.seed, 5u);
+  }
+}
+
+// ------------------------------------------------------ shortest paths --
+
+TEST(PathsLockstep, DijkstraAgreesWithBellmanFord) {
+  for (const std::uint64_t seed : {17ull, 90210ull}) {
+    PathsLockstepConfig config;
+    config.seed = seed;
+    config.steps = kSteps;
+    const LockstepReport report = runPathsLockstep(config);
+    EXPECT_FALSE(report.diverged) << toString(report);
+    EXPECT_EQ(report.stepsRun, kSteps);
+  }
+}
+
+TEST(PathsLockstep, DetectsPerturbedDistance) {
+  PathsLockstepConfig config;
+  config.seed = 17;
+  config.steps = kSteps;
+  config.sabotageStep = 250;
+  config.sabotage = [](std::vector<double>& dist) {
+    for (double& d : dist) {
+      if (std::isfinite(d)) {
+        d += 0.5;  // the source entry is always finite
+        return;
+      }
+    }
+    FAIL() << "no finite distance to perturb";
+  };
+  const LockstepReport report = runPathsLockstep(config);
+  ASSERT_TRUE(report.diverged) << toString(report);
+  EXPECT_EQ(report.step, 250u);
+  EXPECT_EQ(report.seed, 17u);
+}
+
+// ------------------------------------------------------- replayability --
+
+TEST(LockstepReport, DivergenceReplaysIdentically) {
+  const auto run = [] {
+    MatcherLockstepConfig config;
+    config.seed = 31;
+    config.steps = kSteps;
+    config.sabotageStep = 200;
+    config.sabotage = [](MatchingEngine& m) {
+      InvariantCorrupter::inflateLiveCount(m);
+    };
+    return runMatcherLockstep(config);
+  };
+  const LockstepReport first = run();
+  const LockstepReport second = run();
+  ASSERT_TRUE(first.diverged);
+  EXPECT_EQ(first.step, second.step);
+  EXPECT_EQ(first.seed, second.seed);
+  EXPECT_EQ(first.what, second.what);
+  EXPECT_NE(toString(first).find("seed=31"), std::string::npos);
+  EXPECT_NE(toString(first).find("step=200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pscd

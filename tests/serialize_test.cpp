@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace pscd {
@@ -63,6 +65,90 @@ TEST(SerializeTest, TruncationRejected) {
   const std::string full = buf.str();
   std::stringstream cut(full.substr(0, full.size() / 2));
   EXPECT_THROW(loadWorkload(cut), std::runtime_error);
+}
+
+std::string savedBytes(const Workload& w) {
+  std::stringstream buf;
+  saveWorkload(w, buf);
+  return buf.str();
+}
+
+std::string loadError(const std::string& bytes) {
+  std::stringstream in(bytes);
+  try {
+    loadWorkload(in);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// Section offsets within the stream (all sizes are fixed-width PODs).
+constexpr std::size_t kParamsOffset = 8 + sizeof(std::uint32_t);
+constexpr std::size_t kPagesOffset = kParamsOffset + sizeof(WorkloadParams);
+
+TEST(SerializeTest, TruncationErrorNamesOffendingField) {
+  const std::string full = savedBytes(buildWorkload(tinyParams()));
+  EXPECT_NE(loadError(full.substr(0, 5)).find("magic"), std::string::npos);
+  EXPECT_NE(loadError(full.substr(0, kParamsOffset + 7)).find("params"),
+            std::string::npos);
+  // Inside the pages payload, past its length prefix.
+  EXPECT_NE(loadError(full.substr(0, kPagesOffset + 8 + 3)).find("pages"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, OversizedLengthFieldRejectedByName) {
+  std::string bytes = savedBytes(buildWorkload(tinyParams()));
+  // Overwrite the pages vector length with an absurd element count.
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + kPagesOffset, &huge, sizeof(huge));
+  EXPECT_NE(loadError(bytes).find("bad length for pages"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, InvalidNotificationDrivenByteRejected) {
+  Workload w = buildWorkload(tinyParams());
+  ASSERT_FALSE(w.requests.empty());
+  std::string bytes = savedBytes(w);
+  // Locate the first RequestEvent record: params, pages and publishes
+  // precede the requests vector, each vector with a u64 length prefix.
+  const std::size_t requestsOffset =
+      kPagesOffset + 8 + w.pages.size() * sizeof(PageInfo) + 8 +
+      w.publishes.size() * sizeof(PublishEvent) + 8;
+  // The bool lives after time (8) + page (4) + proxy (4).
+  bytes[requestsOffset + 16] = 0x07;
+  EXPECT_NE(loadError(bytes).find("notificationDriven"), std::string::npos);
+}
+
+TEST(SerializeTest, RoundTripPreservesNotificationDrivenFlags) {
+  Workload w = buildWorkload(tinyParams());
+  ASSERT_GE(w.requests.size(), 4u);
+  w.requests[1].notificationDriven = false;
+  w.requests[3].notificationDriven = false;
+  std::stringstream buf;
+  saveWorkload(w, buf);
+  const Workload r = loadWorkload(buf);
+  ASSERT_EQ(r.requests.size(), w.requests.size());
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    EXPECT_EQ(r.requests[i].notificationDriven,
+              w.requests[i].notificationDriven);
+  }
+}
+
+TEST(SerializeTest, NonFiniteEventTimeRejectedOnLoad) {
+  Workload w = buildWorkload(tinyParams());
+  ASSERT_FALSE(w.publishes.empty());
+  w.publishes.front().time = std::numeric_limits<double>::quiet_NaN();
+  std::stringstream buf;
+  saveWorkload(w, buf);
+  EXPECT_THROW(loadWorkload(buf), std::logic_error);
+}
+
+TEST(SerializeTest, SavedBytesAreDeterministic) {
+  const Workload w = buildWorkload(tinyParams());
+  // Two saves must be byte-identical: the request records go through a
+  // zero-padded disk mirror, so no uninitialized padding leaks out.
+  EXPECT_EQ(savedBytes(w), savedBytes(w));
 }
 
 TEST(SerializeTest, MissingFileThrows) {

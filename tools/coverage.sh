@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Line-coverage report for the pscd library: builds an instrumented tree
+# (-DPSCD_COVERAGE=ON, gcc --coverage), runs the full test suite, and
+# summarizes per-file and per-subsystem line coverage with plain gcov —
+# no gcovr/lcov dependency. When GITHUB_STEP_SUMMARY is set (CI), a
+# markdown table is appended to the job summary.
+#
+#   tools/coverage.sh [build-dir]        # default build/coverage
+#
+# Coverage is attributed per translation unit (src/pscd/**/*.cpp);
+# header-only lines are exercised through their including TUs and are
+# not double-counted.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build/coverage}"
+
+gcov_bin="${GCOV:-gcov}"
+if ! command -v "$gcov_bin" >/dev/null 2>&1; then
+  echo "error: $gcov_bin not found (set GCOV to your gcov binary)" >&2
+  exit 2
+fi
+
+echo "coverage: configuring $build_dir"
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Debug -DPSCD_COVERAGE=ON \
+      -DPSCD_BUILD_BENCH=OFF -DPSCD_BUILD_EXAMPLES=OFF >/dev/null
+echo "coverage: building"
+cmake --build "$build_dir" -j"$(nproc)" >/dev/null
+echo "coverage: running tests"
+ctest --test-dir "$build_dir" -j"$(nproc)" --output-on-failure >/dev/null
+
+rows="$build_dir/coverage_rows.txt"
+: > "$rows"
+while IFS= read -r gcda; do
+  rel=${gcda#*CMakeFiles/pscd.dir/}
+  src="src/${rel%.gcda}"          # .../pscd/util/rng.cpp.gcda -> .cpp
+  [[ -f "$src" ]] || continue
+  # gcov reports one File/Lines block per contributing source (headers,
+  # standard library, ...) plus a trailing whole-object aggregate line;
+  # keep only the block of the TU itself (first Lines line after its
+  # File header). File paths in the output are absolute.
+  "$gcov_bin" -n "$gcda" 2>/dev/null |
+    awk -v want="$PWD/$src" -v name="$src" '
+    /^File / { f = $0; gsub(/^File '\''|'\''$/, "", f) }
+    /^Lines executed:/ {
+      if (f == want) {
+        line = $0
+        sub(/^Lines executed:/, "", line)
+        split(line, parts, "% of ")
+        printf "%s %s %s\n", name, parts[1], parts[2]
+      }
+      f = ""
+    }' >> "$rows"
+done < <(find "$build_dir/src" -name '*.gcda' | sort)
+
+if [[ ! -s "$rows" ]]; then
+  echo "error: no coverage data found under $build_dir/src" >&2
+  exit 1
+fi
+
+summary="$build_dir/coverage_summary.txt"
+# Rows arrive sorted by path, so subsystems (src/pscd/<subsystem>/...)
+# form contiguous groups; subtotals are flushed on group change. Plain
+# POSIX awk — no gawk asorti.
+sort "$rows" | awk '
+  function flush_sub() {
+    if (cur != "") {
+      sub_lines[++nsub] = sprintf("%-52s %8d %7.2f%%", "src/pscd/" cur,
+                                  cur_tot, 100.0 * cur_cov / cur_tot)
+    }
+    cur_cov = 0; cur_tot = 0
+  }
+  BEGIN { printf "%-52s %8s %8s\n", "file", "lines", "cover" }
+  {
+    covered = $2 / 100.0 * $3
+    printf "%-52s %8d %7.2f%%\n", $1, $3, $2
+    split($1, parts, "/")              # src/pscd/<subsystem>/<file>
+    if (parts[3] != cur) { flush_sub(); cur = parts[3] }
+    cur_cov += covered; cur_tot += $3
+    all_cov += covered; all_tot += $3
+  }
+  END {
+    flush_sub()
+    print ""
+    printf "%-52s %8s %8s\n", "subsystem", "lines", "cover"
+    for (i = 1; i <= nsub; ++i) print sub_lines[i]
+    printf "%-52s %8d %7.2f%%\n", "TOTAL", all_tot, \
+           100.0 * all_cov / all_tot
+  }' | tee "$summary"
+
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "### Library line coverage"
+    echo ""
+    echo "| subsystem | lines | cover |"
+    echo "|---|---:|---:|"
+    sort "$rows" | awk '
+      function flush_sub() {
+        if (cur != "") {
+          printf "| src/pscd/%s | %d | %.2f%% |\n", cur, cur_tot, \
+                 100.0 * cur_cov / cur_tot
+        }
+        cur_cov = 0; cur_tot = 0
+      }
+      {
+        covered = $2 / 100.0 * $3
+        split($1, parts, "/")
+        if (parts[3] != cur) { flush_sub(); cur = parts[3] }
+        cur_cov += covered; cur_tot += $3
+        all_cov += covered; all_tot += $3
+      }
+      END {
+        flush_sub()
+        printf "| **TOTAL** | %d | **%.2f%%** |\n", all_tot, \
+               100.0 * all_cov / all_tot
+      }'
+  } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+echo "coverage: summary written to $summary"

@@ -32,12 +32,12 @@ fi
 if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   echo "run_tidy: configuring $build_dir for compile_commands.json"
   cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPSCD_FUZZ=ON >/dev/null
 fi
 
 mapfile -t sources < <(git ls-files \
   'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
-  'tests/*.cpp')
+  'tests/*.cpp' 'fuzz/*.cpp')
 
 echo "run_tidy: linting ${#sources[@]} files with $("$tidy_bin" --version | head -1)"
 fail=0
