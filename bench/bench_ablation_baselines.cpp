@@ -6,13 +6,28 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_ablation_baselines",
+                    "Ablation: GD* vs classic replacement baselines");
   printHeader("Ablation: GD* vs classic replacement baselines",
               "the baseline choice of section 3.1");
   constexpr StrategyKind kKinds[] = {StrategyKind::kGDStar,
                                      StrategyKind::kGDS, StrategyKind::kLFUDA,
                                      StrategyKind::kLRU};
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
+
+  std::vector<ExperimentCell> cells;
+  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
+    for (const double cap : kCapacityFractions) {
+      for (const StrategyKind kind : kKinds) {
+        cells.push_back({trace, 1.0, kind, cap});
+      }
+    }
+  }
+  runCells(ctx, env, cells);
+
+  CsvSink csv;
   for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
     AsciiTable table({"capacity", "GD*", "GDS", "LFU-DA", "LRU"});
     for (const double cap : kCapacityFractions) {
@@ -24,7 +39,11 @@ int main() {
     std::printf("Hit ratio (%%), trace %s:\n%s\n",
                 std::string(traceName(trace)).c_str(),
                 table.render().c_str());
+    csv.add(std::string("ablation_baselines_") +
+                std::string(traceName(trace)),
+            table);
   }
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: GD* should match or beat the classics, justifying its use\n"
       "as the access-time module inside the combined schemes.\n");

@@ -8,33 +8,56 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_ablation_churn",
+                    "Extension: subscription churn over the week");
   printHeader("Extension: subscription churn over the week",
               "a dynamic-subscription extension beyond section 4.3");
   constexpr StrategyKind kKinds[] = {StrategyKind::kGDStar,
                                      StrategyKind::kSUB, StrategyKind::kSG1,
                                      StrategyKind::kSG2, StrategyKind::kDCLAP};
+  constexpr double kChurn[] = {0.0, 0.05, 0.15, 0.40};
   Rng nrng(7);
   const Network network(NetworkParams{}, nrng);
+
+  // One task per churn level, each building its own workload.
+  std::vector<std::vector<double>> hit(std::size(kChurn),
+                                       std::vector<double>(5, 0.0));
+  std::vector<std::size_t> churnEvents(std::size(kChurn), 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < std::size(kChurn); ++i) {
+    tasks.push_back([&, i] {
+      WorkloadParams params = traceParams(TraceKind::kNews, 1.0, env.scale);
+      params.subscription.churnPerDay = kChurn[i];
+      const Workload w = buildWorkload(params);
+      churnEvents[i] = w.churn.size();
+      for (std::size_t k = 0; k < std::size(kKinds); ++k) {
+        SimConfig c;
+        c.strategy = kKinds[k];
+        c.beta = paperBeta(kKinds[k], TraceKind::kNews, 0.05);
+        c.capacityFraction = 0.05;
+        hit[i][k] = Simulator(w, network, c).run().hitRatio();
+      }
+    });
+  }
+  runTasks(env, std::move(tasks));
+
   AsciiTable table({"churn/day", "churn events", "GD*", "SUB", "SG1", "SG2",
                     "DC-LAP"});
-  for (const double churn : {0.0, 0.05, 0.15, 0.40}) {
-    WorkloadParams params = newsTraceParams();
-    params.subscription.churnPerDay = churn;
-    const Workload w = buildWorkload(params);
+  for (std::size_t i = 0; i < std::size(kChurn); ++i) {
     table.row()
-        .cell(formatFixed(100 * churn, 0) + "%")
-        .cell(std::to_string(w.churn.size()));
-    for (const StrategyKind kind : kKinds) {
-      SimConfig c;
-      c.strategy = kind;
-      c.beta = paperBeta(kind, TraceKind::kNews, 0.05);
-      c.capacityFraction = 0.05;
-      table.cell(pct(Simulator(w, network, c).run().hitRatio()));
+        .cell(formatFixed(100 * kChurn[i], 0) + "%")
+        .cell(std::to_string(churnEvents[i]));
+    for (std::size_t k = 0; k < std::size(kKinds); ++k) {
+      table.cell(pct(hit[i][k]));
     }
   }
   std::printf("Hit ratio (%%), NEWS, capacity = 5%%, SQ = 1 initially:\n%s\n",
               table.render().c_str());
+  CsvSink csv;
+  csv.add("ablation_churn", table);
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: GD* ignores subscriptions and is unaffected; the\n"
       "subscription-driven schemes lose accuracy as interests migrate but\n"

@@ -49,27 +49,50 @@ double runVariant(const Workload& w, const Network& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = parseBenchEnv(
+      argc, argv, "bench_ablation_counting",
+      "Ablation: persistent vs in-cache access counting in eqs. 3-5");
   printHeader("Ablation: persistent vs in-cache access counting (a in "
               "eqs. 3-5)",
               "an implementation decision the paper leaves open");
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
+  const std::vector<std::pair<const char*, GdsFamilyConfig>> kMethods = {
+      {"SG1", sg1Config(2.0)}, {"SG2", sg2Config(2.0)}, {"SR", srConfig()}};
+  constexpr TraceKind kTraces[] = {TraceKind::kNews, TraceKind::kAlternative};
+
+  // Shared inputs first, then one task per (trace, method, variant).
+  for (const TraceKind trace : kTraces) ctx.workload(trace, 1.0);
+  ctx.network();
+  // hit[trace][method][0 = in-cache, 1 = persistent]
+  std::vector<std::vector<std::array<double, 2>>> hit(
+      std::size(kTraces),
+      std::vector<std::array<double, 2>>(kMethods.size(), {0.0, 0.0}));
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t t = 0; t < std::size(kTraces); ++t) {
+    for (std::size_t m = 0; m < kMethods.size(); ++m) {
+      for (const bool persistent : {false, true}) {
+        tasks.push_back([&, t, m, persistent] {
+          GdsFamilyConfig config = kMethods[m].second;
+          config.persistentAccessCounts = persistent;
+          hit[t][m][persistent ? 1 : 0] =
+              runVariant(ctx.workload(kTraces[t], 1.0), ctx.network(),
+                         config, 0.05);
+        });
+      }
+    }
+  }
+  runTasks(env, std::move(tasks));
+
   AsciiTable table({"trace", "method", "in-cache a", "persistent a",
                     "delta"});
-  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
-    const Workload& w = ctx.workload(trace, 1.0);
-    for (const auto& [name, baseConfig] :
-         {std::pair{"SG1", sg1Config(2.0)}, std::pair{"SG2", sg2Config(2.0)},
-          std::pair{"SR", srConfig()}}) {
-      GdsFamilyConfig inCache = baseConfig;
-      inCache.persistentAccessCounts = false;
-      GdsFamilyConfig persistent = baseConfig;
-      persistent.persistentAccessCounts = true;
-      const double hIn = runVariant(w, ctx.network(), inCache, 0.05);
-      const double hPersist = runVariant(w, ctx.network(), persistent, 0.05);
+  for (std::size_t t = 0; t < std::size(kTraces); ++t) {
+    for (std::size_t m = 0; m < kMethods.size(); ++m) {
+      const double hIn = hit[t][m][0];
+      const double hPersist = hit[t][m][1];
       table.row()
-          .cell(std::string(traceName(trace)))
-          .cell(name)
+          .cell(std::string(traceName(kTraces[t])))
+          .cell(kMethods[m].first)
           .cell(pct(hIn))
           .cell(pct(hPersist))
           .cell(formatFixed(100 * (hPersist - hIn), 1) + " pp");
@@ -77,6 +100,9 @@ int main() {
   }
   std::printf("Hit ratio (%%), SQ = 1, capacity = 5%%:\n%s\n",
               table.render().c_str());
+  CsvSink csv;
+  csv.add("ablation_counting", table);
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: with persistent counters a drained page (a >= s) stays\n"
       "recognizable after an eviction/re-push cycle, so SG2/SR reclaim\n"

@@ -48,25 +48,63 @@ double runOracle(const Workload& w, const Network& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_ablation_oracle",
+                    "Ablation: clairvoyant (Belady-style) upper bound");
   printHeader("Ablation: clairvoyant (Belady-style) upper bound",
               "an upper bound the paper does not report");
-  ExperimentContext ctx;
-  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
-    AsciiTable table({"capacity", "GD*", "SG2", "SR", "ORACLE"});
+  ExperimentContext ctx(42, 7, env.scale);
+  constexpr TraceKind kTraces[] = {TraceKind::kNews, TraceKind::kAlternative};
+  constexpr StrategyKind kKinds[] = {StrategyKind::kGDStar,
+                                     StrategyKind::kSG2, StrategyKind::kSR};
+
+  // The online strategies go through the shared cell runner; the oracle
+  // runs fan out as driver tasks over the same pool configuration.
+  std::vector<ExperimentCell> cells;
+  for (const TraceKind trace : kTraces) {
     for (const double cap : kCapacityFractions) {
-      table.row().cell(formatFixed(100 * cap, 0) + "%");
-      for (const StrategyKind kind :
-           {StrategyKind::kGDStar, StrategyKind::kSG2, StrategyKind::kSR}) {
-        table.cell(pct(ctx.run(trace, 1.0, kind, cap).hitRatio()));
+      for (const StrategyKind kind : kKinds) {
+        cells.push_back({trace, 1.0, kind, cap});
       }
-      table.cell(pct(runOracle(ctx.workload(trace, 1.0), ctx.network(),
-                               cap)));
+    }
+  }
+  runCells(ctx, env, cells);
+
+  std::vector<std::vector<double>> oracle(
+      std::size(kTraces),
+      std::vector<double>(std::size(kCapacityFractions), 0.0));
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t t = 0; t < std::size(kTraces); ++t) {
+    for (std::size_t c = 0; c < std::size(kCapacityFractions); ++c) {
+      tasks.push_back([&, t, c] {
+        oracle[t][c] = runOracle(ctx.workload(kTraces[t], 1.0),
+                                 ctx.network(), kCapacityFractions[c]);
+      });
+    }
+  }
+  runTasks(env, std::move(tasks));
+
+  CsvSink csv;
+  for (std::size_t t = 0; t < std::size(kTraces); ++t) {
+    AsciiTable table({"capacity", "GD*", "SG2", "SR", "ORACLE"});
+    for (std::size_t c = 0; c < std::size(kCapacityFractions); ++c) {
+      table.row().cell(formatFixed(100 * kCapacityFractions[c], 0) + "%");
+      for (const StrategyKind kind : kKinds) {
+        table.cell(pct(
+            ctx.run(kTraces[t], 1.0, kind, kCapacityFractions[c])
+                .hitRatio()));
+      }
+      table.cell(pct(oracle[t][c]));
     }
     std::printf("Hit ratio (%%), trace %s, SQ = 1:\n%s\n",
-                std::string(traceName(trace)).c_str(),
+                std::string(traceName(kTraces[t])).c_str(),
                 table.render().c_str());
+    csv.add(std::string("ablation_oracle_") +
+                std::string(traceName(kTraces[t])),
+            table);
   }
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: with perfect subscriptions SG2/SR close most of the gap\n"
       "to the clairvoyant bound; the residue is version churn plus pages\n"

@@ -8,36 +8,67 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_ablation_topology",
+                    "Ablation: topology model and seed sensitivity");
   printHeader("Ablation: topology model and seed sensitivity",
               "the BRITE substitution documented in DESIGN.md");
-  WorkloadParams params = newsTraceParams();
+  WorkloadParams params = traceParams(TraceKind::kNews, 1.0, env.scale);
   const Workload w = buildWorkload(params);
 
-  AsciiTable table({"topology", "seed", "GD*", "SUB", "SG2", "DC-LAP"});
+  constexpr StrategyKind kKinds[] = {StrategyKind::kGDStar,
+                                     StrategyKind::kSUB, StrategyKind::kSG2,
+                                     StrategyKind::kDCLAP};
+  struct Row {
+    TopologyModel model;
+    std::uint64_t seed;
+  };
+  std::vector<Row> rows;
   for (const TopologyModel model :
        {TopologyModel::kWaxman, TopologyModel::kBarabasiAlbert}) {
     for (const std::uint64_t seed : {7ull, 1234ull, 99ull}) {
-      Rng rng(seed);
+      rows.push_back({model, seed});
+    }
+  }
+
+  // One task per table row: builds that row's network (each task owns
+  // its private RNG seeded from the row spec, never a shared one), then
+  // runs the four strategies against it.
+  std::vector<std::vector<double>> hit(rows.size(),
+                                       std::vector<double>(4, 0.0));
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    tasks.push_back([&, r] {
+      Rng rng(rows[r].seed);
       NetworkParams np;
-      np.model = model;
+      np.model = rows[r].model;
       const Network net(np, rng);
-      table.row()
-          .cell(model == TopologyModel::kWaxman ? "Waxman" : "BA")
-          .cell(std::to_string(seed));
-      for (const StrategyKind kind :
-           {StrategyKind::kGDStar, StrategyKind::kSUB, StrategyKind::kSG2,
-            StrategyKind::kDCLAP}) {
+      for (std::size_t k = 0; k < std::size(kKinds); ++k) {
         SimConfig c;
-        c.strategy = kind;
-        c.beta = paperBeta(kind, TraceKind::kNews, 0.05);
+        c.strategy = kKinds[k];
+        c.beta = paperBeta(kKinds[k], TraceKind::kNews, 0.05);
         c.capacityFraction = 0.05;
-        table.cell(pct(Simulator(w, net, c).run().hitRatio()));
+        hit[r][k] = Simulator(w, net, c).run().hitRatio();
       }
+    });
+  }
+  runTasks(env, std::move(tasks));
+
+  AsciiTable table({"topology", "seed", "GD*", "SUB", "SG2", "DC-LAP"});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    table.row()
+        .cell(rows[r].model == TopologyModel::kWaxman ? "Waxman" : "BA")
+        .cell(std::to_string(rows[r].seed));
+    for (std::size_t k = 0; k < std::size(kKinds); ++k) {
+      table.cell(pct(hit[r][k]));
     }
   }
   std::printf("Hit ratio (%%), NEWS, SQ = 1, capacity = 5%%:\n%s\n",
               table.render().c_str());
+  CsvSink csv;
+  csv.add("ablation_topology", table);
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: with a single publisher the fetch cost is constant per\n"
       "proxy and value orderings are scale-invariant, so the strategy\n"

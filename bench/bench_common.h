@@ -1,10 +1,32 @@
 // Shared helpers for the figure/table reproduction binaries.
+//
+// Every driver accepts:
+//   --jobs N   worker threads for the simulation cells (0 = one per
+//              hardware thread, the default; 1 = fully serial)
+//   --scale F  shrink the canonical workload by F in (0, 1] for smoke
+//              runs (1 = the paper's full setup)
+//   --csv P    also export every printed table to CSV file P
+//
+// Drivers are two-phase so parallelism cannot perturb output: phase one
+// schedules every (trace x strategy x config) cell on a ParallelRunner
+// backed by the annotated ThreadPool; phase two renders tables on the
+// main thread through ExperimentContext's memoized results, in the same
+// deterministic order regardless of --jobs. Serial and parallel runs of
+// a driver therefore emit byte-identical stdout and CSV.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "pscd/pscd.h"
+#include "pscd/sim/parallel_runner.h"
+#include "pscd/util/mutex.h"
+#include "pscd/util/thread_pool.h"
 
 namespace pscd::bench {
 
@@ -23,5 +45,131 @@ inline void printHeader(const std::string& title, const std::string& paper) {
               paper.c_str());
   std::printf("==================================================\n\n");
 }
+
+/// Common command-line settings of every bench driver.
+struct BenchEnv {
+  unsigned jobs = 1;       // resolved worker count
+  double scale = 1.0;      // workload scale in (0, 1]
+  std::string csvPath;     // empty = no CSV export
+};
+
+/// Parses the shared bench options. Exits on --help (0) or bad usage
+/// (2), so drivers can use the result unconditionally.
+inline BenchEnv parseBenchEnv(int argc, const char* const* argv,
+                              const std::string& program,
+                              const std::string& description) {
+  ArgParser parser(program, description);
+  parser.addOption("jobs",
+                   "worker threads for simulation cells "
+                   "(0 = hardware concurrency)",
+                   "0");
+  parser.addOption("scale",
+                   "workload scale factor in (0, 1]; 1 = paper setup", "1");
+  parser.addOption("csv", "also write every table to this CSV file", "");
+  if (!parser.parse(argc, argv)) {
+    if (parser.error().empty()) {
+      std::printf("%s", parser.help().c_str());
+      std::exit(0);
+    }
+    std::fprintf(stderr, "%s: %s\n%s", program.c_str(),
+                 parser.error().c_str(), parser.help().c_str());
+    std::exit(2);
+  }
+  BenchEnv env;
+  const std::int64_t jobs = parser.optionInt("jobs");
+  if (jobs < 0) {
+    std::fprintf(stderr, "%s: --jobs must be >= 0\n", program.c_str());
+    std::exit(2);
+  }
+  env.jobs = resolveJobs(static_cast<unsigned>(jobs));
+  env.scale = parser.optionDouble("scale");
+  if (!(env.scale > 0.0 && env.scale <= 1.0)) {
+    std::fprintf(stderr, "%s: --scale must be in (0, 1]\n", program.c_str());
+    std::exit(2);
+  }
+  env.csvPath = parser.option("csv");
+  return env;
+}
+
+/// Runs every cell across env.jobs workers (inline when jobs = 1). The
+/// results land in the context's memo, so the driver's rendering phase
+/// reads them back through the ordinary ctx.run()/runWithBeta() calls
+/// without recomputing anything.
+inline void runCells(ExperimentContext& ctx, const BenchEnv& env,
+                     const std::vector<ExperimentCell>& cells) {
+  ParallelRunner runner(env.jobs);
+  for (const ExperimentCell& cell : cells) runner.schedule(ctx, cell);
+  runner.runAll();
+}
+
+/// Fan-out for driver-specific work that does not go through
+/// ExperimentContext cells (custom Simulator configs, broker trees,
+/// hierarchies). Each task must write to its own pre-sized result slot;
+/// tasks run inline, in order, when jobs = 1.
+inline void runTasks(const BenchEnv& env,
+                     std::vector<std::function<void()>> tasks) {
+  if (env.jobs <= 1) {
+    runAll(nullptr, std::move(tasks));
+    return;
+  }
+  ThreadPool pool(env.jobs);
+  runAll(&pool, std::move(tasks));
+}
+
+/// Collects labeled tables and writes them to one CSV file. Each table
+/// contributes a header row and its data rows, all prefixed with the
+/// table's label, so several tables share a file unambiguously.
+///
+/// Race-free by construction: add() serializes behind an annotated
+/// mutex (drivers call it from the main thread after the ThreadPool has
+/// been joined, but the sink does not rely on that), and writeTo()
+/// first writes a temp file and then renames it into place, so two
+/// bench processes pointed at the same --csv path can never interleave
+/// partial output.
+class CsvSink {
+ public:
+  void add(const std::string& label, const AsciiTable& table)
+      PSCD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    CsvWriter csv(buffer_);
+    csv.field(label);
+    for (const std::string& column : table.header()) csv.field(column);
+    csv.endRow();
+    for (const auto& row : table.rowData()) {
+      csv.field(label);
+      for (const std::string& cell : row) csv.field(cell);
+      csv.endRow();
+    }
+  }
+
+  /// Writes everything added so far to `path`; no-op when empty. Exits
+  /// with an error message if the file cannot be written.
+  void writeTo(const std::string& path) PSCD_EXCLUDES(mu_) {
+    if (path.empty()) return;
+    std::string content;
+    {
+      MutexLock lock(mu_);
+      content = buffer_.str();
+    }
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << content;
+      if (!out) {
+        std::fprintf(stderr, "csv export: cannot write %s\n", tmp.c_str());
+        std::exit(1);
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "csv export: cannot rename %s -> %s\n",
+                   tmp.c_str(), path.c_str());
+      std::exit(1);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::ostringstream buffer_ PSCD_GUARDED_BY(mu_);
+};
 
 }  // namespace pscd::bench

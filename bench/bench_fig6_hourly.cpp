@@ -5,11 +5,25 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_fig6_hourly",
+                    "Figure 6: hourly hit ratio over the 7-day run");
   printHeader("Hourly hit ratio over the 7-day run", "figure 6 (a, b)");
   constexpr StrategyKind kKinds[] = {StrategyKind::kSG2, StrategyKind::kSUB,
                                      StrategyKind::kGDStar};
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
+
+  std::vector<ExperimentCell> cells;
+  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
+    for (const StrategyKind kind : kKinds) {
+      cells.push_back({trace, 1.0, kind, 0.05, PushScheme::kAlwaysPushing,
+                       /*collectHourly=*/true});
+    }
+  }
+  runCells(ctx, env, cells);
+
+  CsvSink csv;
   for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
     std::printf("Trace %s (SQ = 1, capacity = 5%%), hit ratio (%%):\n",
                 std::string(traceName(trace)).c_str());
@@ -27,6 +41,8 @@ int main() {
       for (const auto& m : runs) table.cell(pct(m.hourlyHitRatio(h)));
     }
     std::printf("%s\n", table.render().c_str());
+    csv.add(std::string("fig6_hourly_") + std::string(traceName(trace)),
+            table);
     // Weekly averages per strategy (first/second half) show the trend.
     for (std::size_t k = 0; k < runs.size(); ++k) {
       double early = 0, late = 0;
@@ -43,6 +59,7 @@ int main() {
     }
     std::printf("\n");
   }
+  csv.writeTo(env.csvPath);
   std::printf(
       "Paper shape: SG2 stays high throughout; GD* stabilizes after the\n"
       "cold start; SUB starts high and deteriorates relative to SG2 since\n"

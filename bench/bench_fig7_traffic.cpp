@@ -7,12 +7,27 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env = parseBenchEnv(
+      argc, argv, "bench_fig7_traffic",
+      "Figure 7: hourly publisher->proxy traffic under both push schemes");
   printHeader("Traffic (pages/hour) under the two pushing schemes",
               "figure 7 (a, b)");
   constexpr StrategyKind kKinds[] = {StrategyKind::kSUB, StrategyKind::kSG2,
                                      StrategyKind::kGDStar};
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
+
+  std::vector<ExperimentCell> cells;
+  for (const PushScheme scheme :
+       {PushScheme::kAlwaysPushing, PushScheme::kPushingWhenNecessary}) {
+    for (const StrategyKind kind : kKinds) {
+      cells.push_back({TraceKind::kNews, 1.0, kind, 0.05, scheme,
+                       /*collectHourly=*/true});
+    }
+  }
+  runCells(ctx, env, cells);
+
+  CsvSink csv;
   for (const PushScheme scheme :
        {PushScheme::kAlwaysPushing, PushScheme::kPushingWhenNecessary}) {
     const char* name = scheme == PushScheme::kAlwaysPushing
@@ -32,6 +47,9 @@ int main() {
       }
     }
     std::printf("%s", table.render().c_str());
+    csv.add(std::string("fig7_traffic_") +
+                (scheme == PushScheme::kAlwaysPushing ? "always" : "necessary"),
+            table);
     std::printf("Totals over 7 days:\n");
     for (std::size_t k = 0; k < runs.size(); ++k) {
       std::printf("  %-4s push %8llu pages (%6.1f MB), fetch %8llu pages "
@@ -47,6 +65,7 @@ int main() {
     }
     std::printf("\n");
   }
+  csv.writeTo(env.csvPath);
   std::printf(
       "Paper shape: GD* identical under both schemes (no pushing); SUB the\n"
       "highest traffic (fetch-on-miss without caching); SG2 comparable to\n"

@@ -9,59 +9,104 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+namespace {
+
+struct TreeStats {
+  std::size_t subs = 0;
+  std::uint64_t control = 0;
+  std::uint64_t events = 0;
+  std::uint64_t flood = 0;
+};
+
+TreeStats runTree(const Workload& w, unsigned brokers, unsigned fanout,
+                  bool covering) {
+  BrokerTree tree = BrokerTree::balanced(brokers, fanout, covering);
+  // Proxies attach to the leaf brokers round-robin.
+  std::vector<BrokerId> leaves;
+  for (BrokerId b = 0; b < tree.numBrokers(); ++b) {
+    if (tree.isLeaf(b)) leaves.push_back(b);
+  }
+  for (ProxyId p = 0; p < w.numProxies(); ++p) {
+    tree.attachProxy(p, leaves[p % leaves.size()]);
+  }
+  // Register the workload's aggregated subscriptions as page-id
+  // subscriptions (one per subscribed (page, proxy) pair).
+  for (PageId page = 0; page < w.numPages(); ++page) {
+    for (const auto& n : w.subscriptions(page)) {
+      Subscription s;
+      s.proxy = n.proxy;
+      s.conjuncts = {{Predicate::Kind::kPageIdEq, page}};
+      tree.subscribe(s);
+    }
+  }
+  // Route the whole publishing stream.
+  for (const auto& e : w.publishes) {
+    ContentAttributes attrs;
+    attrs.page = e.page;
+    tree.publish(attrs);
+  }
+  return {tree.subscriptionCount(), tree.controlMessages(),
+          tree.eventMessages(), tree.floodEventMessages()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchEnv env = parseBenchEnv(
+      argc, argv, "bench_routing_tree",
+      "Substrate: broker-tree covering and routing savings");
   printHeader("Distributed broker tree: covering & routing savings",
               "the distributed-engine option of section 2");
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
   const Workload& w = ctx.workload(TraceKind::kNews, 1.0);
 
-  AsciiTable table({"brokers", "fanout", "covering", "subs", "control msgs",
-                    "event msgs", "flood msgs", "saving"});
+  struct RowSpec {
+    unsigned brokers;
+    unsigned fanout;
+    bool covering;
+  };
+  std::vector<RowSpec> rows;
   for (const auto& [brokers, fanout] :
        {std::pair{7u, 2u}, std::pair{15u, 2u}, std::pair{31u, 2u},
         std::pair{13u, 3u}}) {
     for (const bool covering : {false, true}) {
-      BrokerTree tree = BrokerTree::balanced(brokers, fanout, covering);
-      // Proxies attach to the leaf brokers round-robin.
-      std::vector<BrokerId> leaves;
-      for (BrokerId b = 0; b < tree.numBrokers(); ++b) {
-        if (tree.isLeaf(b)) leaves.push_back(b);
-      }
-      for (ProxyId p = 0; p < w.numProxies(); ++p) {
-        tree.attachProxy(p, leaves[p % leaves.size()]);
-      }
-      // Register the workload's aggregated subscriptions as page-id
-      // subscriptions (one per subscribed (page, proxy) pair).
-      for (PageId page = 0; page < w.numPages(); ++page) {
-        for (const auto& n : w.subscriptions(page)) {
-          Subscription s;
-          s.proxy = n.proxy;
-          s.conjuncts = {{Predicate::Kind::kPageIdEq, page}};
-          tree.subscribe(s);
-        }
-      }
-      // Route the whole publishing stream.
-      for (const auto& e : w.publishes) {
-        ContentAttributes attrs;
-        attrs.page = e.page;
-        tree.publish(attrs);
-      }
-      const double saving =
-          100.0 * (1.0 - static_cast<double>(tree.eventMessages()) /
-                             static_cast<double>(tree.floodEventMessages()));
-      table.row()
-          .cell(std::to_string(brokers))
-          .cell(std::to_string(fanout))
-          .cell(covering ? "yes" : "no")
-          .cell(std::to_string(tree.subscriptionCount()))
-          .cell(std::to_string(tree.controlMessages()))
-          .cell(std::to_string(tree.eventMessages()))
-          .cell(std::to_string(tree.floodEventMessages()))
-          .cell(formatFixed(saving, 1) + "%");
+      rows.push_back({brokers, fanout, covering});
     }
+  }
+
+  // One task per tree configuration; each builds and drives its own
+  // broker tree against the shared read-only workload.
+  std::vector<TreeStats> stats(rows.size());
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    tasks.push_back([&, r] {
+      stats[r] = runTree(w, rows[r].brokers, rows[r].fanout,
+                         rows[r].covering);
+    });
+  }
+  runTasks(env, std::move(tasks));
+
+  AsciiTable table({"brokers", "fanout", "covering", "subs", "control msgs",
+                    "event msgs", "flood msgs", "saving"});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double saving =
+        100.0 * (1.0 - static_cast<double>(stats[r].events) /
+                           static_cast<double>(stats[r].flood));
+    table.row()
+        .cell(std::to_string(rows[r].brokers))
+        .cell(std::to_string(rows[r].fanout))
+        .cell(rows[r].covering ? "yes" : "no")
+        .cell(std::to_string(stats[r].subs))
+        .cell(std::to_string(stats[r].control))
+        .cell(std::to_string(stats[r].events))
+        .cell(std::to_string(stats[r].flood))
+        .cell(formatFixed(saving, 1) + "%");
   }
   std::printf("NEWS subscriptions routed over broker trees:\n%s\n",
               table.render().c_str());
+  CsvSink csv;
+  csv.add("routing_tree", table);
+  csv.writeTo(env.csvPath);
   std::printf(
       "Reading: subscription-based routing sends events only down links\n"
       "with interested subtrees (large saving vs flooding); covering\n"

@@ -5,13 +5,26 @@
 using namespace pscd;
 using namespace pscd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchEnv env =
+      parseBenchEnv(argc, argv, "bench_table2_improvement",
+                    "Table 2: relative improvement over GD* at 5% capacity");
   printHeader("Relative improvement over GD* at 5% capacity", "table 2");
   constexpr StrategyKind kColumns[] = {
       StrategyKind::kSUB,  StrategyKind::kSG1,  StrategyKind::kSG2,
       StrategyKind::kSR,   StrategyKind::kDM,   StrategyKind::kDCFP,
       StrategyKind::kDCLAP};
-  ExperimentContext ctx;
+  ExperimentContext ctx(42, 7, env.scale);
+
+  std::vector<ExperimentCell> cells;
+  for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
+    cells.push_back({trace, 1.0, StrategyKind::kGDStar, 0.05});
+    for (const StrategyKind kind : kColumns) {
+      cells.push_back({trace, 1.0, kind, 0.05});
+    }
+  }
+  runCells(ctx, env, cells);
+
   AsciiTable table({"alpha", "SUB", "SG1", "SG2", "SR", "DM", "DC-FP",
                     "DC-LAP"});
   for (const TraceKind trace : {TraceKind::kNews, TraceKind::kAlternative}) {
@@ -25,6 +38,9 @@ int main() {
   }
   std::printf("Relative improvement over GD* (%%), capacity = 5%%:\n%s\n",
               table.render().c_str());
+  CsvSink csv;
+  csv.add("table2_improvement", table);
+  csv.writeTo(env.csvPath);
   std::printf(
       "Paper row alpha=1.5:  6   34   50   54  17   37   40\n"
       "Paper row alpha=1.0: 47   84  133  133  34   93   96\n"

@@ -1,0 +1,39 @@
+# Runs one figure bench serially and with 4 workers and fails unless
+# the CSV exports (and stdout renderings) are byte-identical. Invoked
+# by the bench.fig4_jobs_determinism ctest entry with:
+#   -DBENCH=<bench executable> -DWORKDIR=<scratch dir>
+set(serial_csv "${WORKDIR}/jobs_determinism_serial.csv")
+set(parallel_csv "${WORKDIR}/jobs_determinism_parallel.csv")
+
+execute_process(
+  COMMAND "${BENCH}" --scale 0.05 --jobs 1 --csv "${serial_csv}"
+  OUTPUT_FILE "${serial_csv}.stdout"
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial run failed (exit ${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --scale 0.05 --jobs 4 --csv "${parallel_csv}"
+  OUTPUT_FILE "${parallel_csv}.stdout"
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel run failed (exit ${parallel_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${serial_csv}" "${parallel_csv}"
+  RESULT_VARIABLE csv_diff)
+if(NOT csv_diff EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 and --jobs 4 CSVs differ")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${serial_csv}.stdout" "${parallel_csv}.stdout"
+  RESULT_VARIABLE out_diff)
+if(NOT out_diff EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 and --jobs 4 stdout renderings differ")
+endif()
+
+message(STATUS "serial and 4-way parallel outputs byte-identical")

@@ -10,6 +10,7 @@
 #include "pscd/oracle/reference_paths.h"
 #include "pscd/topology/shortest_path.h"
 #include "pscd/util/rng.h"
+#include "pscd/util/thread_pool.h"
 
 namespace pscd {
 
@@ -369,6 +370,28 @@ LockstepReport runCacheLockstep(const CacheLockstepConfig& config) {
     if (step % kInvariantEvery == 0) prod->checkInvariants();
     return std::string();
   });
+}
+
+std::vector<LockstepReport> runCacheLockstepBatch(
+    const std::vector<CacheLockstepConfig>& configs, unsigned jobs) {
+  // Each run writes into a slot fixed at batch-build time, so the
+  // output order (and every report's seed/step coordinates) is exactly
+  // what a serial loop over `configs` would produce.
+  std::vector<LockstepReport> reports(configs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    tasks.push_back([&configs, &reports, i] {
+      reports[i] = runCacheLockstep(configs[i]);
+    });
+  }
+  if (configs.size() <= 1 || resolveJobs(jobs) <= 1) {
+    runAll(nullptr, std::move(tasks));
+  } else {
+    ThreadPool pool(jobs);
+    runAll(&pool, std::move(tasks));
+  }
+  return reports;
 }
 
 // ------------------------------------------------------ shortest paths --

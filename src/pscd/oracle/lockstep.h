@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "pscd/cache/strategy.h"
 #include "pscd/pubsub/covering.h"
@@ -100,6 +101,14 @@ struct CacheLockstepConfig {
 /// are only generated for pages with at least one matching subscription,
 /// mirroring the engine (proxies without matches are not notified).
 LockstepReport runCacheLockstep(const CacheLockstepConfig& config);
+
+/// Runs a batch of cache lockstep configs across `jobs` worker threads
+/// (0 = hardware_concurrency, 1 = inline on the calling thread) and
+/// returns the reports in input order. Every run is self-contained and
+/// fully determined by its config, so the reports — including the exact
+/// (seed, step) divergence coordinates — match a one-by-one serial run.
+std::vector<LockstepReport> runCacheLockstepBatch(
+    const std::vector<CacheLockstepConfig>& configs, unsigned jobs = 0);
 
 // ------------------------------------------------------ shortest paths --
 

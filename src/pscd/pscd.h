@@ -28,6 +28,7 @@
 #include "pscd/pubsub/subscription.h"
 #include "pscd/sim/experiment.h"
 #include "pscd/sim/metrics.h"
+#include "pscd/sim/parallel_runner.h"
 #include "pscd/sim/simulator.h"
 #include "pscd/topology/barabasi_albert.h"
 #include "pscd/topology/graph.h"
@@ -38,9 +39,12 @@
 #include "pscd/util/csv.h"
 #include "pscd/util/distributions.h"
 #include "pscd/util/log.h"
+#include "pscd/util/mutex.h"
 #include "pscd/util/rng.h"
 #include "pscd/util/stats.h"
 #include "pscd/util/table.h"
+#include "pscd/util/thread_annotations.h"
+#include "pscd/util/thread_pool.h"
 #include "pscd/util/types.h"
 #include "pscd/workload/params.h"
 #include "pscd/workload/publishing.h"

@@ -1,7 +1,9 @@
 #include "pscd/sim/experiment.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "pscd/util/check.h"
 #include "pscd/util/rng.h"
 
 namespace pscd {
@@ -10,10 +12,26 @@ std::string_view traceName(TraceKind trace) {
   return trace == TraceKind::kNews ? "NEWS" : "ALTERNATIVE";
 }
 
-WorkloadParams traceParams(TraceKind trace, double subscriptionQuality) {
+WorkloadParams traceParams(TraceKind trace, double subscriptionQuality,
+                           double scale) {
+  PSCD_CHECK(scale > 0.0 && scale <= 1.0)
+      << "trace scale must be in (0, 1], got " << scale;
   WorkloadParams p = trace == TraceKind::kNews ? newsTraceParams()
                                                : alternativeTraceParams();
   p.subscription.quality = subscriptionQuality;
+  if (scale != 1.0) {
+    const auto scaled = [scale](auto value, auto floor) {
+      using T = decltype(value);
+      return std::max<T>(floor, static_cast<T>(static_cast<double>(value) *
+                                               scale));
+    };
+    p.request.totalRequests = scaled(p.request.totalRequests,
+                                     std::uint64_t{2000});
+    p.publishing.numPages = scaled(p.publishing.numPages, 200u);
+    p.publishing.numUpdatedPages =
+        std::min(p.publishing.numPages,
+                 scaled(p.publishing.numUpdatedPages, 80u));
+  }
   return p;
 }
 
@@ -38,16 +56,23 @@ double paperBeta(StrategyKind strategy, TraceKind trace,
 }
 
 ExperimentContext::ExperimentContext(std::uint64_t workloadSeed,
-                                     std::uint64_t topologySeed)
-    : workloadSeed_(workloadSeed), topologySeed_(topologySeed) {}
+                                     std::uint64_t topologySeed, double scale)
+    : workloadSeed_(workloadSeed), topologySeed_(topologySeed),
+      scale_(scale) {
+  PSCD_CHECK(scale_ > 0.0 && scale_ <= 1.0)
+      << "experiment scale must be in (0, 1], got " << scale_;
+}
 
 const Workload& ExperimentContext::workload(TraceKind trace,
                                             double subscriptionQuality) {
   const auto key = std::make_pair(static_cast<int>(trace),
                                   subscriptionQuality);
+  MutexLock lock(mu_);
   auto it = workloads_.find(key);
   if (it == workloads_.end()) {
-    WorkloadParams params = traceParams(trace, subscriptionQuality);
+    // Built under the lock: a second thread asking for the same trace
+    // blocks until the one build finishes, then reads the const result.
+    WorkloadParams params = traceParams(trace, subscriptionQuality, scale_);
     params.seed = workloadSeed_;
     it = workloads_
              .emplace(key, std::make_unique<Workload>(buildWorkload(params)))
@@ -57,6 +82,7 @@ const Workload& ExperimentContext::workload(TraceKind trace,
 }
 
 const Network& ExperimentContext::network() {
+  MutexLock lock(mu_);
   if (!network_) {
     Rng rng(topologySeed_);
     NetworkParams np;  // defaults: 100 proxies, Waxman
@@ -80,14 +106,35 @@ SimMetrics ExperimentContext::runWithBeta(TraceKind trace,
                                           double capacityFraction, double beta,
                                           PushScheme scheme,
                                           bool collectHourly) {
+  const CellKey key{static_cast<int>(trace),    subscriptionQuality,
+                    static_cast<int>(strategy), capacityFraction,
+                    beta,                       static_cast<int>(scheme),
+                    collectHourly};
+  {
+    MutexLock lock(mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) return it->second;
+  }
+  // Resolve the shared inputs first (each briefly takes the lock), then
+  // simulate outside it so independent cells overlap.
+  const Workload& w = workload(trace, subscriptionQuality);
+  const Network& n = network();
   SimConfig config;
   config.strategy = strategy;
   config.beta = beta;
   config.capacityFraction = capacityFraction;
   config.pushScheme = scheme;
   config.collectHourly = collectHourly;
-  Simulator sim(workload(trace, subscriptionQuality), network(), config);
-  return sim.run();
+  Simulator sim(w, n, config);
+  SimMetrics metrics = sim.run();
+  {
+    // Merge: the simulation is deterministic in the key, so if another
+    // thread raced us to the same cell both results are identical and
+    // either copy may win.
+    MutexLock lock(mu_);
+    results_.emplace(key, metrics);
+  }
+  return metrics;
 }
 
 }  // namespace pscd

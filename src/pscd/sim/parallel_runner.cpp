@@ -1,0 +1,68 @@
+#include "pscd/sim/parallel_runner.h"
+
+#include <functional>
+#include <utility>
+
+#include "pscd/util/check.h"
+#include "pscd/util/rng.h"
+#include "pscd/util/thread_pool.h"
+
+namespace pscd {
+
+std::uint64_t cellSeed(std::uint64_t baseSeed, std::uint64_t cellIndex) {
+  // SplitMix64 over (base, index): two rounds decorrelate neighbouring
+  // indices; the golden-ratio increment keeps distinct bases disjoint.
+  std::uint64_t state = baseSeed + (cellIndex + 1) * 0x9e3779b97f4a7c15ull;
+  splitmix64(state);
+  return splitmix64(state);
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
+
+std::size_t ParallelRunner::schedule(ExperimentContext& context,
+                                     const ExperimentCell& cell) {
+  cells_.push_back(Scheduled{&context, cell});
+  return cells_.size() - 1;
+}
+
+void ParallelRunner::runAll() {
+  {
+    MutexLock lock(mu_);
+    results_.resize(cells_.size());
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells_.size() - nextToRun_);
+  for (std::size_t i = nextToRun_; i < cells_.size(); ++i) {
+    tasks.push_back([this, i] {
+      const Scheduled& s = cells_[i];
+      const double beta =
+          s.cell.beta ? *s.cell.beta
+                      : paperBeta(s.cell.strategy, s.cell.trace,
+                                  s.cell.capacityFraction);
+      SimMetrics metrics = s.context->runWithBeta(
+          s.cell.trace, s.cell.subscriptionQuality, s.cell.strategy,
+          s.cell.capacityFraction, beta, s.cell.scheme, s.cell.collectHourly);
+      MutexLock lock(mu_);
+      results_[i] = std::move(metrics);
+    });
+  }
+  nextToRun_ = cells_.size();
+  if (jobs_ <= 1) {
+    pscd::runAll(nullptr, std::move(tasks));
+    return;
+  }
+  ThreadPool pool(jobs_);
+  pscd::runAll(&pool, std::move(tasks));
+}
+
+SimMetrics ParallelRunner::result(std::size_t index) const {
+  PSCD_CHECK(index < cells_.size())
+      << "ParallelRunner::result index " << index << " out of range ("
+      << cells_.size() << " cells)";
+  MutexLock lock(mu_);
+  PSCD_CHECK(index < results_.size() && results_[index].has_value())
+      << "ParallelRunner::result(" << index << ") before runAll()";
+  return *results_[index];
+}
+
+}  // namespace pscd

@@ -3,10 +3,20 @@
 #include <atomic>
 #include <iostream>
 
+#include "pscd/util/mutex.h"
+
 namespace pscd {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// The level gate is a lock-free atomic (hot path: drop a disabled
+// message without synchronization), but every line that survives the
+// gate is rendered to one string and written under g_sinkMu in a single
+// stream insertion, so concurrent bench cells can never interleave or
+// tear lines.
+Mutex g_sinkMu;
+std::ostream* g_sink PSCD_GUARDED_BY(g_sinkMu) = nullptr;  // null = stderr
 
 std::string_view levelName(LogLevel level) {
   switch (level) {
@@ -27,9 +37,25 @@ void setLogLevel(LogLevel level) { g_level.store(level); }
 
 LogLevel logLevel() { return g_level.load(); }
 
+std::ostream* setLogSink(std::ostream* sink) {
+  MutexLock lock(g_sinkMu);
+  std::ostream* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 void logMessage(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << '[' << levelName(level) << "] " << message << '\n';
+  std::string line;
+  line.reserve(message.size() + 10);
+  line += '[';
+  line += levelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  MutexLock lock(g_sinkMu);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << line << std::flush;
 }
 
 }  // namespace pscd

@@ -1,7 +1,10 @@
 // Lightweight leveled logging to stderr. Simulation hot paths never log;
-// this exists for the harness, examples, and debugging.
+// this exists for the harness, examples, and debugging. Thread-safe:
+// each line is rendered off-lock and written to the sink in one guarded
+// insertion, so lines from concurrent experiment cells never interleave.
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,7 +17,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emits one log line ("[LEVEL] message") to stderr if enabled.
+/// Redirects log output to the given stream (nullptr restores the
+/// default, stderr) and returns the previous sink. The stream must
+/// outlive all logging; used by tests to capture output.
+std::ostream* setLogSink(std::ostream* sink);
+
+/// Emits one log line ("[LEVEL] message") to the sink if enabled.
 void logMessage(LogLevel level, std::string_view message);
 
 namespace detail {

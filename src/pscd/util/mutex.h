@@ -1,0 +1,74 @@
+// Annotated concurrency primitives: a PSCD_CAPABILITY wrapper over
+// std::mutex, the scoped MutexLock, and a CondVar whose wait() declares
+// (and checks, under clang) that the caller holds the mutex. These are
+// the only types in the tree that talk to <mutex> directly; everything
+// else expresses its locking protocol through the annotations so that
+// -Werror=thread-safety turns protocol violations into compile errors.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "pscd/util/thread_annotations.h"
+
+namespace pscd {
+
+/// Exclusive mutex. Satisfies Lockable, so std::condition_variable_any
+/// can block on it; prefer MutexLock over calling lock()/unlock().
+class PSCD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PSCD_ACQUIRE() { mu_.lock(); }
+  void unlock() PSCD_RELEASE() { mu_.unlock(); }
+  bool try_lock() PSCD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock; the analysis treats its scope as holding the mutex.
+class PSCD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PSCD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PSCD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to pscd::Mutex. wait() requires the mutex
+/// held; it is released while blocked and re-acquired before returning,
+/// exactly like std::condition_variable — the annotation just makes the
+/// precondition checkable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) PSCD_REQUIRES(mu) PSCD_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate done) PSCD_REQUIRES(mu) {
+    while (!done()) wait(mu);
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pscd

@@ -25,6 +25,12 @@ class AsciiTable {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cells, for exporting the table in another format (CSV).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rowData() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

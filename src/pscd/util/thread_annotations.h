@@ -1,0 +1,66 @@
+// Clang Thread Safety Analysis annotations
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), compiled to
+// no-ops on other compilers. The repo builds with
+// -Wthread-safety -Werror=thread-safety under clang, so a read or write
+// of a PSCD_GUARDED_BY(mu) field outside a region holding `mu` is a
+// compile error, not a runtime hope. Conventions (DESIGN.md section 8):
+// every mutable field shared between threads is PSCD_GUARDED_BY a named
+// pscd::Mutex, functions that expect the caller to hold a lock say so
+// with PSCD_REQUIRES, and PSCD_NO_THREAD_SAFETY_ANALYSIS is reserved
+// for the two places that implement the primitives themselves.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PSCD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PSCD_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a capability ("mutex", "role", ...).
+#define PSCD_CAPABILITY(x) PSCD_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define PSCD_SCOPED_CAPABILITY PSCD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field or variable protected by the given capability.
+#define PSCD_GUARDED_BY(x) PSCD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer whose pointee is protected by the given capability.
+#define PSCD_PT_GUARDED_BY(x) PSCD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold the capability (exclusively) to call this.
+#define PSCD_REQUIRES(...) \
+  PSCD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The caller must hold the capability at least shared.
+#define PSCD_REQUIRES_SHARED(...) \
+  PSCD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and the caller must not hold it).
+#define PSCD_ACQUIRE(...) \
+  PSCD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (the caller must hold it).
+#define PSCD_RELEASE(...) \
+  PSCD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire; on a `ret` return value it holds it.
+#define PSCD_TRY_ACQUIRE(ret, ...) \
+  PSCD_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention).
+#define PSCD_EXCLUDES(...) PSCD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that this function returns a reference to the capability
+/// guarding the annotated data (lets accessors expose their lock).
+#define PSCD_RETURN_CAPABILITY(x) PSCD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function body. Reserved
+/// for the primitive implementations (CondVar::wait and friends).
+#define PSCD_NO_THREAD_SAFETY_ANALYSIS \
+  PSCD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Asserts at analysis level that the capability is held (for callbacks
+/// invoked with the lock already taken through type-erased paths).
+#define PSCD_ASSERT_CAPABILITY(x) \
+  PSCD_THREAD_ANNOTATION(assert_capability(x))

@@ -1,0 +1,132 @@
+#include "pscd/util/thread_pool.h"
+
+#include <utility>
+
+#include "pscd/util/check.h"
+
+namespace pscd {
+
+unsigned resolveJobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned numThreads) {
+  const unsigned n = resolveJobs(numThreads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  PSCD_CHECK(task != nullptr) << "ThreadPool::submit requires a callable task";
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  workAvailable_.notifyOne();
+  return true;
+}
+
+void ThreadPool::shutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  workAvailable_.notifyAll();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::shutdownStarted() const {
+  MutexLock lock(mu_);
+  return shutdown_;
+}
+
+void ThreadPool::rethrowIfTaskFailed() {
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    error = std::exchange(firstError_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      workAvailable_.wait(mu_,
+                          [this]() PSCD_REQUIRES(mu_) {
+                            return shutdown_ || !queue_.empty();
+                          });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      MutexLock lock(mu_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+  }
+}
+
+Latch::Latch(std::size_t expected) : remaining_(expected) {}
+
+void Latch::countDown(std::exception_ptr error) {
+  bool finished = false;
+  {
+    MutexLock lock(mu_);
+    PSCD_CHECK(remaining_ > 0)
+        << "Latch::countDown called more times than the latch was "
+           "constructed for";
+    if (error && !firstError_) firstError_ = error;
+    finished = --remaining_ == 0;
+  }
+  if (finished) done_.notifyAll();
+}
+
+void Latch::wait() {
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    done_.wait(mu_, [this]() PSCD_REQUIRES(mu_) { return remaining_ == 0; });
+    error = std::exchange(firstError_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void runAll(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
+  if (pool == nullptr) {
+    // Serial path: run in submission order; the first failure aborts the
+    // remainder, matching "nothing after the batch result is usable".
+    for (auto& task : tasks) task();
+    return;
+  }
+  Latch latch(tasks.size());
+  for (auto& task : tasks) {
+    const bool accepted =
+        pool->submit([&latch, task = std::move(task)]() mutable {
+          std::exception_ptr error;
+          try {
+            task();
+          } catch (...) {
+            error = std::current_exception();
+          }
+          latch.countDown(error);
+        });
+    PSCD_CHECK(accepted) << "runAll on a shut-down ThreadPool";
+  }
+  latch.wait();
+}
+
+}  // namespace pscd

@@ -1,0 +1,94 @@
+// Fixed-size thread pool with a mutex-guarded FIFO task queue (no work
+// stealing — the experiment cells it runs are coarse enough that a
+// single queue is never the bottleneck) plus a Latch and a
+// result-collection helper for fork/join fan-outs. The locking protocol
+// is expressed through the thread-safety annotations and enforced at
+// compile time under clang (-Werror=thread-safety).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "pscd/util/mutex.h"
+
+namespace pscd {
+
+/// Number of workers to use for `requested` (0 = one per hardware
+/// thread, with a floor of 1 when the runtime reports nothing).
+unsigned resolveJobs(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns the workers immediately. numThreads is resolved through
+  /// resolveJobs(), so 0 means hardware_concurrency.
+  explicit ThreadPool(unsigned numThreads = 0);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false (dropping the task) once shutdown()
+  /// has begun. Tasks must not throw out of the pool: a task's exception
+  /// is caught by the worker and surfaced via rethrowIfTaskFailed();
+  /// use runAll()/Latch for per-batch exception propagation.
+  bool submit(std::function<void()> task) PSCD_EXCLUDES(mu_);
+
+  /// Blocks until every queued/running task has finished, stops the
+  /// workers and joins them. Idempotent; called by the destructor.
+  void shutdown() PSCD_EXCLUDES(mu_);
+
+  /// True once shutdown() has begun (submissions are rejected).
+  bool shutdownStarted() const PSCD_EXCLUDES(mu_);
+
+  /// Rethrows the first exception any task has thrown so far (and
+  /// clears it); no-op when every task completed cleanly.
+  void rethrowIfTaskFailed() PSCD_EXCLUDES(mu_);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void workerLoop() PSCD_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar workAvailable_;
+  std::deque<std::function<void()>> queue_ PSCD_GUARDED_BY(mu_);
+  bool shutdown_ PSCD_GUARDED_BY(mu_) = false;
+  std::exception_ptr firstError_ PSCD_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only in ctor/shutdown
+};
+
+/// Single-use countdown latch: wait() blocks until countDown() has been
+/// called `expected` times. countDown() may carry an exception; wait()
+/// rethrows the first one after the count reaches zero.
+class Latch {
+ public:
+  explicit Latch(std::size_t expected);
+
+  /// Signals one completion, optionally recording a failure.
+  void countDown(std::exception_ptr error = nullptr) PSCD_EXCLUDES(mu_);
+
+  /// Blocks until the count reaches zero, then rethrows the first
+  /// recorded exception, if any.
+  void wait() PSCD_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  CondVar done_;
+  std::size_t remaining_ PSCD_GUARDED_BY(mu_);
+  std::exception_ptr firstError_ PSCD_GUARDED_BY(mu_);
+};
+
+/// Runs every task on the pool and blocks until all of them finished.
+/// The first exception thrown by any task is rethrown on the calling
+/// thread (after the whole batch has drained, so no task is abandoned
+/// mid-flight). With a null pool the tasks run inline, in order, on the
+/// calling thread — that is the benches' --jobs 1 serial path.
+void runAll(ThreadPool* pool, std::vector<std::function<void()>> tasks);
+
+}  // namespace pscd

@@ -191,8 +191,12 @@ std::vector<CachePair> cachePairs() {
 }
 
 TEST(CacheLockstep, EveryStrategyAgreesWithItsReference) {
-  for (const CachePair& pair : cachePairs()) {
-    SCOPED_TRACE(pair.label);
+  // All (strategy, seed) runs go through the parallel batch helper;
+  // report order (and any divergence's seed/step) is schedule order.
+  const std::vector<CachePair> pairs = cachePairs();
+  std::vector<CacheLockstepConfig> configs;
+  std::vector<const char*> labels;
+  for (const CachePair& pair : pairs) {
     for (const std::uint64_t seed : {5ull, 998877ull}) {
       CacheLockstepConfig config;
       config.seed = seed;
@@ -200,11 +204,50 @@ TEST(CacheLockstep, EveryStrategyAgreesWithItsReference) {
       config.capacity = kCapacity;
       config.makeProduction = pair.production;
       config.makeReference = pair.reference;
-      const LockstepReport report = runCacheLockstep(config);
-      EXPECT_FALSE(report.diverged)
-          << pair.label << ": " << toString(report);
-      EXPECT_EQ(report.stepsRun, kSteps);
+      configs.push_back(std::move(config));
+      labels.push_back(pair.label);
     }
+  }
+  const std::vector<LockstepReport> reports =
+      runCacheLockstepBatch(configs, /*jobs=*/4);
+  ASSERT_EQ(reports.size(), configs.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    SCOPED_TRACE(labels[i]);
+    EXPECT_FALSE(reports[i].diverged)
+        << labels[i] << ": " << toString(reports[i]);
+    EXPECT_EQ(reports[i].stepsRun, kSteps);
+    EXPECT_EQ(reports[i].seed, configs[i].seed);
+  }
+}
+
+TEST(CacheLockstep, BatchPreservesSerialDivergenceReports) {
+  // A sabotaged config inside a parallel batch must report the exact
+  // same (seed, step) coordinates as a standalone serial run.
+  const std::vector<CachePair> pairs = cachePairs();
+  std::vector<CacheLockstepConfig> configs;
+  for (const CachePair& pair : pairs) {
+    CacheLockstepConfig config;
+    config.seed = 5;
+    config.steps = kSteps;
+    config.capacity = kCapacity;
+    config.makeProduction = pair.production;
+    config.makeReference = pair.reference;
+    config.sabotageStep = 300;
+    config.sabotage = pair.sabotage;
+    configs.push_back(std::move(config));
+  }
+  const std::vector<LockstepReport> parallel =
+      runCacheLockstepBatch(configs, /*jobs=*/4);
+  const std::vector<LockstepReport> serial =
+      runCacheLockstepBatch(configs, /*jobs=*/1);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(pairs[i].label);
+    ASSERT_TRUE(parallel[i].diverged) << toString(parallel[i]);
+    EXPECT_EQ(parallel[i].seed, serial[i].seed);
+    EXPECT_EQ(parallel[i].step, serial[i].step);
+    EXPECT_EQ(parallel[i].what, serial[i].what);
+    EXPECT_EQ(parallel[i].step, 300u);
   }
 }
 

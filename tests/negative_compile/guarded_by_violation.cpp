@@ -1,0 +1,27 @@
+// Negative-compile proof for the thread-safety layer: this translation
+// unit reads and writes a PSCD_GUARDED_BY(mu_) field WITHOUT holding
+// mu_, so under clang with -Werror=thread-safety it must fail to
+// compile. The ctest entry building this target is marked WILL_FAIL:
+// a successful build means the analysis has been silently disabled.
+#include "pscd/util/mutex.h"
+#include "pscd/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void unguardedWrite(int v) { value_ = v; }  // -Wthread-safety error
+  int unguardedRead() const { return value_; }  // -Wthread-safety error
+
+ private:
+  mutable pscd::Mutex mu_;
+  int value_ PSCD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.unguardedWrite(1);
+  return c.unguardedRead();
+}

@@ -1,0 +1,154 @@
+#include "pscd/sim/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pscd/sim/experiment.h"
+#include "pscd/util/check.h"
+
+namespace pscd {
+namespace {
+
+ExperimentCell makeCell(TraceKind trace, double sq, StrategyKind kind,
+                        double cap) {
+  ExperimentCell cell;
+  cell.trace = trace;
+  cell.subscriptionQuality = sq;
+  cell.strategy = kind;
+  cell.capacityFraction = cap;
+  return cell;
+}
+
+// Small but non-trivial cell grid: a fig4-style slice (2 strategies x
+// 2 capacities) plus one explicit-beta cell.
+std::vector<ExperimentCell> smallGrid() {
+  std::vector<ExperimentCell> cells;
+  for (const StrategyKind kind : {StrategyKind::kGDStar, StrategyKind::kSG2}) {
+    for (const double cap : {0.05, 0.10}) {
+      cells.push_back(makeCell(TraceKind::kNews, 1.0, kind, cap));
+    }
+  }
+  ExperimentCell withBeta =
+      makeCell(TraceKind::kNews, 0.6, StrategyKind::kSG1, 0.05);
+  withBeta.beta = 2.0;
+  cells.push_back(withBeta);
+  return cells;
+}
+
+// Renders the metrics of every cell as CSV text, exactly as a bench's
+// export phase would. Byte-comparing two of these is the determinism
+// check: any scheduling-dependent result would change the string.
+std::string metricsCsv(ParallelRunner& runner) {
+  std::ostringstream csv;
+  csv << "cell,requests,hits,hit_ratio,mean_rt,push_pages,fetch_pages\n";
+  for (std::size_t i = 0; i < runner.cellCount(); ++i) {
+    const SimMetrics& m = runner.result(i);
+    csv << i << ',' << m.requests() << ',' << m.hits() << ','
+        << m.hitRatio() << ',' << m.meanResponseTime() << ','
+        << m.traffic().pushPages << ',' << m.traffic().fetchPages << '\n';
+  }
+  return csv.str();
+}
+
+std::string runGrid(std::uint64_t workloadSeed, unsigned jobs) {
+  ExperimentContext ctx(workloadSeed, 7, /*scale=*/0.05);
+  ParallelRunner runner(jobs);
+  for (const ExperimentCell& cell : smallGrid()) {
+    runner.schedule(ctx, cell);
+  }
+  runner.runAll();
+  return metricsCsv(runner);
+}
+
+TEST(CellSeedTest, DeterministicAndDistinctPerIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t s = cellSeed(42, i);
+    EXPECT_EQ(s, cellSeed(42, i));
+    seeds.insert(s);
+  }
+  // SplitMix64 derivation: no collisions across a realistic cell count.
+  EXPECT_EQ(seeds.size(), 1000u);
+  // Different base seeds give different streams.
+  EXPECT_NE(cellSeed(42, 0), cellSeed(43, 0));
+}
+
+TEST(ParallelRunnerTest, SerialAndParallelCsvByteIdentical) {
+  // The acceptance criterion: across 3 workload seeds, jobs = 1 and
+  // jobs = 4 produce byte-identical CSV renderings.
+  for (const std::uint64_t seed : {42ull, 123ull, 20260806ull}) {
+    const std::string serial = runGrid(seed, 1);
+    const std::string parallel = runGrid(seed, 4);
+    EXPECT_EQ(serial, parallel) << "seed " << seed;
+    EXPECT_NE(serial.find("cell,requests"), std::string::npos);
+  }
+}
+
+TEST(ParallelRunnerTest, RepeatedParallelRunsAreStable) {
+  // Same seed, same jobs, two separate runs: thread interleavings must
+  // not leak into the results.
+  EXPECT_EQ(runGrid(42, 4), runGrid(42, 4));
+}
+
+TEST(ParallelRunnerTest, ResultsKeepScheduleOrder) {
+  ExperimentContext ctx(42, 7, 0.05);
+  ParallelRunner runner(4);
+  const auto cells = smallGrid();
+  std::vector<std::size_t> indices;
+  for (const ExperimentCell& cell : cells) {
+    indices.push_back(runner.schedule(ctx, cell));
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+  runner.runAll();
+  EXPECT_EQ(runner.cellCount(), cells.size());
+  // Each cell's slot matches a direct serial run of the same setting.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ExperimentCell& c = cells[i];
+    const SimMetrics direct =
+        c.beta ? ctx.runWithBeta(c.trace, c.subscriptionQuality, c.strategy,
+                                 c.capacityFraction, *c.beta, c.scheme,
+                                 c.collectHourly)
+               : ctx.run(c.trace, c.subscriptionQuality, c.strategy,
+                         c.capacityFraction);
+    EXPECT_EQ(runner.result(i).hits(), direct.hits()) << "cell " << i;
+    EXPECT_EQ(runner.result(i).requests(), direct.requests()) << "cell " << i;
+  }
+}
+
+TEST(ParallelRunnerTest, IncrementalSchedulingRunsOnlyNewCells) {
+  ExperimentContext ctx(42, 7, 0.05);
+  ParallelRunner runner(2);
+  runner.schedule(ctx, makeCell(TraceKind::kNews, 1.0, StrategyKind::kGDStar, 0.05));
+  runner.runAll();
+  const std::uint64_t firstHits = runner.result(0).hits();
+  runner.schedule(ctx, makeCell(TraceKind::kNews, 1.0, StrategyKind::kSG2, 0.05));
+  runner.runAll();
+  EXPECT_EQ(runner.result(0).hits(), firstHits);
+  EXPECT_GT(runner.result(1).requests(), 0u);
+}
+
+TEST(ParallelRunnerTest, ResultBeforeRunAllIsRejected) {
+  ExperimentContext ctx(42, 7, 0.05);
+  ParallelRunner runner(2);
+  runner.schedule(ctx, makeCell(TraceKind::kNews, 1.0, StrategyKind::kGDStar, 0.05));
+  EXPECT_THROW(runner.result(0), CheckFailure);
+}
+
+TEST(ExperimentContextTest, ConcurrentCellsShareMemoizedWorkload) {
+  // All cells pull the same workload/network through the context's
+  // guarded memo; the pointer identity proves they shared one build.
+  ExperimentContext ctx(42, 7, 0.05);
+  ParallelRunner runner(4);
+  for (const ExperimentCell& cell : smallGrid()) runner.schedule(ctx, cell);
+  runner.runAll();
+  const Workload* w = &ctx.workload(TraceKind::kNews, 1.0);
+  EXPECT_EQ(w, &ctx.workload(TraceKind::kNews, 1.0));
+}
+
+}  // namespace
+}  // namespace pscd

@@ -1,0 +1,170 @@
+#include "pscd/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pscd/util/check.h"
+
+namespace pscd {
+namespace {
+
+TEST(ResolveJobsTest, ZeroMeansHardwareConcurrency) {
+  const unsigned resolved = resolveJobs(0);
+  EXPECT_GE(resolved, 1u);
+}
+
+TEST(ResolveJobsTest, ExplicitValuePassesThrough) {
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(4), 4u);
+  EXPECT_EQ(resolveJobs(17), 17u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.submit([&count] { ++count; }));
+    }
+  }  // destructor drains and joins
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroTasksShutsDownCleanly) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  EXPECT_TRUE(pool.shutdownStarted());
+}
+
+TEST(ThreadPoolTest, TenThousandTasksAllRun) {
+  std::atomic<std::uint64_t> sum{0};
+  {
+    ThreadPool pool(8);
+    for (std::uint64_t i = 1; i <= 10000; ++i) {
+      ASSERT_TRUE(pool.submit([&sum, i] { sum += i; }));
+    }
+  }
+  EXPECT_EQ(sum.load(), 10000ull * 10001ull / 2);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.submit([&count] { ++count; }));
+  pool.shutdown();
+  EXPECT_TRUE(pool.shutdownStarted());
+  EXPECT_FALSE(pool.submit([&count] { ++count; }));
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TaskExceptionSurfacedViaRethrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  pool.shutdown();
+  EXPECT_THROW(pool.rethrowIfTaskFailed(), std::runtime_error);
+  // The error is cleared after the rethrow.
+  EXPECT_NO_THROW(pool.rethrowIfTaskFailed());
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsOthersSwallowed) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  pool.shutdown();
+  try {
+    pool.rethrowIfTaskFailed();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(LatchTest, WaitReturnsAfterAllCountdowns) {
+  Latch latch(3);
+  ThreadPool pool(3);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([&latch] { latch.countDown(); });
+  }
+  latch.wait();  // must not deadlock
+  pool.shutdown();
+}
+
+TEST(LatchTest, ZeroExpectedWaitsImmediately) {
+  Latch latch(0);
+  latch.wait();
+}
+
+TEST(LatchTest, WaitRethrowsRecordedError) {
+  Latch latch(2);
+  latch.countDown(std::make_exception_ptr(std::runtime_error("cell failed")));
+  latch.countDown();
+  EXPECT_THROW(latch.wait(), std::runtime_error);
+}
+
+TEST(RunAllTest, InlineWhenPoolIsNull) {
+  // Null pool = serial path: tasks run in order on the calling thread.
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  runAll(nullptr, std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunAllTest, EmptyBatchIsNoOp) {
+  runAll(nullptr, {});
+  ThreadPool pool(2);
+  runAll(&pool, {});
+}
+
+TEST(RunAllTest, AllTasksCompleteOnPool) {
+  std::vector<int> slots(1000, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    tasks.push_back([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  ThreadPool pool(8);
+  runAll(&pool, std::move(tasks));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(RunAllTest, ExceptionRethrownAfterBatchDrains) {
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("early failure"); });
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back([&completed] { ++completed; });
+  }
+  ThreadPool pool(4);
+  EXPECT_THROW(runAll(&pool, std::move(tasks)), std::runtime_error);
+  // Every other task still ran: a failure never abandons the batch.
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(RunAllTest, SerialPathPropagatesException) {
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::logic_error("serial failure"); });
+  EXPECT_THROW(runAll(nullptr, std::move(tasks)), std::logic_error);
+}
+
+TEST(RunAllTest, ShutDownPoolIsRejectedByCheck) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  EXPECT_THROW(runAll(&pool, std::move(tasks)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pscd
