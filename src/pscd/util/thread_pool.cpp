@@ -83,16 +83,15 @@ void ThreadPool::workerLoop() {
 Latch::Latch(std::size_t expected) : remaining_(expected) {}
 
 void Latch::countDown(std::exception_ptr error) {
-  bool finished = false;
-  {
-    MutexLock lock(mu_);
-    PSCD_CHECK(remaining_ > 0)
-        << "Latch::countDown called more times than the latch was "
-           "constructed for";
-    if (error && !firstError_) firstError_ = error;
-    finished = --remaining_ == 0;
-  }
-  if (finished) done_.notifyAll();
+  MutexLock lock(mu_);
+  PSCD_CHECK(remaining_ > 0)
+      << "Latch::countDown called more times than the latch was "
+         "constructed for";
+  if (error && !firstError_) firstError_ = error;
+  // Notify while still holding mu_: a waiter in wait() cannot re-acquire
+  // the mutex, observe remaining_ == 0, and destroy this Latch until the
+  // lock is released, so the notify never touches a dead CondVar.
+  if (--remaining_ == 0) done_.notifyAll();
 }
 
 void Latch::wait() {
@@ -107,9 +106,18 @@ void Latch::wait() {
 
 void runAll(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
   if (pool == nullptr) {
-    // Serial path: run in submission order; the first failure aborts the
-    // remainder, matching "nothing after the batch result is usable".
-    for (auto& task : tasks) task();
+    // Serial path: run in submission order, and — like the Latch path —
+    // keep running the remaining tasks after a failure so partial side
+    // effects match the parallel run, then rethrow the first exception.
+    std::exception_ptr firstError;
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+    if (firstError) std::rethrow_exception(firstError);
     return;
   }
   Latch latch(tasks.size());

@@ -158,6 +158,19 @@ TEST(RunAllTest, SerialPathPropagatesException) {
   EXPECT_THROW(runAll(nullptr, std::move(tasks)), std::logic_error);
 }
 
+TEST(RunAllTest, SerialPathDrainsBatchBeforeRethrow) {
+  // The serial path matches the pool path: a failing task never
+  // abandons the rest of the batch, and the *first* error wins.
+  int completed = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("first failure"); });
+  tasks.push_back([&completed] { ++completed; });
+  tasks.push_back([] { throw std::logic_error("second failure"); });
+  tasks.push_back([&completed] { ++completed; });
+  EXPECT_THROW(runAll(nullptr, std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(completed, 2);
+}
+
 TEST(RunAllTest, ShutDownPoolIsRejectedByCheck) {
   ThreadPool pool(2);
   pool.shutdown();
