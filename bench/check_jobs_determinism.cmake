@@ -1,9 +1,14 @@
 # Runs one figure bench serially and with 4 workers and fails unless
 # the CSV exports (and stdout renderings) are byte-identical. Invoked
-# by the bench.fig4_jobs_determinism ctest entry with:
+# by the bench.*_jobs_determinism ctest entries with:
 #   -DBENCH=<bench executable> -DWORKDIR=<scratch dir>
-set(serial_csv "${WORKDIR}/jobs_determinism_serial.csv")
-set(parallel_csv "${WORKDIR}/jobs_determinism_parallel.csv")
+#   [-DTAG=<filename tag>]   distinct per test so entries sharing a
+#                            WORKDIR can run under ctest -j
+if(NOT DEFINED TAG)
+  set(TAG "jobs_determinism")
+endif()
+set(serial_csv "${WORKDIR}/${TAG}_serial.csv")
+set(parallel_csv "${WORKDIR}/${TAG}_parallel.csv")
 
 execute_process(
   COMMAND "${BENCH}" --scale 0.05 --jobs 1 --csv "${serial_csv}"

@@ -49,6 +49,12 @@ class PushLruStrategy final : public DistributionStrategy {
     return out;
   }
 
+  std::optional<Version> cachedVersion(PageId page) const override {
+    const auto it = map_.find(page);
+    return it != map_.end() ? std::optional<Version>(it->second->version)
+                            : std::nullopt;
+  }
+
   Bytes usedBytes() const override { return used_; }
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "PushLRU"; }

@@ -1,0 +1,202 @@
+// Fuzz target: byte-decodes a FaultConfig (probabilities, rates and
+// retry policy, with deliberate out-of-range values mixed in), checks
+// validate() against an independent validity predicate, and for valid
+// configs expands the FaultPlan twice (determinism oracle), replays it
+// into a LinkState (alternation oracle: every event must flip the
+// entity's state), and occasionally drives a micro simulation whose
+// availability accounting must stay internally consistent.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "fuzz_decoder.h"
+#include "pscd/sim/fault_plan.h"
+#include "pscd/sim/simulator.h"
+#include "pscd/topology/link_state.h"
+#include "pscd/topology/network.h"
+#include "pscd/util/check.h"
+#include "pscd/util/rng.h"
+
+namespace {
+
+/// Mostly in-range values with a deliberate share of invalid ones so
+/// the validate() differential sees both sides.
+double wildDouble(pscd::fuzz::FuzzDecoder& in, double lo, double hi) {
+  switch (in.u8() % 8) {
+    case 0:
+      return -1.0;
+    case 1:
+      return std::numeric_limits<double>::quiet_NaN();
+    case 2:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return in.finiteDouble(lo, hi);
+  }
+}
+
+pscd::FaultConfig decodeConfig(pscd::fuzz::FuzzDecoder& in) {
+  pscd::FaultConfig fc;
+  fc.seed = in.u64();
+  fc.proxyFailuresPerDay = wildDouble(in, 0.0, 8.0);
+  fc.proxyMeanDowntimeHours = wildDouble(in, 0.05, 6.0);
+  fc.warmRestart = in.boolean();
+  fc.linkFailuresPerDay = wildDouble(in, 0.0, 8.0);
+  fc.linkMeanDowntimeHours = wildDouble(in, 0.05, 6.0);
+  fc.pushLossProbability = wildDouble(in, 0.0, 1.0);
+  fc.fetchFailureProbability = wildDouble(in, 0.0, 1.0);
+  fc.publisherFailover = in.boolean();
+  fc.retry.maxRetries = static_cast<std::uint32_t>(in.u8());  // > 64 possible
+  fc.retry.backoffBaseMs = wildDouble(in, 0.0, 500.0);
+  fc.retry.backoffFactor = wildDouble(in, 1.0, 4.0);
+  return fc;
+}
+
+/// Independent reimplementation of the documented validity rules.
+bool expectValid(const pscd::FaultConfig& fc) {
+  const auto rate = [](double v) { return std::isfinite(v) && v >= 0.0; };
+  const auto prob = [](double v) {
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+  };
+  return rate(fc.proxyFailuresPerDay) && rate(fc.linkFailuresPerDay) &&
+         std::isfinite(fc.proxyMeanDowntimeHours) &&
+         fc.proxyMeanDowntimeHours > 0.0 &&
+         std::isfinite(fc.linkMeanDowntimeHours) &&
+         fc.linkMeanDowntimeHours > 0.0 && prob(fc.pushLossProbability) &&
+         prob(fc.fetchFailureProbability) && fc.retry.maxRetries <= 64 &&
+         std::isfinite(fc.retry.backoffBaseMs) &&
+         fc.retry.backoffBaseMs >= 0.0 &&
+         std::isfinite(fc.retry.backoffFactor) &&
+         fc.retry.backoffFactor >= 1.0;
+}
+
+bool sameEvent(const pscd::FaultEvent& a, const pscd::FaultEvent& b) {
+  return a.time == b.time && a.kind == b.kind && a.proxy == b.proxy &&
+         a.linkA == b.linkA && a.linkB == b.linkB;
+}
+
+/// Replays the schedule into a LinkState: a well-formed plan flips an
+/// entity's state with every event (down when up, up when down).
+void replayIntoLinkState(const pscd::FaultPlan& plan,
+                         const pscd::Network& network) {
+  pscd::LinkState state(network);
+  for (const pscd::FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case pscd::FaultEventKind::kProxyDown:
+        FUZZ_ASSERT(!state.proxyDown(ev.proxy));
+        state.setProxyDown(ev.proxy);
+        break;
+      case pscd::FaultEventKind::kProxyUp:
+        FUZZ_ASSERT(state.proxyDown(ev.proxy));
+        state.setProxyUp(ev.proxy);
+        break;
+      case pscd::FaultEventKind::kLinkDown:
+        FUZZ_ASSERT(!state.linkDown(ev.linkA, ev.linkB));
+        state.setLinkDown(ev.linkA, ev.linkB);
+        break;
+      case pscd::FaultEventKind::kLinkUp:
+        FUZZ_ASSERT(state.linkDown(ev.linkA, ev.linkB));
+        state.setLinkUp(ev.linkA, ev.linkB);
+        break;
+    }
+    for (pscd::ProxyId p = 0; p < network.numProxies(); ++p) {
+      (void)state.fetchCost(p);
+    }
+    state.checkInvariants();
+  }
+}
+
+/// Shared micro workload/network: built once, reused across inputs (the
+/// fault layer under test never mutates either).
+struct MicroFixture {
+  MicroFixture()
+      : rng(9),
+        network(pscd::NetworkParams{.numProxies = 4, .numTransitNodes = 2},
+                rng) {
+    pscd::WorkloadParams p = pscd::newsTraceParams();
+    p.publishing.numPages = 60;
+    p.publishing.numUpdatedPages = 25;
+    p.publishing.maxVersionsPerPage = 6;
+    p.request.totalRequests = 600;
+    p.request.numProxies = 4;
+    p.request.minServerPool = 2;
+    p.seed = 3;
+    workload = pscd::buildWorkload(p);
+  }
+  pscd::Rng rng;
+  pscd::Network network;
+  pscd::Workload workload;
+};
+
+void microSim(const pscd::FaultConfig& fc, const pscd::Network& network,
+              const pscd::Workload& workload) {
+  pscd::SimConfig c;
+  c.strategy = pscd::StrategyKind::kSG2;
+  c.beta = 2.0;
+  c.faults = fc;
+  const pscd::SimMetrics m =
+      pscd::Simulator(workload, network, c).run();
+  FUZZ_ASSERT(m.requests() == workload.requests.size());
+  FUZZ_ASSERT(m.servedRequests() + m.unavailableRequests() == m.requests());
+  FUZZ_ASSERT(m.availability() >= 0.0 && m.availability() <= 1.0);
+  FUZZ_ASSERT(m.staleServes() <= m.servedRequests());
+  FUZZ_ASSERT(m.hits() + m.staleServes() <= m.servedRequests());
+  FUZZ_ASSERT(!fc.enabled() ||
+              m.totalRetries() <=
+                  static_cast<std::uint64_t>(fc.retry.maxRetries) *
+                      m.requests());
+  if (!fc.enabled()) {
+    FUZZ_ASSERT(m.availability() == 1.0);
+    FUZZ_ASSERT(m.traffic().lostPushPages == 0);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const MicroFixture fixture;
+  pscd::fuzz::FuzzDecoder in(data, size);
+
+  const pscd::FaultConfig fc = decodeConfig(in);
+  const bool shouldBeValid = expectValid(fc);
+  bool threw = false;
+  try {
+    fc.validate();
+  } catch (const pscd::CheckFailure&) {
+    threw = true;
+  }
+  FUZZ_ASSERT(threw == !shouldBeValid);
+  if (!shouldBeValid) {
+    // buildFaultPlan must reject what validate() rejects.
+    bool buildThrew = false;
+    try {
+      (void)pscd::buildFaultPlan(fc, fixture.network, 2 * pscd::kDay);
+    } catch (const pscd::CheckFailure&) {
+      buildThrew = true;
+    }
+    FUZZ_ASSERT(buildThrew);
+    return 0;
+  }
+
+  const pscd::SimTime horizon =
+      in.finiteDouble(0.0, 3.0) * pscd::kDay;
+  const pscd::FaultPlan plan =
+      pscd::buildFaultPlan(fc, fixture.network, horizon);
+  plan.checkInvariants(fixture.network);
+  const pscd::FaultPlan again =
+      pscd::buildFaultPlan(fc, fixture.network, horizon);
+  FUZZ_ASSERT(plan.events.size() == again.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    FUZZ_ASSERT(sameEvent(plan.events[i], again.events[i]));
+  }
+  replayIntoLinkState(plan, fixture.network);
+
+  // The full pipeline is pricier; run it on a subset of inputs.
+  if (in.u8() % 4 == 0) {
+    microSim(fc, fixture.network, fixture.workload);
+  }
+  return 0;
+}

@@ -39,6 +39,11 @@ class DualCacheStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return true; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    const auto* e = pc_.find(page);
+    if (!e) e = ac_.find(page);
+    return e ? std::optional<Version>(e->version) : std::nullopt;
+  }
   Bytes usedBytes() const override { return pc_.used() + ac_.used(); }
   Bytes capacityBytes() const override { return totalCapacity_; }
   std::string name() const override;

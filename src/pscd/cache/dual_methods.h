@@ -23,6 +23,11 @@ class DualMethodsStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return true; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    const auto it = entries_.find(page);
+    return it != entries_.end() ? std::optional<Version>(it->second.version)
+                                : std::nullopt;
+  }
   Bytes usedBytes() const override { return used_; }
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "DM"; }

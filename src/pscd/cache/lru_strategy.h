@@ -20,6 +20,11 @@ class LruStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return false; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    const auto it = map_.find(page);
+    return it != map_.end() ? std::optional<Version>(it->second->version)
+                            : std::nullopt;
+  }
   Bytes usedBytes() const override { return used_; }
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "LRU"; }

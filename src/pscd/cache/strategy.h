@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "pscd/util/types.h"
@@ -69,6 +70,12 @@ class DistributionStrategy {
   virtual PushOutcome onPush(const PushContext& ctx) = 0;
 
   virtual RequestOutcome onRequest(const RequestContext& ctx) = 0;
+
+  /// Version of `page` currently cached at this proxy (std::nullopt
+  /// when absent). Non-mutating — no recency or frequency bookkeeping
+  /// is touched — so the failure layer can probe for a (possibly
+  /// stale) copy to serve degraded when the publisher is unreachable.
+  virtual std::optional<Version> cachedVersion(PageId page) const = 0;
 
   virtual Bytes usedBytes() const = 0;
   virtual Bytes capacityBytes() const = 0;

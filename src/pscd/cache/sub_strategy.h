@@ -19,6 +19,10 @@ class SubStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return true; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    const auto* e = cache_.find(page);
+    return e ? std::optional<Version>(e->version) : std::nullopt;
+  }
   Bytes usedBytes() const override { return cache_.used(); }
   Bytes capacityBytes() const override { return cache_.capacity(); }
   std::string name() const override { return "SUB"; }

@@ -14,6 +14,7 @@ ContentDistributionEngine::ContentDistributionEngine(const Network& network,
     throw std::invalid_argument(
         "ContentDistributionEngine: one capacity per proxy required");
   }
+  strategyParams_.reserve(network.numProxies());
   proxies_.reserve(network.numProxies());
   for (ProxyId p = 0; p < network.numProxies(); ++p) {
     StrategyParams sp;
@@ -23,8 +24,17 @@ ContentDistributionEngine::ContentDistributionEngine(const Network& network,
     sp.dcInitialPcFraction = config_.dcInitialPcFraction;
     sp.dcMinPcFraction = config_.dcMinPcFraction;
     sp.dcMaxPcFraction = config_.dcMaxPcFraction;
+    strategyParams_.push_back(sp);
     proxies_.push_back(makeStrategy(config_.strategy, sp));
   }
+}
+
+void ContentDistributionEngine::restartProxy(ProxyId proxy, bool warm) {
+  if (proxy >= proxies_.size()) {
+    throw std::out_of_range("restartProxy: proxy out of range");
+  }
+  if (warm) return;  // the cache (and all bookkeeping) survives
+  proxies_[proxy] = makeStrategy(config_.strategy, strategyParams_[proxy]);
 }
 
 const ContentDistributionEngine::PageState&
@@ -46,7 +56,8 @@ std::uint32_t ContentDistributionEngine::matchCount(const PageState& state,
 }
 
 PublishSummary ContentDistributionEngine::publish(
-    const PublishEvent& event, const ContentAttributes& attrs) {
+    const PublishEvent& event, const ContentAttributes& attrs,
+    const PushFaults* faults) {
   if (event.size == 0) {
     throw std::invalid_argument("publish: page size must be > 0");
   }
@@ -60,6 +71,17 @@ PublishSummary ContentDistributionEngine::publish(
   for (const Notification& n : state.matches) {
     DistributionStrategy& strat = *proxies_[n.proxy];
     if (!strat.pushCapable()) continue;
+    if (faults != nullptr && faults->lost && faults->lost(n.proxy)) {
+      // The push never reaches the proxy. Under Always-Pushing the
+      // publisher sent the bytes anyway (wasted transfer, accounted as
+      // lost); under Pushing-When-Necessary the meta-exchange already
+      // failed, so nothing was sent.
+      if (config_.pushScheme == PushScheme::kAlwaysPushing) {
+        ++summary.pagesLost;
+        summary.bytesLost += event.size;
+      }
+      continue;
+    }
     PushContext ctx;
     ctx.page = event.page;
     ctx.version = event.version;
@@ -80,18 +102,80 @@ PublishSummary ContentDistributionEngine::publish(
   return summary;
 }
 
-PublishSummary ContentDistributionEngine::publish(const PublishEvent& event) {
+PublishSummary ContentDistributionEngine::publish(const PublishEvent& event,
+                                                  const PushFaults* faults) {
   ContentAttributes attrs;
   attrs.page = event.page;
-  return publish(event, attrs);
+  return publish(event, attrs, faults);
 }
 
+namespace {
+
+/// Runs the bounded-retry fetch loop: attempts 1 + maxRetries fetches,
+/// charging one retry per failed attempt. Returns true when some
+/// attempt succeeded; `retries` receives the number of failed attempts
+/// that preceded the outcome.
+bool attemptFetch(const RequestFaults& faults, std::uint32_t& retries) {
+  retries = 0;
+  if (!faults.pathToPublisher) {
+    // Partitioned: every attempt times out; nothing random to draw.
+    retries = faults.maxRetries;
+    return false;
+  }
+  for (std::uint32_t attempt = 0; attempt <= faults.maxRetries; ++attempt) {
+    const bool failed =
+        faults.fetchAttemptFails && faults.fetchAttemptFails();
+    if (!failed) return true;
+    if (attempt < faults.maxRetries) ++retries;
+  }
+  retries = faults.maxRetries;
+  return false;
+}
+
+}  // namespace
+
 RequestSummary ContentDistributionEngine::request(ProxyId proxy, PageId page,
-                                                  SimTime now) {
+                                                  SimTime now,
+                                                  const RequestFaults* faults) {
   if (proxy >= proxies_.size()) {
     throw std::out_of_range("ContentDistributionEngine: proxy out of range");
   }
   const PageState& state = pageState(page);
+  RequestSummary summary;
+
+  if (faults != nullptr && faults->proxyDown) {
+    // The local proxy is crashed: its cache is unusable. Fail over to a
+    // direct publisher fetch when allowed, otherwise the request fails.
+    if (faults->publisherFailover && attemptFetch(*faults, summary.retries)) {
+      summary.failover = true;
+      summary.bytesTransferred = state.size;
+    } else {
+      if (!faults->publisherFailover) summary.retries = 0;
+      summary.unavailable = true;
+    }
+    return summary;
+  }
+
+  if (faults != nullptr) {
+    // Probe the cache non-mutatingly: a fresh copy is served locally and
+    // no fault can affect it; anything else needs a publisher fetch
+    // that may fail.
+    const std::optional<Version> cached =
+        proxies_[proxy]->cachedVersion(page);
+    const bool freshHit = cached.has_value() && *cached == state.version;
+    if (!freshHit && !attemptFetch(*faults, summary.retries)) {
+      if (cached.has_value()) {
+        // Degraded serving: hand out the stale copy rather than fail.
+        // The strategy is not consulted — no bookkeeping moves, exactly
+        // as if the proxy pinned the bytes it already had.
+        summary.servedStale = true;
+        summary.stale = true;
+      } else {
+        summary.unavailable = true;
+      }
+      return summary;
+    }
+  }
 
   RequestContext ctx;
   ctx.page = page;
@@ -101,7 +185,6 @@ RequestSummary ContentDistributionEngine::request(ProxyId proxy, PageId page,
   ctx.now = now;
   const RequestOutcome out = proxies_[proxy]->onRequest(ctx);
 
-  RequestSummary summary;
   summary.hit = out.hit;
   summary.stale = out.stale;
   summary.bytesTransferred = out.hit ? 0 : state.size;

@@ -11,6 +11,7 @@
 // between publisher and proxies.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,10 @@ struct PublishSummary {
   std::uint32_t proxiesStored = 0;    // proxies that stored the page
   std::uint64_t pagesTransferred = 0;
   Bytes bytesTransferred = 0;
+  /// Pushes that never arrived (down proxy, partition, or in-flight
+  /// loss); always 0 on the fault-free path.
+  std::uint64_t pagesLost = 0;
+  Bytes bytesLost = 0;
 };
 
 /// Accounting of one request.
@@ -54,6 +59,38 @@ struct RequestSummary {
   bool stale = false;  // a stale copy was cached at request time
   /// Publisher -> proxy bytes (page size on a miss, 0 on a hit).
   Bytes bytesTransferred = 0;
+  /// Failure-layer accounting; all zero/false on the fault-free path.
+  std::uint32_t retries = 0;   // failed fetch attempts that were retried
+  bool servedStale = false;    // degraded: stale cache copy served after
+                               // the publisher fetch failed
+  bool failover = false;       // served via direct publisher fetch while
+                               // the local proxy was down
+  bool unavailable = false;    // the request could not be served at all
+};
+
+/// Per-publish fault decisions supplied by the failure layer. lost() is
+/// called once per notified push-capable proxy, in ascending proxy
+/// order (the determinism contract: any randomness inside must be
+/// consumed in exactly that order).
+struct PushFaults {
+  std::function<bool(ProxyId)> lost;
+};
+
+/// Per-request fault decisions supplied by the failure layer.
+struct RequestFaults {
+  /// The local proxy process is down (crashed, not yet restarted).
+  bool proxyDown = false;
+  /// A residual network path publisher -> proxy exists.
+  bool pathToPublisher = true;
+  /// Serve a down proxy's users straight from the publisher when
+  /// possible instead of failing the request.
+  bool publisherFailover = true;
+  /// Bounded-retry budget for failed fetch attempts.
+  std::uint32_t maxRetries = 0;
+  /// One Bernoulli draw per fetch attempt; true = the attempt failed.
+  /// Consulted only when pathToPublisher (partitions fail without
+  /// drawing). Null means attempts never fail randomly.
+  std::function<bool()> fetchAttemptFails;
 };
 
 class ContentDistributionEngine {
@@ -70,16 +107,35 @@ class ContentDistributionEngine {
   }
 
   /// Publishes a page version: matches it against all subscriptions and
-  /// runs the push-time placement at every notified proxy.
+  /// runs the push-time placement at every notified proxy. With
+  /// `faults`, pushes reported lost never reach the proxy (no store, no
+  /// transfer; under Always-Pushing the wasted publisher->proxy bytes
+  /// are accounted as lost).
   PublishSummary publish(const PublishEvent& event,
-                         const ContentAttributes& attrs);
+                         const ContentAttributes& attrs,
+                         const PushFaults* faults = nullptr);
 
   /// Convenience overload using page-id-only attributes.
-  PublishSummary publish(const PublishEvent& event);
+  PublishSummary publish(const PublishEvent& event,
+                         const PushFaults* faults = nullptr);
 
   /// A user attached to `proxy` requests `page`. The page must have been
   /// published before (throws std::out_of_range otherwise).
-  RequestSummary request(ProxyId proxy, PageId page, SimTime now);
+  ///
+  /// With `faults`, the failure-recovery path runs: a down proxy fails
+  /// over to a direct publisher fetch (when allowed and a path exists);
+  /// a miss retries failed fetches up to maxRetries times; an abandoned
+  /// fetch serves a stale cached copy when one exists (degraded, cache
+  /// state untouched) and fails otherwise. Without `faults` the
+  /// behaviour is bit-identical to the pre-failure-layer engine.
+  RequestSummary request(ProxyId proxy, PageId page, SimTime now,
+                         const RequestFaults* faults = nullptr);
+
+  /// Crash/restart model: a cold restart (warm = false) replaces the
+  /// proxy's strategy with a freshly constructed one, wiping the cache
+  /// and all bookkeeping (L, access history, dual-cache partition); a
+  /// warm restart keeps the strategy untouched.
+  void restartProxy(ProxyId proxy, bool warm);
 
   /// Latest published version/size of a page; throws if never published.
   Version latestVersion(PageId page) const;
@@ -108,6 +164,9 @@ class ContentDistributionEngine {
 
   EngineConfig config_;
   Broker broker_;
+  /// Construction parameters of each proxy's strategy, kept so a cold
+  /// restart can rebuild it from scratch.
+  std::vector<StrategyParams> strategyParams_;
   std::vector<std::unique_ptr<DistributionStrategy>> proxies_;
   std::unordered_map<PageId, PageState> pages_;
 };

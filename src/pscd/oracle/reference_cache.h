@@ -27,6 +27,12 @@ class ReferenceLruStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return false; }
   PushOutcome onPush(const PushContext&) override { return {false}; }
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    for (const Slot& s : slots_) {
+      if (s.entry.page == page) return s.entry.version;
+    }
+    return std::nullopt;
+  }
   Bytes usedBytes() const override;
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "ref-LRU"; }
@@ -52,6 +58,12 @@ class ReferenceGdsFamilyStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return config_.pushEnabled; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    for (const Slot& s : slots_) {
+      if (s.entry.page == page) return s.entry.version;
+    }
+    return std::nullopt;
+  }
   Bytes usedBytes() const override;
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override {
@@ -93,6 +105,12 @@ class ReferenceSubStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return true; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    for (const Slot& s : slots_) {
+      if (s.entry.page == page) return s.entry.version;
+    }
+    return std::nullopt;
+  }
   Bytes usedBytes() const override;
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "ref-SUB"; }
@@ -121,6 +139,12 @@ class ReferenceDualMethodsStrategy final : public DistributionStrategy {
   bool pushCapable() const override { return true; }
   PushOutcome onPush(const PushContext& ctx) override;
   RequestOutcome onRequest(const RequestContext& ctx) override;
+  std::optional<Version> cachedVersion(PageId page) const override {
+    for (const Slot& s : slots_) {
+      if (s.entry.page == page) return s.entry.version;
+    }
+    return std::nullopt;
+  }
   Bytes usedBytes() const override;
   Bytes capacityBytes() const override { return capacity_; }
   std::string name() const override { return "ref-DM"; }

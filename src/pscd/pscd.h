@@ -27,11 +27,13 @@
 #include "pscd/pubsub/routing.h"
 #include "pscd/pubsub/subscription.h"
 #include "pscd/sim/experiment.h"
+#include "pscd/sim/fault_plan.h"
 #include "pscd/sim/metrics.h"
 #include "pscd/sim/parallel_runner.h"
 #include "pscd/sim/simulator.h"
 #include "pscd/topology/barabasi_albert.h"
 #include "pscd/topology/graph.h"
+#include "pscd/topology/link_state.h"
 #include "pscd/topology/network.h"
 #include "pscd/topology/shortest_path.h"
 #include "pscd/topology/waxman.h"

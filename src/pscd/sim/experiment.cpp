@@ -91,13 +91,30 @@ const Network& ExperimentContext::network() {
   return *network_;
 }
 
+ExperimentContext::FaultKey ExperimentContext::faultKey(
+    const FaultConfig& faults) {
+  return FaultKey{faults.seed,
+                  faults.proxyFailuresPerDay,
+                  faults.proxyMeanDowntimeHours,
+                  faults.warmRestart,
+                  faults.linkFailuresPerDay,
+                  faults.linkMeanDowntimeHours,
+                  faults.pushLossProbability,
+                  faults.fetchFailureProbability,
+                  faults.publisherFailover,
+                  faults.retry.maxRetries,
+                  faults.retry.backoffBaseMs,
+                  faults.retry.backoffFactor};
+}
+
 SimMetrics ExperimentContext::run(TraceKind trace, double subscriptionQuality,
                                   StrategyKind strategy,
                                   double capacityFraction, PushScheme scheme,
-                                  bool collectHourly) {
+                                  bool collectHourly,
+                                  const FaultConfig& faults) {
   return runWithBeta(trace, subscriptionQuality, strategy, capacityFraction,
                      paperBeta(strategy, trace, capacityFraction), scheme,
-                     collectHourly);
+                     collectHourly, faults);
 }
 
 SimMetrics ExperimentContext::runWithBeta(TraceKind trace,
@@ -105,11 +122,12 @@ SimMetrics ExperimentContext::runWithBeta(TraceKind trace,
                                           StrategyKind strategy,
                                           double capacityFraction, double beta,
                                           PushScheme scheme,
-                                          bool collectHourly) {
+                                          bool collectHourly,
+                                          const FaultConfig& faults) {
   const CellKey key{static_cast<int>(trace),    subscriptionQuality,
                     static_cast<int>(strategy), capacityFraction,
                     beta,                       static_cast<int>(scheme),
-                    collectHourly};
+                    collectHourly,              faultKey(faults)};
   {
     MutexLock lock(mu_);
     auto it = results_.find(key);
@@ -125,6 +143,7 @@ SimMetrics ExperimentContext::runWithBeta(TraceKind trace,
   config.capacityFraction = capacityFraction;
   config.pushScheme = scheme;
   config.collectHourly = collectHourly;
+  config.faults = faults;
   Simulator sim(w, n, config);
   SimMetrics metrics = sim.run();
   {

@@ -58,27 +58,39 @@ class ExperimentContext {
       PSCD_EXCLUDES(mu_);
   const Network& network() PSCD_EXCLUDES(mu_);
 
-  /// Runs one simulation with the paper's beta for the setting.
+  /// Runs one simulation with the paper's beta for the setting; pass a
+  /// FaultConfig to run the cell under the failure model (the default
+  /// disables it).
   SimMetrics run(TraceKind trace, double subscriptionQuality,
                  StrategyKind strategy, double capacityFraction,
                  PushScheme scheme = PushScheme::kAlwaysPushing,
-                 bool collectHourly = false) PSCD_EXCLUDES(mu_);
+                 bool collectHourly = false,
+                 const FaultConfig& faults = {}) PSCD_EXCLUDES(mu_);
 
   /// Same but with an explicit beta (used by the beta-sweep bench).
   SimMetrics runWithBeta(TraceKind trace, double subscriptionQuality,
                          StrategyKind strategy, double capacityFraction,
                          double beta,
                          PushScheme scheme = PushScheme::kAlwaysPushing,
-                         bool collectHourly = false) PSCD_EXCLUDES(mu_);
+                         bool collectHourly = false,
+                         const FaultConfig& faults = {}) PSCD_EXCLUDES(mu_);
 
   std::uint64_t workloadSeed() const { return workloadSeed_; }
   std::uint64_t topologySeed() const { return topologySeed_; }
   double scale() const { return scale_; }
 
  private:
+  /// Every FaultConfig field, flattened so distinct failure settings
+  /// memoize as distinct cells.
+  using FaultKey =
+      std::tuple<std::uint64_t, double, double, bool, double, double, double,
+                 double, bool, std::uint32_t, double, double>;
+  static FaultKey faultKey(const FaultConfig& faults);
+
   /// One simulation setting; doubles are compared bit-exactly, which is
   /// fine because keys are always rebuilt from the same literals.
-  using CellKey = std::tuple<int, double, int, double, double, int, bool>;
+  using CellKey =
+      std::tuple<int, double, int, double, double, int, bool, FaultKey>;
 
   std::uint64_t workloadSeed_;
   std::uint64_t topologySeed_;

@@ -1,5 +1,6 @@
 #include "pscd/sim/metrics.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace pscd {
@@ -14,33 +15,46 @@ SimMetrics::SimMetrics(std::uint32_t numProxies, std::size_t hours)
 }
 
 void SimMetrics::recordRequest(ProxyId proxy, SimTime t, bool hit, bool stale,
-                               Bytes fetchedBytes, double responseTime) {
+                               Bytes fetchedBytes, double responseTime,
+                               const RequestFaultStats& faults) {
   if (proxy >= proxyRequests_.size()) {
     throw std::out_of_range("SimMetrics::recordRequest: proxy out of range");
   }
   ++requests_;
-  responseTimeSum_ += responseTime;
   ++proxyRequests_[proxy];
+  retries_ += faults.retries;
+  if (faults.unavailable) ++unavailable_;
+  if (faults.servedStale) ++staleServes_;
+  if (faults.failover) ++failovers_;
+  // A publisher fetch happened only when the request missed AND was
+  // actually served with fresh bytes (stale serving reuses the local
+  // copy; an unavailable request transferred nothing).
+  const bool served = !faults.unavailable;
+  const bool fetched = !hit && served && !faults.servedStale;
+  if (served) responseTimeSum_ += responseTime;
   if (hit) {
     ++hits_;
     ++proxyHits_[proxy];
-  } else {
+  } else if (fetched) {
     ++traffic_.fetchPages;
     traffic_.fetchBytes += fetchedBytes;
   }
   if (stale) ++staleMisses_;
   if (hourlyHits_) {
     hourlyHits_->add(t, hit ? 1.0 : 0.0, 1.0);
-    if (!hit) {
+    if (fetched) {
       hourlyPages_->add(t, 1.0);
       hourlyBytes_->add(t, static_cast<double>(fetchedBytes));
     }
   }
 }
 
-void SimMetrics::recordPush(SimTime t, std::uint64_t pages, Bytes bytes) {
+void SimMetrics::recordPush(SimTime t, std::uint64_t pages, Bytes bytes,
+                            std::uint64_t lostPages, Bytes lostBytes) {
   traffic_.pushPages += pages;
   traffic_.pushBytes += bytes;
+  traffic_.lostPushPages += lostPages;
+  traffic_.lostPushBytes += lostBytes;
   if (hourlyPages_) {
     hourlyPages_->add(t, static_cast<double>(pages));
     hourlyBytes_->add(t, static_cast<double>(bytes));
@@ -52,8 +66,32 @@ double SimMetrics::hitRatio() const {
 }
 
 double SimMetrics::meanResponseTime() const {
-  return requests_ > 0 ? responseTimeSum_ / static_cast<double>(requests_)
-                       : 0.0;
+  const std::uint64_t served = servedRequests();
+  return served > 0 ? responseTimeSum_ / static_cast<double>(served) : 0.0;
+}
+
+double SimMetrics::availability() const {
+  return requests_ > 0
+             ? static_cast<double>(servedRequests()) / requests_
+             : 1.0;
+}
+
+double SimMetrics::staleServeRate() const {
+  const std::uint64_t served = servedRequests();
+  return served > 0 ? static_cast<double>(staleServes_) / served : 0.0;
+}
+
+double SimMetrics::retriesPerRequest() const {
+  return requests_ > 0 ? static_cast<double>(retries_) / requests_ : 0.0;
+}
+
+double SimMetrics::unavailabilityWeightedBytes() const {
+  const double total = static_cast<double>(traffic_.totalBytes()) +
+                       static_cast<double>(traffic_.lostPushBytes);
+  if (total == 0.0) return 0.0;
+  const double a = availability();
+  if (a == 0.0) return std::numeric_limits<double>::infinity();
+  return total / a;
 }
 
 double SimMetrics::proxyHitRatio(ProxyId proxy) const {

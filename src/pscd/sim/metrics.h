@@ -17,9 +17,22 @@ struct TrafficTotals {
   Bytes pushBytes = 0;
   std::uint64_t fetchPages = 0;
   Bytes fetchBytes = 0;
+  /// Push transfers that never arrived (failure layer); the bytes were
+  /// sent by the publisher but wasted. Not part of totalBytes().
+  std::uint64_t lostPushPages = 0;
+  Bytes lostPushBytes = 0;
 
   std::uint64_t totalPages() const { return pushPages + fetchPages; }
   Bytes totalBytes() const { return pushBytes + fetchBytes; }
+};
+
+/// Failure-layer observations of one request (all defaults describe the
+/// ideal fault-free overlay).
+struct RequestFaultStats {
+  std::uint32_t retries = 0;
+  bool servedStale = false;
+  bool failover = false;
+  bool unavailable = false;
 };
 
 class SimMetrics {
@@ -29,25 +42,54 @@ class SimMetrics {
 
   /// responseTime is the user-perceived latency of this request under
   /// the simulator's latency model (hits are served locally, misses pay
-  /// the publisher round trip scaled by the proxy's network distance).
+  /// the publisher round trip scaled by the proxy's network distance,
+  /// and failed fetch attempts add their backoff). For an unavailable
+  /// request the responseTime argument is ignored — it has no response.
   void recordRequest(ProxyId proxy, SimTime t, bool hit, bool stale,
-                     Bytes fetchedBytes, double responseTime = 0.0);
-  void recordPush(SimTime t, std::uint64_t pages, Bytes bytes);
+                     Bytes fetchedBytes, double responseTime = 0.0,
+                     const RequestFaultStats& faults = {});
+  void recordPush(SimTime t, std::uint64_t pages, Bytes bytes,
+                  std::uint64_t lostPages = 0, Bytes lostBytes = 0);
 
   std::uint64_t requests() const { return requests_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t staleMisses() const { return staleMisses_; }
 
+  /// Failure-layer counters (all zero on a fault-free run).
+  std::uint64_t staleServes() const { return staleServes_; }
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t unavailableRequests() const { return unavailable_; }
+  std::uint64_t totalRetries() const { return retries_; }
+  std::uint64_t servedRequests() const { return requests_ - unavailable_; }
+
+  /// Fraction of requests that received *any* response — fresh, stale
+  /// or failover (1 when no requests were issued).
+  double availability() const;
+  /// Fraction of served requests answered with a stale copy after the
+  /// publisher fetch was abandoned.
+  double staleServeRate() const;
+  /// Mean failed-then-retried fetch attempts per request.
+  double retriesPerRequest() const;
+
   /// Global hit ratio H in [0, 1]; 0 when no requests were issued.
   double hitRatio() const;
   double proxyHitRatio(ProxyId proxy) const;
 
-  /// Mean user-perceived response time (the paper's motivating metric:
-  /// "a high hit ratio in a local server generally means a smaller
-  /// response time").
+  /// Mean user-perceived response time over the *served* requests (the
+  /// paper's motivating metric: "a high hit ratio in a local server
+  /// generally means a smaller response time"). Unavailable requests
+  /// have no response and are excluded; on a fault-free run every
+  /// request is served, so the value is unchanged from the
+  /// pre-failure-layer definition.
   double meanResponseTime() const;
 
   const TrafficTotals& traffic() const { return traffic_; }
+
+  /// Publisher->proxy traffic weighted by unavailability: total bytes
+  /// (including lost pushes) divided by availability, so a scheme
+  /// cannot look cheap by simply failing its users. +infinity when
+  /// traffic flowed but no request was ever served.
+  double unavailabilityWeightedBytes() const;
 
   bool hasHourly() const { return hourlyHits_.has_value(); }
   /// Hit ratio of one hour (fig. 6).
@@ -61,6 +103,10 @@ class SimMetrics {
   std::uint64_t requests_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t staleMisses_ = 0;
+  std::uint64_t staleServes_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t unavailable_ = 0;
+  std::uint64_t retries_ = 0;
   double responseTimeSum_ = 0.0;
   TrafficTotals traffic_;
   std::vector<std::uint64_t> proxyRequests_;

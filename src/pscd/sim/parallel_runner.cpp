@@ -41,7 +41,8 @@ void ParallelRunner::runAll() {
                                   s.cell.capacityFraction);
       SimMetrics metrics = s.context->runWithBeta(
           s.cell.trace, s.cell.subscriptionQuality, s.cell.strategy,
-          s.cell.capacityFraction, beta, s.cell.scheme, s.cell.collectHourly);
+          s.cell.capacityFraction, beta, s.cell.scheme, s.cell.collectHourly,
+          s.cell.faults);
       MutexLock lock(mu_);
       results_[i] = std::move(metrics);
     });

@@ -37,6 +37,10 @@ struct ExperimentCell {
   bool collectHourly = false;
   /// When set, overrides paperBeta() for this cell.
   std::optional<double> beta;
+  /// Failure model of this cell (default: disabled, ideal overlay). A
+  /// cell wanting stochastic faults should set faults.seed from its own
+  /// cellSeed() so the schedule stays order-free.
+  FaultConfig faults{};
 };
 
 class ParallelRunner {

@@ -2,7 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+
+#include "pscd/topology/link_state.h"
+#include "pscd/util/check.h"
+#include "pscd/util/rng.h"
 
 namespace pscd {
 
@@ -15,6 +20,30 @@ Simulator::Simulator(const Workload& workload, const Network& network,
   if (config.capacityFraction <= 0 || config.capacityFraction > 1) {
     throw std::invalid_argument("Simulator: capacityFraction in (0, 1]");
   }
+  // NaN slips through both comparisons above; reject it explicitly.
+  PSCD_CHECK(std::isfinite(config.capacityFraction))
+      << "Simulator: capacityFraction must be finite";
+  PSCD_CHECK(std::isfinite(config.localLatencyMs) &&
+             config.localLatencyMs >= 0.0)
+      << "Simulator: localLatencyMs must be finite and >= 0, got "
+      << config.localLatencyMs;
+  PSCD_CHECK(std::isfinite(config.remoteLatencyMsPerUnit) &&
+             config.remoteLatencyMsPerUnit >= 0.0)
+      << "Simulator: remoteLatencyMsPerUnit must be finite and >= 0, got "
+      << config.remoteLatencyMsPerUnit;
+  PSCD_CHECK(std::isfinite(config.beta))
+      << "Simulator: beta must be finite, got " << config.beta;
+  const auto checkFraction = [](double value, const char* name) {
+    PSCD_CHECK(std::isfinite(value) && value >= 0.0 && value <= 1.0)
+        << "Simulator: " << name << " must be in [0, 1], got " << value;
+  };
+  checkFraction(config.dcInitialPcFraction, "dcInitialPcFraction");
+  checkFraction(config.dcMinPcFraction, "dcMinPcFraction");
+  checkFraction(config.dcMaxPcFraction, "dcMaxPcFraction");
+  PSCD_CHECK(config.dcMinPcFraction <= config.dcInitialPcFraction &&
+             config.dcInitialPcFraction <= config.dcMaxPcFraction)
+      << "Simulator: dc pc fractions must satisfy min <= initial <= max";
+  config.faults.validate();
 }
 
 Bytes Simulator::proxyCapacity(ProxyId proxy) const {
@@ -61,22 +90,45 @@ SimMetrics Simulator::run() {
 #endif
   if (selfCheck) network_.checkInvariants();
 
-  // Merge the time-sorted streams (publishes, requests, and optional
-  // subscription churn); publishes win ties so a request issued at
-  // publish time sees the fresh version, and churn applies before the
-  // publishes it should affect.
-  std::size_t pi = 0, ri = 0, ci = 0;
+  // Failure layer. When no failure process is enabled the plan is empty,
+  // no link-state overlay or fault RNG is even constructed, and every
+  // event below takes the exact pre-failure-layer code path.
+  const bool faultsOn = config_.faults.enabled();
+  FaultPlan plan;
+  std::optional<LinkState> linkState;
+  std::optional<Rng> faultRng;
+  if (faultsOn) {
+    plan = buildFaultPlan(config_.faults, network_,
+                          workload_.params.publishing.horizon);
+    if (selfCheck) plan.checkInvariants(network_);
+    linkState.emplace(network_);
+    // Per-operation loss draws use their own stream (stream 2 of the
+    // fault seed; streams 0/1 feed the proxy/link schedules).
+    std::uint64_t s = config_.faults.seed + 3 * 0x9e3779b97f4a7c15ull;
+    splitmix64(s);
+    faultRng.emplace(splitmix64(s));
+  }
+
+  // Merge the time-sorted streams (publishes, requests, optional
+  // subscription churn, and the fault schedule); publishes win ties so a
+  // request issued at publish time sees the fresh version, churn applies
+  // before the publishes it should affect, and fault events beat every
+  // workload event at the same instant (a crash at time t means the
+  // proxy is already down for t's requests).
+  std::size_t pi = 0, ri = 0, ci = 0, fi = 0;
   std::uint64_t eventCount = 0;
   SimTime checkedUpTo = 0.0;  // hour boundary already validated
   const auto maybeCheck = [&](SimTime now) {
     if (config_.invariantCheckInterval > 0 &&
         ++eventCount % config_.invariantCheckInterval == 0) {
       engine.checkInvariants();
+      if (linkState) linkState->checkInvariants();
     }
     if (selfCheck && now >= checkedUpTo + kHour) {
       // Validate once per simulated hour, however far the clock jumped.
       checkedUpTo += kHour * std::floor((now - checkedUpTo) / kHour);
       engine.checkInvariants();
+      if (linkState) linkState->checkInvariants();
     }
   };
   while (pi < workload_.publishes.size() || ri < workload_.requests.size() ||
@@ -90,6 +142,30 @@ SimMetrics Simulator::run() {
     const SimTime nextChurn = ci < workload_.churn.size()
                                   ? workload_.churn[ci].time
                                   : std::numeric_limits<SimTime>::infinity();
+    const SimTime nextFault = fi < plan.events.size()
+                                  ? plan.events[fi].time
+                                  : std::numeric_limits<SimTime>::infinity();
+    if (nextFault <= nextChurn && nextFault <= nextPublish &&
+        nextFault <= nextRequest) {
+      const FaultEvent& ev = plan.events[fi++];
+      switch (ev.kind) {
+        case FaultEventKind::kProxyDown:
+          linkState->setProxyDown(ev.proxy);
+          break;
+        case FaultEventKind::kProxyUp:
+          linkState->setProxyUp(ev.proxy);
+          engine.restartProxy(ev.proxy, config_.faults.warmRestart);
+          break;
+        case FaultEventKind::kLinkDown:
+          linkState->setLinkDown(ev.linkA, ev.linkB);
+          break;
+        case FaultEventKind::kLinkUp:
+          linkState->setLinkUp(ev.linkA, ev.linkB);
+          break;
+      }
+      maybeCheck(ev.time);
+      continue;
+    }
     if (nextChurn <= nextPublish && nextChurn <= nextRequest) {
       const SubscriptionChurnEvent& ev = workload_.churn[ci++];
       engine.broker().unsubscribeAggregated(ev.proxy, ev.fromPage, 1);
@@ -101,25 +177,78 @@ SimMetrics Simulator::run() {
     SimTime now = 0.0;
     if (takePublish) {
       const PublishEvent& ev = workload_.publishes[pi++];
-      const PublishSummary s = engine.publish(ev);
-      metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred);
+      if (!faultsOn) {
+        const PublishSummary s = engine.publish(ev);
+        metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred);
+      } else {
+        // Pushes to a crashed or partitioned proxy are always lost; a
+        // reachable proxy additionally loses pushes with the configured
+        // in-flight probability (one draw per notified push-capable
+        // proxy, in ascending proxy order).
+        const double lossP = config_.faults.pushLossProbability;
+        PushFaults pf;
+        pf.lost = [&](ProxyId p) {
+          if (linkState->proxyDown(p) || !linkState->pathToPublisher(p)) {
+            return true;
+          }
+          return lossP > 0.0 && faultRng->bernoulli(lossP);
+        };
+        const PublishSummary s = engine.publish(ev, &pf);
+        metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred,
+                           s.pagesLost, s.bytesLost);
+      }
       now = ev.time;
     } else {
       const RequestEvent& ev = workload_.requests[ri++];
-      const RequestSummary s = engine.request(ev.proxy, ev.page, ev.time);
-      const double responseTime =
-          config_.localLatencyMs +
-          (s.hit ? 0.0
-                 : config_.remoteLatencyMsPerUnit *
-                       network_.fetchCost(ev.proxy));
-      metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
-                            s.bytesTransferred, responseTime);
+      if (!faultsOn) {
+        const RequestSummary s = engine.request(ev.proxy, ev.page, ev.time);
+        const double responseTime =
+            config_.localLatencyMs +
+            (s.hit ? 0.0
+                   : config_.remoteLatencyMsPerUnit *
+                         network_.fetchCost(ev.proxy));
+        metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
+                              s.bytesTransferred, responseTime);
+      } else {
+        RequestFaults rf;
+        rf.proxyDown = linkState->proxyDown(ev.proxy);
+        rf.pathToPublisher = linkState->pathToPublisher(ev.proxy);
+        rf.publisherFailover = config_.faults.publisherFailover;
+        rf.maxRetries = config_.faults.retry.maxRetries;
+        const double failP = config_.faults.fetchFailureProbability;
+        if (failP > 0.0) {
+          rf.fetchAttemptFails = [&]() { return faultRng->bernoulli(failP); };
+        }
+        const RequestSummary s =
+            engine.request(ev.proxy, ev.page, ev.time, &rf);
+        // Served requests pay the local hop, the residual-path publisher
+        // round trip when fresh bytes were fetched (miss or failover),
+        // and the backoff of every failed attempt. An unavailable
+        // request has no response time.
+        double responseTime = 0.0;
+        if (!s.unavailable) {
+          responseTime = config_.localLatencyMs +
+                         config_.faults.retry.totalBackoffMs(s.retries);
+          if (!s.hit && !s.servedStale) {
+            responseTime += config_.remoteLatencyMsPerUnit *
+                            linkState->fetchCost(ev.proxy);
+          }
+        }
+        RequestFaultStats fs;
+        fs.retries = s.retries;
+        fs.servedStale = s.servedStale;
+        fs.failover = s.failover;
+        fs.unavailable = s.unavailable;
+        metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
+                              s.bytesTransferred, responseTime, fs);
+      }
       now = ev.time;
     }
     maybeCheck(now);
   }
   if (config_.invariantCheckInterval > 0 || selfCheck) {
     engine.checkInvariants();
+    if (linkState) linkState->checkInvariants();
   }
   return metrics;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "pscd/core/engine.h"
+#include "pscd/sim/fault_plan.h"
 #include "pscd/sim/metrics.h"
 #include "pscd/topology/network.h"
 #include "pscd/workload/workload.h"
@@ -38,6 +39,10 @@ struct SimConfig {
   /// distance (mean distance = 1).
   double localLatencyMs = 5.0;
   double remoteLatencyMsPerUnit = 100.0;
+  /// Failure model (DESIGN.md section 9). The default config disables
+  /// every failure process, and the simulator then takes the exact
+  /// pre-failure-layer code path (bit-identical metrics).
+  FaultConfig faults{};
 };
 
 class Simulator {

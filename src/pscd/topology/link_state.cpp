@@ -1,0 +1,126 @@
+#include "pscd/topology/link_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pscd/topology/shortest_path.h"
+#include "pscd/util/check.h"
+
+namespace pscd {
+
+LinkState::LinkState(const Network& network)
+    : network_(&network), proxyDownMask_(network.numProxies(), 0) {}
+
+LinkState::LinkKey LinkState::linkKey(NodeId a, NodeId b) {
+  return a < b ? LinkKey{a, b} : LinkKey{b, a};
+}
+
+void LinkState::setLinkDown(NodeId a, NodeId b) {
+  PSCD_CHECK(network_->graph().hasEdge(a, b))
+      << "LinkState: no seed link " << a << " <-> " << b << " to fail";
+  if (downLinks_.insert(linkKey(a, b)).second) residualDirty_ = true;
+}
+
+void LinkState::setLinkUp(NodeId a, NodeId b) {
+  PSCD_CHECK(network_->graph().hasEdge(a, b))
+      << "LinkState: no seed link " << a << " <-> " << b << " to restore";
+  if (downLinks_.erase(linkKey(a, b)) > 0) residualDirty_ = true;
+}
+
+bool LinkState::linkDown(NodeId a, NodeId b) const {
+  return downLinks_.contains(linkKey(a, b));
+}
+
+void LinkState::setProxyDown(ProxyId proxy) {
+  PSCD_CHECK_LT(proxy, proxyDownMask_.size())
+      << "LinkState: proxy off the overlay";
+  if (!proxyDownMask_[proxy]) {
+    proxyDownMask_[proxy] = 1;
+    ++downProxies_;
+  }
+}
+
+void LinkState::setProxyUp(ProxyId proxy) {
+  PSCD_CHECK_LT(proxy, proxyDownMask_.size())
+      << "LinkState: proxy off the overlay";
+  if (proxyDownMask_[proxy]) {
+    proxyDownMask_[proxy] = 0;
+    --downProxies_;
+  }
+}
+
+bool LinkState::proxyDown(ProxyId proxy) const {
+  PSCD_CHECK_LT(proxy, proxyDownMask_.size())
+      << "LinkState: proxy off the overlay";
+  return proxyDownMask_[proxy] != 0;
+}
+
+void LinkState::refreshResidual() const {
+  if (!residualDirty_) return;
+  const std::vector<double> dist = shortestPaths(
+      network_->graph(), network_->publisherNode(),
+      [this](NodeId u, NodeId v) { return downLinks_.contains(linkKey(u, v)); });
+  const double mean = network_->normalizationMean();
+  residualCost_.resize(network_->numProxies());
+  for (ProxyId p = 0; p < network_->numProxies(); ++p) {
+    const double d = dist[network_->proxyNode(p)];
+    residualCost_[p] = std::isfinite(d) ? std::max(d / mean, 0.01) : d;
+  }
+  residualDirty_ = false;
+}
+
+double LinkState::fetchCost(ProxyId proxy) const {
+  PSCD_CHECK_LT(proxy, proxyDownMask_.size())
+      << "LinkState: proxy off the overlay";
+  if (downLinks_.empty()) return network_->fetchCost(proxy);  // seed fast path
+  refreshResidual();
+  return residualCost_[proxy];
+}
+
+bool LinkState::pathToPublisher(ProxyId proxy) const {
+  return std::isfinite(fetchCost(proxy));
+}
+
+bool LinkState::reachable(ProxyId proxy) const {
+  return !proxyDown(proxy) && pathToPublisher(proxy);
+}
+
+void LinkState::checkInvariants() const {
+  PSCD_CHECK_EQ(proxyDownMask_.size(), network_->numProxies())
+      << "LinkState: proxy mask size drifted from the network";
+  std::uint32_t down = 0;
+  for (const std::uint8_t d : proxyDownMask_) down += d != 0 ? 1 : 0;
+  PSCD_CHECK_EQ(down, downProxies_)
+      << "LinkState: down-proxy counter disagrees with the mask";
+  for (const auto& [a, b] : downLinks_) {
+    PSCD_CHECK_LT(a, b) << "LinkState: unnormalized down-link key";
+    PSCD_CHECK(network_->graph().hasEdge(a, b))
+        << "LinkState: down link " << a << " <-> " << b
+        << " does not exist in the seed graph";
+  }
+  if (!downLinks_.empty() && !residualDirty_) {
+    // The cached residual costs must match a fresh damaged-graph run,
+    // finite exactly for the proxies still connected to the publisher.
+    const std::vector<double> dist =
+        shortestPaths(network_->graph(), network_->publisherNode(),
+                      [this](NodeId u, NodeId v) {
+                        return downLinks_.contains(linkKey(u, v));
+                      });
+    PSCD_CHECK_EQ(residualCost_.size(), network_->numProxies())
+        << "LinkState: residual cost vector size drifted";
+    for (ProxyId p = 0; p < network_->numProxies(); ++p) {
+      const double d = dist[network_->proxyNode(p)];
+      PSCD_CHECK_EQ(std::isfinite(residualCost_[p]), std::isfinite(d))
+          << "LinkState: proxy " << p
+          << " residual reachability disagrees with the damaged graph";
+      if (!std::isfinite(d)) continue;
+      const double expected =
+          std::max(d / network_->normalizationMean(), 0.01);
+      PSCD_CHECK(std::abs(residualCost_[p] - expected) <=
+                 1e-9 * (1.0 + expected))
+          << "LinkState: stale residual cost for proxy " << p;
+    }
+  }
+}
+
+}  // namespace pscd

@@ -1,0 +1,91 @@
+// Dynamic link-state overlay on the immutable seed Network: the failure
+// layer marks proxies crashed and links down/up during a simulation, and
+// this class answers residual reachability and fetch-cost queries
+// against the damaged topology. While no link is down every query hits
+// the seed fast path (the exact doubles stored in Network), so a
+// fault-free run is bit-identical to one that never constructed an
+// overlay; once links fail, residual shortest paths are recomputed
+// lazily under the seed normalization constant, and proxies partitioned
+// from the publisher get c(p) = +infinity.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "pscd/topology/network.h"
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+class LinkState {
+ public:
+  /// The network must outlive the overlay.
+  explicit LinkState(const Network& network);
+
+  const Network& network() const { return *network_; }
+
+  /// Marks the undirected edge {a, b} down / back up. The edge must
+  /// exist in the seed graph; marking twice is idempotent.
+  void setLinkDown(NodeId a, NodeId b);
+  void setLinkUp(NodeId a, NodeId b);
+  bool linkDown(NodeId a, NodeId b) const;
+  std::size_t downLinkCount() const { return downLinks_.size(); }
+
+  /// Marks the proxy process crashed / restarted. A crashed proxy
+  /// serves no requests and receives no pushes; its fetch cost is
+  /// unaffected (the path may be intact even while the process is down).
+  void setProxyDown(ProxyId proxy);
+  void setProxyUp(ProxyId proxy);
+  bool proxyDown(ProxyId proxy) const;
+  std::uint32_t downProxyCount() const { return downProxies_; }
+
+  /// True when any link is currently down (the residual recompute is
+  /// only ever needed in this state).
+  bool anyLinkDown() const { return !downLinks_.empty(); }
+
+  /// Residual publisher -> proxy fetch cost: the seed cost while no
+  /// link is down, otherwise the damaged-graph shortest path divided by
+  /// the seed normalization mean (floored at 0.01 like the seed costs);
+  /// +infinity when the proxy is partitioned from the publisher.
+  double fetchCost(ProxyId proxy) const;
+
+  /// True when the proxy process is up AND a residual publisher path
+  /// exists. The publisher itself never crashes in this model (the
+  /// paper's publisher is the source of truth); total publisher loss is
+  /// expressed as partitioning every proxy.
+  bool reachable(ProxyId proxy) const;
+
+  /// True when a residual publisher -> proxy path exists, regardless of
+  /// the proxy process state (used for direct-to-publisher failover).
+  bool pathToPublisher(ProxyId proxy) const;
+
+  /// Validates the overlay against the seed network: down links all
+  /// exist in the seed graph, the down-proxy counter matches the mask,
+  /// and the cached residual costs (when valid) equal a fresh
+  /// damaged-graph recompute — finite exactly for connected proxies.
+  /// Throws CheckFailure on any violation.
+  void checkInvariants() const;
+
+ private:
+  friend class InvariantCorrupter;  // test-only state corruption hook
+
+  using LinkKey = std::pair<NodeId, NodeId>;  // normalized a < b
+
+  static LinkKey linkKey(NodeId a, NodeId b);
+  /// Recomputes residualCost_ from the damaged graph if stale.
+  void refreshResidual() const;
+
+  const Network* network_;
+  std::vector<std::uint8_t> proxyDownMask_;
+  std::uint32_t downProxies_ = 0;
+  std::set<LinkKey> downLinks_;
+
+  /// Lazily maintained residual costs; only consulted while a link is
+  /// down. `residualDirty_` is set by every link toggle.
+  mutable bool residualDirty_ = false;
+  mutable std::vector<double> residualCost_;
+};
+
+}  // namespace pscd

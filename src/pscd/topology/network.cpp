@@ -39,19 +39,52 @@ Network::Network(const NetworkParams& params, Rng& rng) {
   }
   publisherNode_ = perm[0];
   proxyNode_.assign(perm.begin() + 1, perm.begin() + 1 + params.numProxies);
+  computeFetchCosts();
+}
 
-  const std::vector<double> dist = shortestPaths(graph_, publisherNode_);
-  fetchCost_.resize(params.numProxies);
-  double sum = 0.0;
-  for (std::uint32_t p = 0; p < params.numProxies; ++p) {
-    fetchCost_[p] = dist[proxyNode_[p]];
-    sum += fetchCost_[p];
+Network::Network(Graph graph, NodeId publisherNode,
+                 std::vector<NodeId> proxyNodes)
+    : graph_(std::move(graph)),
+      publisherNode_(publisherNode),
+      proxyNode_(std::move(proxyNodes)) {
+  if (proxyNode_.empty()) {
+    throw std::invalid_argument("Network: at least one proxy required");
   }
-  const double mean = sum / params.numProxies;
+  PSCD_CHECK_LT(publisherNode_, graph_.numNodes())
+      << "Network: publisher node off the graph";
+  std::vector<bool> taken(graph_.numNodes(), false);
+  taken[publisherNode_] = true;
+  for (const NodeId n : proxyNode_) {
+    PSCD_CHECK_LT(n, graph_.numNodes()) << "Network: proxy node off the graph";
+    PSCD_CHECK(!taken[n]) << "Network: node " << n << " hosts two roles";
+    taken[n] = true;
+  }
+  computeFetchCosts();
+}
+
+void Network::computeFetchCosts() {
+  const std::vector<double> dist = shortestPaths(graph_, publisherNode_);
+  const std::size_t numProxies = proxyNode_.size();
+  fetchCost_.resize(numProxies);
+  double sum = 0.0;
+  std::size_t reachable = 0;
+  for (std::size_t p = 0; p < numProxies; ++p) {
+    fetchCost_[p] = dist[proxyNode_[p]];
+    if (std::isfinite(fetchCost_[p])) {
+      sum += fetchCost_[p];
+      ++reachable;
+    }
+  }
+  if (reachable == 0) {
+    throw std::logic_error("Network: no proxy can reach the publisher");
+  }
+  const double mean = sum / static_cast<double>(reachable);
   if (mean <= 0) throw std::logic_error("Network: degenerate distances");
+  normMean_ = mean;
   for (auto& c : fetchCost_) {
-    c = std::max(c / mean, 0.01);  // normalize; publisher-colocated
-                                   // proxies keep a small positive cost
+    if (!std::isfinite(c)) continue;  // partitioned proxies keep c = inf
+    c = std::max(c / mean, 0.01);     // normalize; publisher-colocated
+                                      // proxies keep a small positive cost
   }
 }
 
@@ -70,18 +103,33 @@ void Network::checkInvariants() const {
     taken[n] = true;
   }
   // Re-derive the fetch costs from a fresh Dijkstra run and compare
-  // against the stored, normalized values.
+  // against the stored, normalized values. Stored costs must be finite
+  // exactly for the proxies the fresh run can reach.
   const std::vector<double> dist = shortestPaths(graph_, publisherNode_);
   checkShortestPathTree(graph_, publisherNode_, dist);
   double sum = 0.0;
+  std::size_t reachableCount = 0;
   for (std::size_t p = 0; p < proxyNode_.size(); ++p) {
-    PSCD_CHECK(std::isfinite(dist[proxyNode_[p]]))
-        << "Network: proxy " << p << " unreachable from the publisher";
-    sum += dist[proxyNode_[p]];
+    PSCD_CHECK_EQ(std::isfinite(fetchCost_[p]),
+                  std::isfinite(dist[proxyNode_[p]]))
+        << "Network: proxy " << p
+        << " finite-cost/reachability mismatch with the topology";
+    PSCD_CHECK_EQ(reachable(static_cast<ProxyId>(p)),
+                  std::isfinite(dist[proxyNode_[p]]))
+        << "Network: reachable(" << p << ") disagrees with the topology";
+    if (std::isfinite(dist[proxyNode_[p]])) {
+      sum += dist[proxyNode_[p]];
+      ++reachableCount;
+    }
   }
-  const double mean = sum / static_cast<double>(proxyNode_.size());
+  PSCD_CHECK_GT(reachableCount, 0u)
+      << "Network: no proxy can reach the publisher";
+  const double mean = sum / static_cast<double>(reachableCount);
   PSCD_CHECK_GT(mean, 0.0) << "Network: degenerate distances";
+  PSCD_CHECK(std::abs(normMean_ - mean) <= 1e-9 * (1.0 + mean))
+      << "Network: stored normalization mean drifted from the topology";
   for (std::size_t p = 0; p < proxyNode_.size(); ++p) {
+    if (!std::isfinite(dist[proxyNode_[p]])) continue;
     const double expected = std::max(dist[proxyNode_[p]] / mean, 0.01);
     PSCD_CHECK(std::abs(fetchCost_[p] - expected) <=
                1e-9 * (1.0 + expected))

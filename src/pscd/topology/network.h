@@ -4,6 +4,7 @@
 // functions, as suggested by Cao & Irani for GreedyDual-Size.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -27,21 +28,44 @@ struct NetworkParams {
 };
 
 /// Immutable view of the overlay used by the simulator and the engine:
-/// fetch costs are normalized so their mean is 1, keeping the absolute
-/// value scale of the replacement algorithms comparable across
-/// topologies.
+/// fetch costs are normalized so their mean over reachable proxies is 1,
+/// keeping the absolute value scale of the replacement algorithms
+/// comparable across topologies. Proxies with no publisher path (only
+/// possible with a custom, disconnected graph) get an infinite cost;
+/// reachable() distinguishes them. Dynamic failures are layered on top
+/// by LinkState (topology/link_state.h) without mutating this seed
+/// state.
 class Network {
  public:
   Network(const NetworkParams& params, Rng& rng);
+
+  /// Custom-topology constructor (tests, hand-built overlays): places
+  /// the publisher and the proxies on the given nodes of an explicit
+  /// graph. Nodes must be distinct and in range; the graph may be
+  /// disconnected, in which case partitioned proxies get an infinite
+  /// fetch cost. At least one proxy must be reachable.
+  Network(Graph graph, NodeId publisherNode, std::vector<NodeId> proxyNodes);
 
   std::uint32_t numProxies() const {
     return static_cast<std::uint32_t>(fetchCost_.size());
   }
 
-  /// Normalized network distance from the publisher to the proxy.
+  /// Normalized network distance from the publisher to the proxy
+  /// (+infinity when the proxy has no path to the publisher).
   double fetchCost(ProxyId proxy) const { return fetchCost_[proxy]; }
 
   const std::vector<double>& fetchCosts() const { return fetchCost_; }
+
+  /// True when a publisher -> proxy path exists in the seed topology;
+  /// equivalently, fetchCost(proxy) is finite.
+  bool reachable(ProxyId proxy) const {
+    return std::isfinite(fetchCost_[proxy]);
+  }
+
+  /// Mean raw publisher->proxy distance over reachable proxies — the
+  /// constant dividing every fetch cost. The failure layer reuses it so
+  /// residual costs stay on the seed scale.
+  double normalizationMean() const { return normMean_; }
 
   NodeId publisherNode() const { return publisherNode_; }
   NodeId proxyNode(ProxyId proxy) const { return proxyNode_[proxy]; }
@@ -50,17 +74,23 @@ class Network {
 
   /// Validates the overlay end to end: graph invariants, role placement
   /// (publisher and proxies on distinct in-range nodes), a re-run of
-  /// Dijkstra against the stored fetch costs, and the mean-1
-  /// normalization. Throws CheckFailure on any violation.
+  /// Dijkstra against the stored fetch costs (finite exactly for the
+  /// reachable proxies), and the mean-1 normalization. Throws
+  /// CheckFailure on any violation.
   void checkInvariants() const;
 
  private:
   friend class InvariantCorrupter;  // test-only state corruption hook
 
+  /// Derives fetch costs and the normalization mean from graph_ and the
+  /// role placement; shared by both constructors.
+  void computeFetchCosts();
+
   Graph graph_;
   NodeId publisherNode_ = 0;
   std::vector<NodeId> proxyNode_;
   std::vector<double> fetchCost_;
+  double normMean_ = 1.0;
 };
 
 }  // namespace pscd

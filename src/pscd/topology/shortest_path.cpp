@@ -10,7 +10,13 @@
 
 namespace pscd {
 
-std::vector<double> shortestPaths(const Graph& g, NodeId src) {
+namespace {
+
+/// Skip = anything callable as bool(NodeId, NodeId); the unfiltered
+/// entry point instantiates it with a no-op lambda so the hot path pays
+/// no std::function indirection.
+template <typename Skip>
+std::vector<double> dijkstra(const Graph& g, NodeId src, Skip&& skipEdge) {
   if (src >= g.numNodes()) {
     throw std::out_of_range("shortestPaths: src out of range");
   }
@@ -25,6 +31,7 @@ std::vector<double> shortestPaths(const Graph& g, NodeId src) {
     pq.pop();
     if (d > dist[n]) continue;  // stale entry
     for (const Graph::Edge& e : g.neighbors(n)) {
+      if (skipEdge(n, e.to)) continue;
       const double nd = d + e.weight;
       if (nd < dist[e.to]) {
         dist[e.to] = nd;
@@ -33,6 +40,19 @@ std::vector<double> shortestPaths(const Graph& g, NodeId src) {
     }
   }
   return dist;
+}
+
+}  // namespace
+
+std::vector<double> shortestPaths(const Graph& g, NodeId src) {
+  return dijkstra(g, src, [](NodeId, NodeId) { return false; });
+}
+
+std::vector<double> shortestPaths(
+    const Graph& g, NodeId src,
+    const std::function<bool(NodeId, NodeId)>& skipEdge) {
+  PSCD_CHECK(skipEdge != nullptr) << "shortestPaths: null edge filter";
+  return dijkstra(g, src, skipEdge);
 }
 
 void checkShortestPathTree(const Graph& g, NodeId src,

@@ -2,6 +2,7 @@
 // derive the publisher->proxy fetch costs c(p).
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,15 @@ namespace pscd {
 
 /// Distances from src to every node; unreachable nodes get +infinity.
 std::vector<double> shortestPaths(const Graph& g, NodeId src);
+
+/// Residual-graph variant for the failure layer: edges for which
+/// skipEdge(u, v) returns true are treated as removed (the predicate is
+/// consulted once per traversal direction). With an always-false
+/// predicate the result equals shortestPaths(g, src) exactly — same
+/// relaxation order, same float arithmetic.
+std::vector<double> shortestPaths(
+    const Graph& g, NodeId src,
+    const std::function<bool(NodeId, NodeId)>& skipEdge);
 
 /// Validates a distance vector as a shortest-path solution for (g, src):
 /// dist[src] == 0, every edge satisfies the relaxation inequality

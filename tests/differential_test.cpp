@@ -19,8 +19,13 @@
 #include "pscd/cache/value_cache.h"
 #include "pscd/oracle/lockstep.h"
 #include "pscd/oracle/reference_cache.h"
+#include "pscd/oracle/reference_paths.h"
 #include "pscd/pubsub/covering.h"
 #include "pscd/pubsub/matcher.h"
+#include "pscd/topology/link_state.h"
+#include "pscd/topology/network.h"
+#include "pscd/util/check.h"
+#include "pscd/util/rng.h"
 
 namespace pscd {
 
@@ -46,6 +51,17 @@ class InvariantCorrupter {
   static void dropFrontierMember(CoveringSet& c) {
     ASSERT_FALSE(c.members_.empty());
     c.members_.pop_back();
+  }
+
+  static void driftResidualCost(LinkState& s) {
+    ASSERT_FALSE(s.residualDirty_);  // caller must force the refresh first
+    for (double& c : s.residualCost_) {
+      if (std::isfinite(c)) {
+        c += 0.5;
+        return;
+      }
+    }
+    FAIL() << "no finite residual cost to perturb";
   }
 };
 
@@ -302,6 +318,102 @@ TEST(PathsLockstep, DetectsPerturbedDistance) {
   ASSERT_TRUE(report.diverged) << toString(report);
   EXPECT_EQ(report.step, 250u);
   EXPECT_EQ(report.seed, 17u);
+}
+
+// ------------------------------------------------ residual fetch costs --
+
+/// Naive reference for LinkState::fetchCost: rebuild the damaged graph
+/// without the down edges, run Bellman-Ford from the publisher, and
+/// apply the seed normalization (mean division, 0.01 floor).
+std::vector<double> residualReferenceCosts(const Network& n,
+                                           const LinkState& ls) {
+  Graph damaged(n.graph().numNodes());
+  for (NodeId a = 0; a < n.graph().numNodes(); ++a) {
+    for (const Graph::Edge& e : n.graph().neighbors(a)) {
+      if (a < e.to && !ls.linkDown(a, e.to)) {
+        damaged.addEdge(a, e.to, e.weight);
+      }
+    }
+  }
+  const std::vector<double> dist =
+      bellmanFordPaths(damaged, n.publisherNode());
+  std::vector<double> costs(n.numProxies());
+  for (ProxyId p = 0; p < n.numProxies(); ++p) {
+    const double d = dist[n.proxyNode(p)];
+    costs[p] =
+        std::isfinite(d) ? std::max(d / n.normalizationMean(), 0.01) : d;
+  }
+  return costs;
+}
+
+std::vector<std::pair<NodeId, NodeId>> seedEdges(const Network& n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < n.graph().numNodes(); ++a) {
+    for (const Graph::Edge& e : n.graph().neighbors(a)) {
+      if (a < e.to) edges.push_back({a, e.to});
+    }
+  }
+  return edges;
+}
+
+TEST(ResidualPathsLockstep, AgreesWithBellmanFordOnTheDamagedGraph) {
+  for (const std::uint64_t seed : {13ull, 20260807ull}) {
+    SCOPED_TRACE(seed);
+    Rng netRng(seed);
+    const Network n(NetworkParams{.numProxies = 10, .numTransitNodes = 5},
+                    netRng);
+    const auto edges = seedEdges(n);
+    ASSERT_FALSE(edges.empty());
+    LinkState ls(n);
+    Rng toggles(seed + 1);
+    for (std::size_t step = 0; step < kSteps; ++step) {
+      const auto& [a, b] = edges[toggles.uniformInt(edges.size())];
+      if (ls.linkDown(a, b)) {
+        ls.setLinkUp(a, b);
+      } else {
+        ls.setLinkDown(a, b);
+      }
+      const std::vector<double> expected = residualReferenceCosts(n, ls);
+      for (ProxyId p = 0; p < n.numProxies(); ++p) {
+        const double got = ls.fetchCost(p);
+        ASSERT_EQ(std::isfinite(got), std::isfinite(expected[p]))
+            << "reachability diverged: seed=" << seed << " step=" << step
+            << " proxy=" << p;
+        if (std::isfinite(got)) {
+          ASSERT_LE(std::abs(got - expected[p]),
+                    1e-9 * (1.0 + std::abs(expected[p])))
+              << "cost diverged: seed=" << seed << " step=" << step
+              << " proxy=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(ResidualPathsLockstep, DetectsDriftedResidualCache) {
+  Rng netRng(13);
+  const Network n(NetworkParams{.numProxies = 10, .numTransitNodes = 5},
+                  netRng);
+  LinkState ls(n);
+  ls.setLinkDown(seedEdges(n).front().first, seedEdges(n).front().second);
+  for (ProxyId p = 0; p < n.numProxies(); ++p) {
+    (void)ls.fetchCost(p);  // force the lazy residual refresh
+  }
+  InvariantCorrupter::driftResidualCost(ls);
+  // The drift is visible both to the lockstep compare and the overlay's
+  // own self-check.
+  const std::vector<double> expected = residualReferenceCosts(n, ls);
+  bool diverged = false;
+  for (ProxyId p = 0; p < n.numProxies(); ++p) {
+    const double got = ls.fetchCost(p);
+    if (std::isfinite(got) != std::isfinite(expected[p]) ||
+        (std::isfinite(got) &&
+         std::abs(got - expected[p]) > 1e-9 * (1.0 + std::abs(expected[p])))) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+  EXPECT_THROW(ls.checkInvariants(), CheckFailure);
 }
 
 // ------------------------------------------------------- replayability --

@@ -1,0 +1,210 @@
+#include "pscd/sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pscd/topology/network.h"
+#include "pscd/util/check.h"
+#include "pscd/util/rng.h"
+
+namespace pscd {
+namespace {
+
+Network smallNetwork(std::uint64_t seed = 9) {
+  Rng rng(seed);
+  return Network(NetworkParams{.numProxies = 8, .numTransitNodes = 4}, rng);
+}
+
+FaultConfig activeConfig() {
+  FaultConfig fc;
+  fc.seed = 77;
+  fc.proxyFailuresPerDay = 2.0;
+  fc.proxyMeanDowntimeHours = 1.0;
+  fc.linkFailuresPerDay = 3.0;
+  fc.linkMeanDowntimeHours = 0.5;
+  return fc;
+}
+
+constexpr SimTime kHorizon = 7 * kDay;
+
+TEST(RetryPolicy, BackoffIsExponentialInTheAttempt) {
+  RetryPolicy rp;
+  rp.backoffBaseMs = 50.0;
+  rp.backoffFactor = 2.0;
+  EXPECT_DOUBLE_EQ(rp.backoffMs(0), 50.0);
+  EXPECT_DOUBLE_EQ(rp.backoffMs(1), 100.0);
+  EXPECT_DOUBLE_EQ(rp.backoffMs(2), 200.0);
+  EXPECT_DOUBLE_EQ(rp.totalBackoffMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(rp.totalBackoffMs(3), 350.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadParameters) {
+  RetryPolicy rp;
+  rp.maxRetries = 65;
+  EXPECT_THROW(rp.validate(), CheckFailure);
+  rp = RetryPolicy{};
+  rp.backoffBaseMs = -1.0;
+  EXPECT_THROW(rp.validate(), CheckFailure);
+  rp = RetryPolicy{};
+  rp.backoffFactor = 0.5;
+  EXPECT_THROW(rp.validate(), CheckFailure);
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(FaultConfig, DefaultIsDisabledAndValid) {
+  const FaultConfig fc;
+  EXPECT_FALSE(fc.enabled());
+  EXPECT_NO_THROW(fc.validate());
+}
+
+TEST(FaultConfig, AnyFailureProcessEnables) {
+  FaultConfig fc;
+  fc.proxyFailuresPerDay = 0.1;
+  EXPECT_TRUE(fc.enabled());
+  fc = FaultConfig{};
+  fc.linkFailuresPerDay = 0.1;
+  EXPECT_TRUE(fc.enabled());
+  fc = FaultConfig{};
+  fc.pushLossProbability = 0.1;
+  EXPECT_TRUE(fc.enabled());
+  fc = FaultConfig{};
+  fc.fetchFailureProbability = 0.1;
+  EXPECT_TRUE(fc.enabled());
+}
+
+TEST(FaultConfig, ValidateRejectsOutOfRangeParameters) {
+  FaultConfig fc;
+  fc.proxyFailuresPerDay = -1.0;
+  EXPECT_THROW(fc.validate(), CheckFailure);
+  fc = FaultConfig{};
+  fc.proxyMeanDowntimeHours = 0.0;
+  EXPECT_THROW(fc.validate(), CheckFailure);
+  fc = FaultConfig{};
+  fc.pushLossProbability = 1.5;
+  EXPECT_THROW(fc.validate(), CheckFailure);
+  fc = FaultConfig{};
+  fc.fetchFailureProbability =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(fc.validate(), CheckFailure);
+  fc = FaultConfig{};
+  fc.retry.backoffFactor = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(fc.validate(), CheckFailure);
+}
+
+TEST(FaultPlan, DisabledConfigYieldsEmptyPlan) {
+  const Network n = smallNetwork();
+  const FaultPlan plan = buildFaultPlan(FaultConfig{}, n, kHorizon);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_NO_THROW(plan.checkInvariants(n));
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const Network n = smallNetwork();
+  const FaultPlan a = buildFaultPlan(activeConfig(), n, kHorizon);
+  const FaultPlan b = buildFaultPlan(activeConfig(), n, kHorizon);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].proxy, b.events[i].proxy);
+    EXPECT_EQ(a.events[i].linkA, b.events[i].linkA);
+    EXPECT_EQ(a.events[i].linkB, b.events[i].linkB);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedDifferentSchedule) {
+  const Network n = smallNetwork();
+  FaultConfig other = activeConfig();
+  other.seed = 78;
+  const FaultPlan a = buildFaultPlan(activeConfig(), n, kHorizon);
+  const FaultPlan b = buildFaultPlan(other, n, kHorizon);
+  const bool identical =
+      a.events.size() == b.events.size() &&
+      std::equal(a.events.begin(), a.events.end(), b.events.begin(),
+                 [](const FaultEvent& x, const FaultEvent& y) {
+                   return x.time == y.time && x.kind == y.kind;
+                 });
+  EXPECT_FALSE(identical);
+}
+
+TEST(FaultPlan, ProxyStreamIndependentOfLinkProcess) {
+  // Per-entity seed streams: enabling the link process must not perturb
+  // the proxy schedule (and vice versa), so sweeps stay comparable.
+  const Network n = smallNetwork();
+  FaultConfig proxyOnly = activeConfig();
+  proxyOnly.linkFailuresPerDay = 0.0;
+  const FaultPlan a = buildFaultPlan(proxyOnly, n, kHorizon);
+  const FaultPlan full = buildFaultPlan(activeConfig(), n, kHorizon);
+  std::vector<FaultEvent> proxyEvents;
+  for (const FaultEvent& ev : full.events) {
+    if (ev.kind == FaultEventKind::kProxyDown ||
+        ev.kind == FaultEventKind::kProxyUp) {
+      proxyEvents.push_back(ev);
+    }
+  }
+  ASSERT_EQ(a.events.size(), proxyEvents.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, proxyEvents[i].time);
+    EXPECT_EQ(a.events[i].proxy, proxyEvents[i].proxy);
+    EXPECT_EQ(a.events[i].kind, proxyEvents[i].kind);
+  }
+}
+
+TEST(FaultPlan, ScheduleIsSortedPairedAndInsideHorizon) {
+  const Network n = smallNetwork();
+  const FaultPlan plan = buildFaultPlan(activeConfig(), n, kHorizon);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NO_THROW(plan.checkInvariants(n));
+  for (std::size_t i = 1; i < plan.events.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].time, plan.events[i].time);
+  }
+  for (const FaultEvent& ev : plan.events) {
+    EXPECT_LT(ev.time, kHorizon);
+    if (ev.kind == FaultEventKind::kProxyDown ||
+        ev.kind == FaultEventKind::kProxyUp) {
+      EXPECT_LT(ev.proxy, n.numProxies());
+    } else {
+      EXPECT_TRUE(n.graph().hasEdge(ev.linkA, ev.linkB));
+      EXPECT_LT(ev.linkA, ev.linkB);
+    }
+  }
+}
+
+TEST(FaultPlan, CheckInvariantsDetectsCorruptSchedules) {
+  const Network n = smallNetwork();
+  FaultConfig fc = activeConfig();
+  fc.linkFailuresPerDay = 0.0;
+  const FaultPlan clean = buildFaultPlan(fc, n, kHorizon);
+  ASSERT_GE(clean.events.size(), 2u);
+
+  FaultPlan doubled = clean;  // fail an already-failed proxy
+  FaultEvent dup = doubled.events.front();
+  doubled.events.insert(doubled.events.begin() + 1, dup);
+  EXPECT_THROW(doubled.checkInvariants(n), CheckFailure);
+
+  FaultPlan unsorted = clean;  // break the time order
+  std::swap(unsorted.events.front().time, unsorted.events.back().time);
+  EXPECT_THROW(unsorted.checkInvariants(n), CheckFailure);
+
+  FaultPlan offOverlay = clean;  // proxy id past the overlay
+  offOverlay.events.front().proxy = n.numProxies();
+  EXPECT_THROW(offOverlay.checkInvariants(n), CheckFailure);
+}
+
+TEST(FaultPlan, BuildRejectsInvalidInputs) {
+  const Network n = smallNetwork();
+  FaultConfig bad = activeConfig();
+  bad.proxyMeanDowntimeHours = -2.0;
+  EXPECT_THROW(buildFaultPlan(bad, n, kHorizon), CheckFailure);
+  EXPECT_THROW(buildFaultPlan(
+                   activeConfig(), n,
+                   std::numeric_limits<double>::infinity()),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace pscd

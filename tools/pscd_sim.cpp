@@ -36,6 +36,25 @@ int main(int argc, char** argv) {
   args.addOption("pages", "distinct pages (0 = paper default)", "0");
   args.addOption("proxies", "number of proxies (0 = paper default)", "0");
   args.addOption("hourly-csv", "write hour,hit_ratio,traffic_pages CSV", "");
+  args.addOption("fault-seed", "failure-model seed (independent of --seed)",
+                 "0");
+  args.addOption("fault-proxy-rate", "proxy crashes per proxy per day", "0");
+  args.addOption("fault-proxy-downtime", "mean proxy downtime in hours", "1");
+  args.addOption("fault-link-rate", "link failures per link per day", "0");
+  args.addOption("fault-link-downtime", "mean link downtime in hours", "0.5");
+  args.addOption("fault-push-loss", "per-push in-flight loss probability",
+                 "0");
+  args.addOption("fault-fetch-fail", "per-fetch-attempt failure probability",
+                 "0");
+  args.addOption("fault-retries", "max fetch retries before degrading", "3");
+  args.addOption("fault-backoff-ms", "base retry backoff in ms (doubles)",
+                 "50");
+  args.addFlag("fault-warm-restart",
+               "restarted proxies keep their cache (default: cold, cache "
+               "wiped)");
+  args.addFlag("fault-no-failover",
+               "fail requests at a crashed proxy instead of fetching "
+               "straight from the publisher");
   args.addFlag("self-check",
                "validate engine/broker/cache invariants after each "
                "simulated hour (CheckFailure aborts the run)");
@@ -100,6 +119,23 @@ int main(int argc, char** argv) {
     config.collectHourly = !args.option("hourly-csv").empty();
     config.selfCheckHourly = args.flag("self-check");
 
+    config.faults.seed =
+        static_cast<std::uint64_t>(args.optionInt("fault-seed"));
+    config.faults.proxyFailuresPerDay = args.optionDouble("fault-proxy-rate");
+    config.faults.proxyMeanDowntimeHours =
+        args.optionDouble("fault-proxy-downtime");
+    config.faults.linkFailuresPerDay = args.optionDouble("fault-link-rate");
+    config.faults.linkMeanDowntimeHours =
+        args.optionDouble("fault-link-downtime");
+    config.faults.pushLossProbability = args.optionDouble("fault-push-loss");
+    config.faults.fetchFailureProbability =
+        args.optionDouble("fault-fetch-fail");
+    config.faults.warmRestart = args.flag("fault-warm-restart");
+    config.faults.publisherFailover = !args.flag("fault-no-failover");
+    config.faults.retry.maxRetries =
+        static_cast<std::uint32_t>(args.optionInt("fault-retries"));
+    config.faults.retry.backoffBaseMs = args.optionDouble("fault-backoff-ms");
+
     Simulator sim(workload, network, config);
     const SimMetrics m = sim.run();
 
@@ -126,6 +162,22 @@ int main(int argc, char** argv) {
       std::printf("fetch traffic    : %llu pages, %.1f MB\n",
                   static_cast<unsigned long long>(m.traffic().fetchPages),
                   m.traffic().fetchBytes / 1e6);
+      if (config.faults.enabled()) {
+        std::printf("availability     : %.4f (%llu of %llu unserved)\n",
+                    m.availability(),
+                    static_cast<unsigned long long>(m.unavailableRequests()),
+                    static_cast<unsigned long long>(m.requests()));
+        std::printf("degraded serving : %llu stale serves, %llu failovers\n",
+                    static_cast<unsigned long long>(m.staleServes()),
+                    static_cast<unsigned long long>(m.failovers()));
+        std::printf("fetch retries    : %llu (%.3f per request)\n",
+                    static_cast<unsigned long long>(m.totalRetries()),
+                    m.retriesPerRequest());
+        std::printf("lost pushes      : %llu pages, %.1f MB\n",
+                    static_cast<unsigned long long>(
+                        m.traffic().lostPushPages),
+                    m.traffic().lostPushBytes / 1e6);
+      }
     }
 
     if (config.collectHourly) {
