@@ -19,7 +19,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "pscd/util/rng.h"
+#include "pscd/util/wallclock.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size);
@@ -211,15 +211,16 @@ int main(int argc, char** argv) {
 
   // Phase 3: bounded random fuzzing.
   if (fuzzIters > 0 || fuzzSeconds > 0.0) {
-    const auto start = std::chrono::steady_clock::now();
+    // Time budget only — never feeds the inputs themselves, which stay
+    // a pure function of (seed, iteration).
+    const double start = pscd::monotonicSeconds();
     std::uint64_t iter = 0;
     g_currentSeed = seed;
     for (;;) {
       if (fuzzIters > 0 && iter >= fuzzIters) break;
-      if (fuzzSeconds > 0.0) {
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
-        if (elapsed.count() >= fuzzSeconds) break;
+      if (fuzzSeconds > 0.0 &&
+          pscd::monotonicSeconds() - start >= fuzzSeconds) {
+        break;
       }
       g_inRandomIter = 1;
       g_currentIter = iter;

@@ -148,6 +148,7 @@ void microSim(const pscd::FaultConfig& fc, const pscd::Network& network,
                   static_cast<std::uint64_t>(fc.retry.maxRetries) *
                       m.requests());
   if (!fc.enabled()) {
+    // pscd-lint: allow(float-compare) fault-free runs must be exactly 1.0
     FUZZ_ASSERT(m.availability() == 1.0);
     FUZZ_ASSERT(m.traffic().lostPushPages == 0);
   }

@@ -122,6 +122,7 @@ void DualMethodsStrategy::checkInvariants() const {
   PSCD_CHECK_EQ(entries_.size(), gdIndex_.size())
       << "DualMethodsStrategy: GD* index size mismatch";
   Bytes total = 0;
+  // pscd-lint: allow(unordered-iter) per-entry assertions + commutative sum
   for (const auto& [page, e] : entries_) {
     PSCD_CHECK_EQ(e.page, page) << "DualMethodsStrategy: entry id mismatch";
     PSCD_CHECK(std::isfinite(e.subValue) && std::isfinite(e.gdValue))

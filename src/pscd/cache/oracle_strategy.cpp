@@ -39,6 +39,7 @@ void OracleStrategy::refreshValues(SimTime now) {
   std::vector<std::pair<PageId, double>> updates;
   cache_.forEach([&](const ValueCache::StoredEntry& e) {
     const double v = value(e.page, now);
+    // pscd-lint: allow(float-compare) exact compare only skips no-op updates
     if (v != e.value) updates.emplace_back(e.page, v);
   });
   for (const auto& [page, v] : updates) cache_.updateValue(page, v);

@@ -121,7 +121,11 @@ double ValueCache::minValue() const {
 
 void ValueCache::forEach(
     const std::function<void(const StoredEntry&)>& fn) const {
-  for (const auto& [page, entry] : entries_) fn(entry);
+  // Walk the ordered (value, page) index rather than the hash map: the
+  // callback sees a deterministic order, so refresh passes and
+  // diagnostics built on forEach stay reproducible across standard
+  // libraries and hash seeds.
+  for (const auto& [value, page] : index_) fn(entries_.at(page));
 }
 
 void ValueCache::forEachByValue(
@@ -135,6 +139,7 @@ void ValueCache::checkInvariants() const {
   PSCD_CHECK_EQ(entries_.size(), index_.size())
       << "ValueCache: entry map and value index disagree";
   Bytes total = 0;
+  // pscd-lint: allow(unordered-iter) per-entry assertions + commutative sum
   for (const auto& [page, entry] : entries_) {
     PSCD_CHECK_EQ(entry.page, page) << "ValueCache: entry id mismatch";
     PSCD_CHECK_GT(entry.size, 0u) << "ValueCache: zero-sized page " << page;

@@ -70,7 +70,9 @@ class ValueCache {
   /// Smallest value currently cached; requires a non-empty cache.
   double minValue() const;
 
-  /// Applies fn to every entry (unspecified order).
+  /// Applies fn to every entry in ascending (value, page) order — a
+  /// deterministic order, so callers may fold into output-visible state.
+  /// fn must not mutate the cache.
   void forEach(const std::function<void(const StoredEntry&)>& fn) const;
 
   /// Applies fn to every entry in ascending value order; stops early when

@@ -217,6 +217,7 @@ void ContentDistributionEngine::checkInvariants() const {
     PSCD_CHECK_EQ(proxies_[p]->capacityBytes(), config_.proxyCapacities[p])
         << "engine: proxy " << p << " capacity drifted from the config";
   }
+  // pscd-lint: allow(unordered-iter) per-page assertions, no output fold
   for (const auto& [page, state] : pages_) {
     PSCD_CHECK_GT(state.size, 0u)
         << "engine: published page " << page << " with zero size";

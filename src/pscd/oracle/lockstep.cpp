@@ -189,6 +189,7 @@ std::vector<std::pair<ProxyId, std::vector<Predicate>>> canonicalMembers(
     return (static_cast<std::uint64_t>(p.kind) << 32) | p.value;
   };
   std::sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+    // pscd-lint: allow(float-compare) comparator tie-break on exact values
     if (a.first != b.first) return a.first < b.first;
     return std::lexicographical_compare(
         a.second.begin(), a.second.end(), b.second.begin(), b.second.end(),

@@ -106,6 +106,7 @@ std::size_t ReferenceGdsFamilyStrategy::lowestSlot() const {
   std::size_t low = 0;
   for (std::size_t i = 1; i < slots_.size(); ++i) {
     if (slots_[i].value < slots_[low].value ||
+        // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
         (slots_[i].value == slots_[low].value &&
          slots_[i].entry.page < slots_[low].entry.page)) {
       low = i;
@@ -139,6 +140,7 @@ bool ReferenceGdsFamilyStrategy::insert(const CacheEntry& entry) {
       std::vector<std::size_t> order(slots_.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
         if (slots_[a].value != slots_[b].value) {
           return slots_[a].value < slots_[b].value;
         }
@@ -240,6 +242,7 @@ std::size_t ReferenceSubStrategy::lowestSlot() const {
   std::size_t low = 0;
   for (std::size_t i = 1; i < slots_.size(); ++i) {
     if (slots_[i].value < slots_[low].value ||
+        // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
         (slots_[i].value == slots_[low].value &&
          slots_[i].entry.page < slots_[low].entry.page)) {
       low = i;
@@ -268,6 +271,7 @@ PushOutcome ReferenceSubStrategy::onPush(const PushContext& ctx) {
     std::vector<std::size_t> order(slots_.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
       if (slots_[a].value != slots_[b].value) {
         return slots_[a].value < slots_[b].value;
       }
@@ -345,6 +349,7 @@ std::size_t ReferenceDualMethodsStrategy::lowestBySub() const {
   std::size_t low = 0;
   for (std::size_t i = 1; i < slots_.size(); ++i) {
     if (slots_[i].subValue < slots_[low].subValue ||
+        // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
         (slots_[i].subValue == slots_[low].subValue &&
          slots_[i].entry.page < slots_[low].entry.page)) {
       low = i;
@@ -357,6 +362,7 @@ std::size_t ReferenceDualMethodsStrategy::lowestByGd() const {
   std::size_t low = 0;
   for (std::size_t i = 1; i < slots_.size(); ++i) {
     if (slots_[i].gdValue < slots_[low].gdValue ||
+        // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
         (slots_[i].gdValue == slots_[low].gdValue &&
          slots_[i].entry.page < slots_[low].entry.page)) {
       low = i;
@@ -394,6 +400,7 @@ PushOutcome ReferenceDualMethodsStrategy::onPush(const PushContext& ctx) {
     std::vector<std::size_t> order(slots_.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      // pscd-lint: allow(float-compare) exact tie-break mirrors the primary
       if (slots_[a].subValue != slots_[b].subValue) {
         return slots_[a].subValue < slots_[b].subValue;
       }

@@ -17,6 +17,7 @@ std::vector<double> bellmanFordPaths(const Graph& g, NodeId src) {
   for (NodeId round = 1; round < g.numNodes(); ++round) {
     bool changed = false;
     for (NodeId u = 0; u < g.numNodes(); ++u) {
+      // pscd-lint: allow(float-compare) infinity is an exact sentinel
       if (dist[u] == std::numeric_limits<double>::infinity()) continue;
       for (const Graph::Edge& e : g.neighbors(u)) {
         const double nd = dist[u] + e.weight;

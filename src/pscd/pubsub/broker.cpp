@@ -101,6 +101,7 @@ std::vector<Notification> Broker::publish(const ContentAttributes& attrs) {
 
 void Broker::checkInvariants() const {
   engine_.checkInvariants();
+  // pscd-lint: allow(unordered-iter) per-page assertions, no output fold
   for (const auto& [page, list] : aggregated_) {
     PSCD_CHECK(!list.empty())
         << "Broker: empty aggregation list kept for page " << page;

@@ -77,6 +77,7 @@ MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
   for (const SubscriptionId id : result.subscriptions) {
     ++counts[subs_[id].proxy];
   }
+  // pscd-lint: allow(unordered-iter) hash order erased by the sort below
   result.proxyCounts.assign(counts.begin(), counts.end());
   std::sort(result.proxyCounts.begin(), result.proxyCounts.end());
   return result;
@@ -86,6 +87,7 @@ void MatchingEngine::checkInvariants() const {
   // Count the postings per subscription while validating each postings
   // list (ids in range, no duplicate posting of one sub under one key).
   std::vector<std::uint32_t> postings(subs_.size(), 0);
+  // pscd-lint: allow(unordered-iter) per-list assertions + commutative count
   for (const auto& [key, list] : index_) {
     PSCD_CHECK(!list.empty()) << "MatchingEngine: empty postings list";
     for (const SubscriptionId id : list) {

@@ -19,6 +19,7 @@ WorkloadParams traceParams(TraceKind trace, double subscriptionQuality,
   WorkloadParams p = trace == TraceKind::kNews ? newsTraceParams()
                                                : alternativeTraceParams();
   p.subscription.quality = subscriptionQuality;
+  // pscd-lint: allow(float-compare) 1.0 is the exact "unscaled" sentinel
   if (scale != 1.0) {
     const auto scaled = [scale](auto value, auto floor) {
       using T = decltype(value);

@@ -88,8 +88,10 @@ double SimMetrics::retriesPerRequest() const {
 double SimMetrics::unavailabilityWeightedBytes() const {
   const double total = static_cast<double>(traffic_.totalBytes()) +
                        static_cast<double>(traffic_.lostPushBytes);
+  // pscd-lint: allow(float-compare) exact-zero guards before division
   if (total == 0.0) return 0.0;
   const double a = availability();
+  // pscd-lint: allow(float-compare) exact-zero guards before division
   if (a == 0.0) return std::numeric_limits<double>::infinity();
   return total / a;
 }

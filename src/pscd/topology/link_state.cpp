@@ -89,7 +89,9 @@ void LinkState::checkInvariants() const {
   PSCD_CHECK_EQ(proxyDownMask_.size(), network_->numProxies())
       << "LinkState: proxy mask size drifted from the network";
   std::uint32_t down = 0;
-  for (const std::uint8_t d : proxyDownMask_) down += d != 0 ? 1 : 0;
+  // Named `bit`, not `d`: this file declares double `d` elsewhere and
+  // pscd-lint's declaration harvest is name-based, not type-resolved.
+  for (const std::uint8_t bit : proxyDownMask_) down += bit != 0 ? 1 : 0;
   PSCD_CHECK_EQ(down, downProxies_)
       << "LinkState: down-proxy counter disagrees with the mask";
   for (const auto& [a, b] : downLinks_) {

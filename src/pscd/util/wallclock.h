@@ -1,0 +1,29 @@
+// The one sanctioned wall-clock access point in the tree.
+//
+// pscd-lint's `wall-clock` rule bans every other use of <chrono> clocks,
+// time(), gettimeofday() and friends: simulation code must derive time
+// from the event loop (SimTime), and letting wall-clock reads creep into
+// library or bench code is how byte-identical `--jobs 1` vs `--jobs N`
+// output quietly dies. Diagnostics that genuinely need elapsed real time
+// (fuzzing time budgets, progress meters) include this header instead,
+// so every such site is grep-able and reviewed.
+//
+// Nothing returned by this header may feed simulation results, CSV
+// sinks, or anything else that is diffed for determinism.
+#pragma once
+
+// (This file is the allowlisted home of the `wall-clock` rule, so the
+// steady_clock use below needs no suppression comment.)
+#include <chrono>
+
+namespace pscd {
+
+/// Seconds since an unspecified steady epoch. Monotonic; immune to
+/// system clock adjustments. For diagnostics and time budgets only.
+inline double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace pscd

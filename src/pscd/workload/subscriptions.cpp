@@ -58,6 +58,7 @@ std::vector<SubscriptionChurnEvent> generateSubscriptionChurn(
     throw std::invalid_argument("generateSubscriptionChurn: negative rate");
   }
   std::vector<SubscriptionChurnEvent> events;
+  // pscd-lint: allow(float-compare) 0.0 is the exact "disabled" sentinel
   if (params.churnPerDay == 0.0 || table.entries.empty()) return events;
 
   std::uint64_t totalSubs = 0;

@@ -1,0 +1,13 @@
+// Fixture: assert() aborts and compiles out under NDEBUG; PSCD_CHECK is
+// always on and catchable. static_assert is compile-time and fine.
+#include <cassert>
+
+namespace fixture {
+
+int clampPositive(int v) {
+  assert(v >= -1000);  // pscd-lint: expect(bare-assert)
+  static_assert(sizeof(int) >= 4, "int is at least 32 bits");
+  return v < 0 ? 0 : v;
+}
+
+}  // namespace fixture

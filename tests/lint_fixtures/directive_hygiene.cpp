@@ -1,0 +1,12 @@
+// Fixture: --strict reports suppression-hygiene problems under the
+// lint-directive meta-rule — allow() naming a rule that does not exist,
+// and allow() on a line where the named rule produces no finding.
+namespace fixture {
+
+int hygiene() {
+  int x = 1;  // pscd-lint: allow(no-such-rule) expect(lint-directive)
+  int y = 2;  // pscd-lint: allow(bare-assert) expect(lint-directive) nothing fires here
+  return x + y;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: exact floating-point equality. The as-path places this file
+// in the library so the tests/ exemption does not apply; integer
+// comparisons on the same lines of code must stay silent.
+// pscd-lint: as-path(src/pscd/sim/float_compare_fixture.cpp)
+
+namespace fixture {
+
+bool converged(double err, double prev) {
+  if (err == prev) return true;  // pscd-lint: expect(float-compare)
+  return err == 0.0;  // pscd-lint: expect(float-compare)
+}
+
+bool sameCount(int a, int b) { return a == b; }
+
+}  // namespace fixture

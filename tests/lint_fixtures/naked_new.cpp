@@ -1,0 +1,19 @@
+// Fixture: naked new/delete in library code (simulated via as-path).
+// A deleted special member is not a deallocation and must stay silent.
+// pscd-lint: as-path(src/pscd/util/naked_new_fixture.cpp)
+#include <memory>
+
+namespace fixture {
+
+struct Buffer {
+  int* data = nullptr;
+
+  Buffer() { data = new int[16]; }  // pscd-lint: expect(naked-new)
+  ~Buffer() { delete[] data; }  // pscd-lint: expect(naked-new)
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  static std::unique_ptr<Buffer> make() { return std::make_unique<Buffer>(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: pointer-value ordering and hashing is run-to-run
+// nondeterministic under ASLR; stable ids must be keyed on instead.
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+using BadMap = std::map<Node*, int, std::less<Node*>>;  // pscd-lint: expect(ptr-order)
+
+bool before(const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+  return a.get() < b.get();  // pscd-lint: expect(ptr-order)
+}
+
+std::size_t badHash(Node* n) {
+  return std::hash<Node*>{}(n);  // pscd-lint: expect(ptr-order)
+}
+
+bool sameObject(const std::unique_ptr<Node>& a, Node* raw) {
+  return a.get() == raw;  // equality is identity, not ordering: silent
+}
+
+}  // namespace fixture

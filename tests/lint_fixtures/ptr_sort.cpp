@@ -1,0 +1,19 @@
+// Fixture: sorting a pointer container without a comparator orders by
+// address. The comparator form on the same container must NOT fire.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Page {
+  int id = 0;
+};
+
+void order(std::vector<Page*>& pages) {
+  std::sort(pages.begin(), pages.end());  // pscd-lint: expect(ptr-sort)
+  std::stable_sort(pages.begin(), pages.end());  // pscd-lint: expect(ptr-sort)
+  std::sort(pages.begin(), pages.end(),
+            [](const Page* a, const Page* b) { return a->id < b->id; });
+}
+
+}  // namespace fixture

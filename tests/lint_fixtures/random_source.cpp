@@ -1,0 +1,17 @@
+// Fixture: non-reproducible / globally seeded random sources must be
+// flagged; pscd::Rng with an explicit seed is the only sanctioned one.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int drawTwo() {
+  std::mt19937 gen(12345);  // pscd-lint: expect(random-source)
+  std::random_device seeder;  // pscd-lint: expect(random-source)
+  const int a = static_cast<int>(gen() % 7);
+  const int b = rand() % 7;  // pscd-lint: expect(random-source)
+  (void)seeder;
+  return a + b;
+}
+
+}  // namespace fixture

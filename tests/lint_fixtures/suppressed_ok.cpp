@@ -1,0 +1,18 @@
+// Fixture: every violation below carries an allow() suppression with a
+// justification, so the file must produce zero findings even in strict
+// mode (which additionally verifies each suppression is actually used).
+// Exercises both placements: trailing comment (targets its own line)
+// and standalone comment (targets the next line that carries a token).
+#include <cassert>
+#include <cstdlib>
+
+namespace fixture {
+
+int suppressedAll(int v) {
+  assert(v >= 0);  // pscd-lint: allow(bare-assert) fixture: suppression demo
+  // pscd-lint: allow(env-access) standalone placement targets the next line
+  const char* home = std::getenv("HOME");
+  return home != nullptr ? v : -v;
+}
+
+}  // namespace fixture

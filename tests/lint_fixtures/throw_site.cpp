@@ -1,0 +1,24 @@
+// Fixture: only util/check.h, direct construction of a std:: exception
+// type (the sanctioned API-contract idiom), and bare rethrow are legal
+// throw sites; project types and non-exception values are not.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+struct LocalError {
+  std::string what;
+};
+
+void raise(int code) {
+  if (code == 1) throw LocalError{"local type"};  // pscd-lint: expect(throw-site)
+  if (code == 2) throw 42;  // pscd-lint: expect(throw-site)
+  if (code == 3) throw std::invalid_argument("sanctioned typed throw");
+  try {
+    raise(code - 1);
+  } catch (...) {
+    throw;  // bare rethrow is allowed
+  }
+}
+
+}  // namespace fixture

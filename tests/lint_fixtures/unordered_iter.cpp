@@ -1,0 +1,28 @@
+// Fixture: simulates a src/pscd/ translation unit (via as-path) that
+// iterates an unordered container while writing stream/CSV output.
+// The membership test `find() != end()` on the same container must
+// NOT fire — it never iterates.
+// pscd-lint: as-path(src/pscd/cache/unordered_iter_fixture.cpp)
+#include <ostream>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Stats {
+  std::unordered_map<int, long> hitsByPage;
+
+  void dump(std::ostream& out) const {
+    for (const auto& kv : hitsByPage) {  // pscd-lint: expect(unordered-iter)
+      out << kv.first << ',' << kv.second << '\n';
+    }
+    auto it = hitsByPage.begin();  // pscd-lint: expect(unordered-iter)
+    if (it != hitsByPage.end()) {
+      out << it->first << '\n';
+    }
+    if (hitsByPage.find(0) != hitsByPage.end()) {
+      out << "page 0 present\n";
+    }
+  }
+};
+
+}  // namespace fixture

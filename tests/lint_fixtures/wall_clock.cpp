@@ -1,0 +1,16 @@
+// Fixture: the wall-clock rule must fire on every banned clock access.
+// Lines without expect() must stay silent — the corpus check demands an
+// exact match between expectations and findings.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double sampleNow() {
+  const auto t0 = std::chrono::steady_clock::now();  // pscd-lint: expect(wall-clock)
+  const std::time_t wall = std::time(nullptr);  // pscd-lint: expect(wall-clock)
+  (void)gmtime(&wall);  // pscd-lint: expect(wall-clock)
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+}  // namespace fixture

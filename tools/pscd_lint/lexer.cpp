@@ -1,0 +1,367 @@
+// pscd-lint: allow-file(lint-directive) comments below quote the syntax
+#include "lexer.h"
+
+#include <cctype>
+
+namespace pscd_lint {
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first. `>>` is intentionally
+// absent (emitted as two `>` so template matchers never split a shift);
+// everything a rule matcher cares about is here.
+const char* const kPunct3[] = {"<<=", "<=>", "...", "->*"};
+const char* const kPunct2[] = {"::", "->", "<<", "<=", ">=", "==", "!=",
+                               "&&", "||", "+=", "-=", "*=", "/=", "%=",
+                               "&=", "|=", "^=", "++", "--", ".*"};
+
+// A raw-string prefix is one of R, uR, UR, LR, u8R.
+bool isRawPrefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "UR" || ident == "LR" ||
+         ident == "u8R";
+}
+
+struct PendingDirective {
+  int commentLine = 0;      // line the comment starts on
+  bool trailing = false;    // comment shares its line with code
+  std::string verb;         // allow / allow-file / expect / as-path
+  std::vector<std::string> args;
+};
+
+// Parses every `verb(arg, ...)` group after a "pscd-lint:" marker.
+// Returns false (with *error set) on malformed syntax.
+bool parseDirectiveText(const std::string& comment, int line, bool trailing,
+                        std::vector<PendingDirective>& out,
+                        std::string* error) {
+  const std::string marker = "pscd-lint:";
+  std::size_t pos = comment.find(marker);
+  if (pos == std::string::npos) return true;
+  pos += marker.size();
+  bool sawVerb = false;
+  while (pos < comment.size()) {
+    while (pos < comment.size() &&
+           (comment[pos] == ' ' || comment[pos] == '\t' || comment[pos] == ','))
+      ++pos;
+    if (pos >= comment.size()) break;
+    if (!isIdentStart(comment[pos]) && comment[pos] != '-') {
+      // Anything that is not a verb ends the directive portion; trailing
+      // free text is a justification, but only after at least one verb.
+      if (sawVerb) return true;
+      *error = "expected a directive verb after 'pscd-lint:'";
+      return false;
+    }
+    std::size_t start = pos;
+    while (pos < comment.size() &&
+           (isIdentChar(comment[pos]) || comment[pos] == '-'))
+      ++pos;
+    std::string verb = comment.substr(start, pos - start);
+    while (pos < comment.size() && comment[pos] == ' ') ++pos;
+    if (pos >= comment.size() || comment[pos] != '(') {
+      if (sawVerb) return true;  // justification word, not a verb
+      *error = "directive verb '" + verb + "' is missing its (args)";
+      return false;
+    }
+    ++pos;  // consume '('
+    std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) {
+      *error = "unterminated argument list in pscd-lint directive";
+      return false;
+    }
+    PendingDirective d;
+    d.commentLine = line;
+    d.trailing = trailing;
+    d.verb = verb;
+    std::string arg;
+    for (std::size_t i = pos; i < close; ++i) {
+      char c = comment[i];
+      if (c == ',') {
+        if (!arg.empty()) d.args.push_back(arg);
+        arg.clear();
+      } else if (c != ' ' && c != '\t') {
+        arg += c;
+      }
+    }
+    if (!arg.empty()) d.args.push_back(arg);
+    if (d.args.empty()) {
+      *error = "pscd-lint " + verb + "() needs at least one argument";
+      return false;
+    }
+    out.push_back(std::move(d));
+    sawVerb = true;
+    pos = close + 1;
+    // After a directive group, everything that is not another known
+    // verb-with-parens is treated as justification text on the next
+    // loop iteration and ends parsing gracefully.
+  }
+  if (!sawVerb) {
+    *error = "'pscd-lint:' marker with no directive";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult result;
+  std::vector<PendingDirective> pending;
+  std::vector<std::pair<int, std::string>> errors;
+
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool lineHasToken = false;  // any token emitted on the current line
+  // Lines that carry at least one token, for resolving standalone
+  // directive comments to the next code line.
+  std::set<int> tokenLines;
+
+  auto emit = [&](Token::Kind kind, std::string text) {
+    result.tokens.push_back(Token{kind, std::move(text), line});
+    tokenLines.insert(line);
+    lineHasToken = true;
+  };
+  auto newline = [&]() {
+    ++line;
+    lineHasToken = false;
+  };
+
+  auto handleComment = [&](const std::string& text, int startLine) {
+    std::string error;
+    std::vector<PendingDirective> parsed;
+    // `trailing` is decided by whether the comment's first line already
+    // has code on it.
+    bool trailing = lineHasToken && startLine == line;
+    if (!parseDirectiveText(text, startLine, trailing, parsed, &error)) {
+      errors.emplace_back(startLine, error);
+    }
+    for (auto& d : parsed) pending.push_back(std::move(d));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: only whitespace may precede '#'. Skip to
+    // the end of the logical line, honoring backslash continuations and
+    // comments (which may still carry pscd-lint directives).
+    if (c == '#' && !lineHasToken) {
+      ++i;
+      while (i < n) {
+        char p = source[i];
+        if (p == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (p == '\n') break;  // leave for main loop to count
+        if (p == '/' && i + 1 < n && source[i + 1] == '/') {
+          int start = line;
+          std::size_t eol = source.find('\n', i);
+          std::string text = source.substr(
+              i + 2, eol == std::string::npos ? std::string::npos
+                                              : eol - i - 2);
+          handleComment(text, start);
+          i = eol == std::string::npos ? n : eol;
+          continue;
+        }
+        if (p == '/' && i + 1 < n && source[i + 1] == '*') {
+          int start = line;
+          std::size_t end = source.find("*/", i + 2);
+          std::string text =
+              source.substr(i + 2, end == std::string::npos
+                                       ? std::string::npos
+                                       : end - i - 2);
+          handleComment(text, start);
+          for (char t : text)
+            if (t == '\n') newline();
+          i = end == std::string::npos ? n : end + 2;
+          continue;
+        }
+        if (p == '"') {  // e.g. #include "foo.h" or #error "text"
+          ++i;
+          while (i < n && source[i] != '"' && source[i] != '\n') {
+            if (source[i] == '\\' && i + 1 < n) ++i;
+            ++i;
+          }
+          if (i < n && source[i] == '"') ++i;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      int start = line;
+      std::size_t eol = source.find('\n', i);
+      std::string text = source.substr(
+          i + 2, eol == std::string::npos ? std::string::npos : eol - i - 2);
+      handleComment(text, start);
+      i = eol == std::string::npos ? n : eol;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      int start = line;
+      std::size_t end = source.find("*/", i + 2);
+      std::string text = source.substr(
+          i + 2, end == std::string::npos ? std::string::npos : end - i - 2);
+      handleComment(text, start);
+      for (char t : text)
+        if (t == '\n') newline();
+      i = end == std::string::npos ? n : end + 2;
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        if (source[i] == '\n') newline();
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      emit(Token::Kind::kString, "");
+      continue;
+    }
+    // Character literal (digit separators are consumed by the number
+    // scanner below, so a bare ' here always opens a char literal).
+    if (c == '\'') {
+      ++i;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        if (source[i] == '\n') newline();
+        ++i;
+      }
+      if (i < n) ++i;
+      emit(Token::Kind::kChar, "");
+      continue;
+    }
+    // Identifier / keyword — possibly a raw-string or string prefix.
+    if (isIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && isIdentChar(source[i])) ++i;
+      std::string ident = source.substr(start, i - start);
+      if (isRawPrefix(ident) && i < n && source[i] == '"') {
+        // Raw string: R"delim( ... )delim"
+        ++i;  // consume quote
+        std::string delim;
+        while (i < n && source[i] != '(') delim += source[i++];
+        if (i < n) ++i;  // consume '('
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = source.find(closer, i);
+        std::size_t stop = end == std::string::npos ? n : end;
+        for (std::size_t k = i; k < stop; ++k)
+          if (source[k] == '\n') newline();
+        i = end == std::string::npos ? n : end + closer.size();
+        emit(Token::Kind::kString, "");
+        continue;
+      }
+      if ((ident == "u8" || ident == "u" || ident == "U" || ident == "L") &&
+          i < n && source[i] == '"') {
+        // Encoded string literal: fall through to the next loop pass,
+        // which lexes the quote as an ordinary string.
+        emit(Token::Kind::kString, "");
+        ++i;
+        while (i < n && source[i] != '"') {
+          if (source[i] == '\\' && i + 1 < n) ++i;
+          if (source[i] == '\n') newline();
+          ++i;
+        }
+        if (i < n) ++i;
+        continue;
+      }
+      emit(Token::Kind::kIdent, std::move(ident));
+      continue;
+    }
+    // Number (pp-number): digits, identifier chars, '.', exponent signs
+    // and digit separators.
+    if (isDigit(c) || (c == '.' && i + 1 < n && isDigit(source[i + 1]))) {
+      std::size_t start = i;
+      ++i;
+      while (i < n) {
+        char p = source[i];
+        if (isIdentChar(p) || p == '.') {
+          ++i;
+        } else if ((p == '+' || p == '-') && i > start &&
+                   (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                    source[i - 1] == 'p' || source[i - 1] == 'P')) {
+          ++i;
+        } else if (p == '\'' && i + 1 < n && isIdentChar(source[i + 1])) {
+          i += 2;  // digit separator
+        } else {
+          break;
+        }
+      }
+      emit(Token::Kind::kNumber, source.substr(start, i - start));
+      continue;
+    }
+    // Punctuation, longest match first ('>>' stays split).
+    bool matched = false;
+    for (const char* p3 : kPunct3) {
+      if (i + 2 < n && source.compare(i, 3, p3) == 0) {
+        emit(Token::Kind::kPunct, p3);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p2 : kPunct2) {
+      if (i + 1 < n && source.compare(i, 2, p2) == 0) {
+        emit(Token::Kind::kPunct, p2);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    emit(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+
+  // Resolve pending directives to target lines: a trailing comment
+  // targets its own line; a standalone comment targets the next line
+  // that carries a token (falling back to its own line at EOF).
+  Directives& d = result.directives;
+  d.errors = std::move(errors);
+  for (const PendingDirective& p : pending) {
+    int target = p.commentLine;
+    if (!p.trailing) {
+      auto it = tokenLines.upper_bound(p.commentLine);
+      if (it != tokenLines.end()) target = *it;
+    }
+    if (p.verb == "allow") {
+      for (const std::string& rule : p.args) {
+        d.allow[target].insert(rule);
+        d.allowSites.push_back({target, rule});
+      }
+    } else if (p.verb == "allow-file") {
+      for (const std::string& rule : p.args) d.allowFile.insert(rule);
+    } else if (p.verb == "expect") {
+      for (const std::string& rule : p.args) d.expect[target].insert(rule);
+    } else if (p.verb == "as-path") {
+      d.asPath = p.args.front();
+    } else {
+      d.errors.emplace_back(p.commentLine,
+                            "unknown pscd-lint directive '" + p.verb + "'");
+    }
+  }
+  return result;
+}
+
+}  // namespace pscd_lint

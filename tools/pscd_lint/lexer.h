@@ -1,0 +1,65 @@
+// Tokenizer for pscd_lint: strips comments, string literals (including
+// raw strings), character literals, and preprocessor directives from a
+// C++ source file, yielding a flat token stream with line numbers that
+// the rule matchers (rules.h) pattern-match against.
+//
+// Comments are not discarded entirely: they are scanned for pscd-lint
+// control directives before being dropped:
+//
+//   // pscd-lint: allow(rule-a, rule-b)   suppress those rules here
+//   // pscd-lint: allow-file(rule-a)      suppress in the whole file
+//   // pscd-lint: expect(rule-a)          fixture expectation (corpus)
+//   // pscd-lint: as-path(src/pscd/x.cpp) lint as if at this path
+//
+// A directive in a trailing comment targets its own line; a directive
+// in a comment that stands alone on its line targets the next line that
+// carries any token. Free text after the closing parenthesis is a
+// justification and is ignored by the parser (but encouraged in code).
+//
+// pscd-lint: allow-file(lint-directive) the examples above are docs
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pscd_lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind;
+  std::string text;  // empty for kString/kChar (contents are irrelevant)
+  int line = 0;
+};
+
+struct Directives {
+  // Resolved target line -> rule names suppressed / expected there.
+  std::map<int, std::set<std::string>> allow;
+  std::map<int, std::set<std::string>> expect;
+  std::set<std::string> allowFile;
+  std::string asPath;  // empty when no as-path directive was seen
+
+  // For --strict suppression hygiene: every allow() occurrence with the
+  // line it targets, so unused suppressions can be reported.
+  struct AllowSite {
+    int targetLine = 0;
+    std::string rule;
+  };
+  std::vector<AllowSite> allowSites;
+
+  // Malformed / unknown directives ("line: message"), reported under
+  // the meta-rule `lint-directive` in --strict mode.
+  std::vector<std::pair<int, std::string>> errors;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  Directives directives;
+};
+
+/// Tokenizes `source`. `>>` is deliberately emitted as two `>` tokens so
+/// template-argument matching never has to split a shift operator.
+LexResult lex(const std::string& source);
+
+}  // namespace pscd_lint

@@ -1,0 +1,380 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace pscd_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string normalize(std::string path) {
+  while (path.rfind("./", 0) == 0) path.erase(0, 2);
+  return path;
+}
+
+bool hasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp";
+}
+
+struct Analysis {
+  std::vector<Finding> findings;  // post-suppression, sorted, deduped
+  Directives directives;
+  bool ioError = false;
+};
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Core per-file pipeline: lex, harvest declarations (file + sibling
+/// header), run in-scope rules, apply suppressions, and in strict mode
+/// add suppression-hygiene findings.
+Analysis analyzeSource(const std::string& displayPath,
+                       const std::string& source, const DeclInfo& headerDecls,
+                       bool strict) {
+  Analysis a;
+  LexResult lexed = lex(source);
+  a.directives = lexed.directives;
+
+  const std::string effectivePath = lexed.directives.asPath.empty()
+                                        ? normalize(displayPath)
+                                        : lexed.directives.asPath;
+  DeclInfo decls = collectDecls(lexed.tokens);
+  mergeDecls(decls, headerDecls);
+
+  FileContext ctx;
+  ctx.effectivePath = effectivePath;
+  ctx.tokens = &lexed.tokens;
+  ctx.decls = &decls;
+
+  std::vector<Finding> raw;
+  for (const Rule& rule : ruleRegistry()) {
+    if (rule.inScope(effectivePath)) rule.check(ctx, raw);
+  }
+  for (Finding& f : raw) f.path = displayPath;
+
+  // Pre-suppression index for unused-allow detection.
+  std::set<std::pair<int, std::string>> rawIndex;
+  std::set<std::string> rawRules;
+  for (const Finding& f : raw) {
+    rawIndex.insert({f.line, f.rule});
+    rawRules.insert(f.rule);
+  }
+
+  std::set<Finding> kept;
+  const Directives& d = a.directives;
+  for (const Finding& f : raw) {
+    if (d.allowFile.count(f.rule)) continue;
+    auto it = d.allow.find(f.line);
+    if (it != d.allow.end() && it->second.count(f.rule)) continue;
+    kept.insert(f);
+  }
+
+  if (strict) {
+    // Directive-hygiene findings are themselves suppressible: a file
+    // whose comments *document* the directive syntax (this tool's own
+    // sources, DESIGN.md excerpts in headers) carries
+    // `allow-file(lint-directive)`. The meta-rule is exempt from
+    // unused-suppression checking — its findings are synthesized here,
+    // after the raw index was built.
+    const bool metaAllowed = d.allowFile.count("lint-directive") > 0;
+    auto addMeta = [&](int line, const std::string& message) {
+      if (metaAllowed) return;
+      auto it = d.allow.find(line);
+      if (it != d.allow.end() && it->second.count("lint-directive")) return;
+      kept.insert(Finding{displayPath, line, "lint-directive", message});
+    };
+    for (const auto& [line, message] : d.errors) addMeta(line, message);
+    for (const Directives::AllowSite& site : d.allowSites) {
+      if (site.rule == "lint-directive") continue;
+      if (!isKnownRule(site.rule)) {
+        addMeta(site.targetLine,
+                "allow() names unknown rule '" + site.rule + "'");
+      } else if (!rawIndex.count({site.targetLine, site.rule})) {
+        addMeta(site.targetLine, "unused suppression: no '" + site.rule +
+                                     "' finding on this line");
+      }
+    }
+    for (const std::string& rule : d.allowFile) {
+      if (rule == "lint-directive") continue;
+      if (!isKnownRule(rule)) {
+        addMeta(1, "allow-file() names unknown rule '" + rule + "'");
+      } else if (!rawRules.count(rule)) {
+        addMeta(1, "unused file-wide suppression for '" + rule + "'");
+      }
+    }
+    for (const auto& [line, rules] : d.expect) {
+      for (const std::string& rule : rules) {
+        if (!isKnownRule(rule)) {
+          addMeta(line, "expect() names unknown rule '" + rule + "'");
+        }
+      }
+    }
+  }
+
+  a.findings.assign(kept.begin(), kept.end());
+  return a;
+}
+
+DeclInfo siblingHeaderDecls(const std::string& path) {
+  DeclInfo decls;
+  fs::path p(path);
+  const std::string ext = p.extension().string();
+  if (ext != ".cpp" && ext != ".cc" && ext != ".cxx") return decls;
+  for (const char* hext : {".h", ".hpp"}) {
+    fs::path header = p;
+    header.replace_extension(hext);
+    std::string source;
+    if (readFile(header.string(), &source)) {
+      mergeDecls(decls, collectDecls(lex(source).tokens));
+      break;
+    }
+  }
+  return decls;
+}
+
+struct Options {
+  bool strict = false;
+  bool listRules = false;
+  bool fixHints = false;
+  bool checkFixtures = false;
+  std::vector<std::string> excludes;
+  std::vector<std::string> paths;
+};
+
+int usage(std::ostream& err, const std::string& message) {
+  if (!message.empty()) err << "pscd_lint: error: " << message << "\n";
+  err << "usage: pscd_lint [--strict] [--fix-hints] [--exclude PREFIX]...\n"
+         "                 [--check-fixtures] [--list-rules] PATH...\n"
+         "\n"
+         "Lints C++ sources (files or directories, recursed) against the\n"
+         "pscd determinism & correctness rules. Output lines are\n"
+         "machine-readable:  file:line:rule: message\n"
+         "\n"
+         "  --strict          also fail on unused or unknown pscd-lint\n"
+         "                    suppression directives\n"
+         "  --fix-hints       print a remediation hint under each finding\n"
+         "  --exclude PREFIX  skip files whose path starts with PREFIX\n"
+         "  --check-fixtures  fixture mode: every '// pscd-lint: expect(r)'\n"
+         "                    must fire, nothing else may, and every\n"
+         "                    registered rule needs at least one firing\n"
+         "                    fixture across the given paths\n"
+         "  --list-rules      print the rule registry and exit\n"
+         "\n"
+         "exit codes: 0 clean, 1 findings, 2 usage/io error\n";
+  return 2;
+}
+
+bool parseArgs(const std::vector<std::string>& args, Options* opts,
+               std::ostream& err, int* exitCode) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--strict") {
+      opts->strict = true;
+    } else if (a == "--list-rules") {
+      opts->listRules = true;
+    } else if (a == "--fix-hints") {
+      opts->fixHints = true;
+    } else if (a == "--check-fixtures") {
+      opts->checkFixtures = true;
+    } else if (a == "--exclude") {
+      if (i + 1 >= args.size()) {
+        *exitCode = usage(err, "--exclude needs a path prefix");
+        return false;
+      }
+      opts->excludes.push_back(normalize(args[++i]));
+    } else if (a == "--help" || a == "-h") {
+      *exitCode = usage(err, "");
+      *exitCode = 0;
+      return false;
+    } else if (!a.empty() && a[0] == '-') {
+      *exitCode = usage(err, "unknown option '" + a + "'");
+      return false;
+    } else {
+      opts->paths.push_back(a);
+    }
+  }
+  if (!opts->listRules && opts->paths.empty()) {
+    *exitCode = usage(err, "no input paths");
+    return false;
+  }
+  return true;
+}
+
+/// Expands files and directories into a sorted, deduplicated file list.
+bool collectFiles(const Options& opts, std::vector<std::string>* files,
+                  std::ostream& err) {
+  std::set<std::string> found;
+  for (const std::string& path : opts.paths) {
+    fs::path p(path);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && hasLintableExtension(it->path())) {
+          found.insert(normalize(it->path().generic_string()));
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      found.insert(normalize(p.generic_string()));
+    } else {
+      err << "pscd_lint: error: no such file or directory: " << path << "\n";
+      return false;
+    }
+  }
+  for (const std::string& f : found) {
+    bool excluded = false;
+    for (const std::string& prefix : opts.excludes) {
+      if (f.rfind(prefix, 0) == 0) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) files->push_back(f);
+  }
+  return true;
+}
+
+const Rule* findRule(const std::string& name) {
+  for (const Rule& r : ruleRegistry()) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void printFindings(const std::vector<Finding>& findings, bool fixHints,
+                   std::ostream& out) {
+  for (const Finding& f : findings) {
+    out << f.path << ':' << f.line << ':' << f.rule << ": " << f.message
+        << "\n";
+    if (fixHints) {
+      const Rule* rule = findRule(f.rule);
+      if (rule != nullptr) out << "    hint: " << rule->hint << "\n";
+    }
+  }
+}
+
+int runListRules(std::ostream& out) {
+  std::size_t width = 0;
+  for (const Rule& r : ruleRegistry()) width = std::max(width, r.name.size());
+  for (const Rule& r : ruleRegistry()) {
+    out << r.name << std::string(width - r.name.size() + 2, ' ') << "["
+        << r.group << "] " << r.summary << "\n";
+  }
+  return 0;
+}
+
+/// Fixture mode: expectations in the corpus must match findings exactly,
+/// and every registered rule must fire somewhere.
+int runCheckFixtures(const std::vector<std::string>& files, bool fixHints,
+                     std::ostream& out, std::ostream& err) {
+  int mismatches = 0;
+  std::set<std::string> firedRules;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!readFile(file, &source)) {
+      err << "pscd_lint: error: cannot read " << file << "\n";
+      return 2;
+    }
+    Analysis a =
+        analyzeSource(file, source, siblingHeaderDecls(file), /*strict=*/true);
+    std::set<std::pair<int, std::string>> actual;
+    for (const Finding& f : a.findings) actual.insert({f.line, f.rule});
+    std::set<std::pair<int, std::string>> expected;
+    for (const auto& [line, rules] : a.directives.expect) {
+      for (const std::string& rule : rules) expected.insert({line, rule});
+    }
+    for (const auto& [line, rule] : expected) {
+      firedRules.insert(rule);
+      if (!actual.count({line, rule})) {
+        out << file << ':' << line << ':' << rule
+            << ": FIXTURE DID NOT FIRE (expected a finding here)\n";
+        ++mismatches;
+      }
+    }
+    for (const Finding& f : a.findings) {
+      if (!expected.count({f.line, f.rule})) {
+        out << f.path << ':' << f.line << ':' << f.rule
+            << ": unexpected finding in fixture: " << f.message << "\n";
+        if (fixHints) {
+          const Rule* rule = findRule(f.rule);
+          if (rule != nullptr) out << "    hint: " << rule->hint << "\n";
+        }
+        ++mismatches;
+      }
+    }
+  }
+  for (const Rule& r : ruleRegistry()) {
+    if (!firedRules.count(r.name)) {
+      out << "pscd_lint: rule '" << r.name
+          << "' has no firing fixture in the corpus\n";
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    out << "pscd_lint: fixture self-test FAILED (" << mismatches
+        << " mismatch" << (mismatches == 1 ? "" : "es") << ")\n";
+    return 1;
+  }
+  out << "pscd_lint: fixture self-test ok (" << files.size() << " fixtures, "
+      << ruleRegistry().size() << " rules fired)\n";
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& source,
+                                const DeclInfo& headerDecls, bool strict) {
+  return analyzeSource(path, source, headerDecls, strict).findings;
+}
+
+int runLint(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  Options opts;
+  int exitCode = 0;
+  if (!parseArgs(args, &opts, err, &exitCode)) return exitCode;
+  if (opts.listRules) return runListRules(out);
+
+  std::vector<std::string> files;
+  if (!collectFiles(opts, &files, err)) return 2;
+  if (opts.checkFixtures)
+    return runCheckFixtures(files, opts.fixHints, out, err);
+
+  std::vector<Finding> all;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!readFile(file, &source)) {
+      err << "pscd_lint: error: cannot read " << file << "\n";
+      return 2;
+    }
+    Analysis a =
+        analyzeSource(file, source, siblingHeaderDecls(file), opts.strict);
+    all.insert(all.end(), a.findings.begin(), a.findings.end());
+  }
+  std::sort(all.begin(), all.end());
+  printFindings(all, opts.fixHints, out);
+  if (!all.empty()) {
+    out << "pscd_lint: " << all.size() << " finding"
+        << (all.size() == 1 ? "" : "s") << " in " << files.size()
+        << " files\n";
+    return 1;
+  }
+  out << "pscd_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
+
+}  // namespace pscd_lint

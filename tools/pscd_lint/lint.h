@@ -1,0 +1,31 @@
+// Driver for pscd_lint, exposed as a library so tests/lint_test.cpp can
+// exercise argument handling, exit codes, and end-to-end behavior
+// without spawning processes.
+//
+// Exit codes: 0 clean, 1 findings (or fixture mismatches), 2 usage or
+// I/O error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace pscd_lint {
+
+/// Lints a single in-memory source. `path` is used for rule scoping
+/// (before any as-path directive in the source) and in findings.
+/// `headerDecls` supplies declarations harvested from a sibling header
+/// (pass {} when there is none). Suppressions are applied; `strict`
+/// additionally reports unused allow() directives and directive errors
+/// under the meta-rule "lint-directive".
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& source,
+                                const DeclInfo& headerDecls, bool strict);
+
+/// Full command-line entry point (everything after argv[0]).
+int runLint(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace pscd_lint

@@ -1,0 +1,12 @@
+// pscd_lint: determinism & correctness static analysis for the pscd
+// tree. See lint.h for exit codes and DESIGN.md §10 for the rule set.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pscd_lint::runLint(args, std::cout, std::cerr);
+}

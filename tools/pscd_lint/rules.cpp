@@ -1,0 +1,558 @@
+#include "rules.h"
+
+#include <array>
+
+namespace pscd_lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t, const char* s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// tokens[i] must be "<"; returns the index one past the matching ">",
+/// or -1 when unbalanced within the file. `>>` never appears as a
+/// single token (the lexer splits it), so depth tracking is exact.
+int skipTemplateArgs(const Tokens& toks, int i) {
+  int depth = 0;
+  const int n = static_cast<int>(toks.size());
+  for (int j = i; j < n; ++j) {
+    if (isPunct(toks[j], "<")) {
+      ++depth;
+    } else if (isPunct(toks[j], ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (isPunct(toks[j], ";") || isPunct(toks[j], "{")) {
+      return -1;  // ran off the declaration: it was a comparison
+    }
+  }
+  return -1;
+}
+
+/// True when the template argument list starting at "<" (index i)
+/// contains any of the given identifier tokens or a raw `*`.
+bool templateArgsContain(const Tokens& toks, int i, int end,
+                         const std::set<std::string>& idents,
+                         bool matchStar) {
+  for (int j = i; j < end; ++j) {
+    if (matchStar && isPunct(toks[j], "*")) return true;
+    if (toks[j].kind == Token::Kind::kIdent && idents.count(toks[j].text))
+      return true;
+  }
+  return false;
+}
+
+void addFinding(std::vector<Finding>& out, const FileContext& ctx, int line,
+                const std::string& rule, const std::string& message) {
+  out.push_back(Finding{ctx.effectivePath, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Declaration harvesting
+// ---------------------------------------------------------------------------
+
+bool isFloatKeyword(const Token& t) {
+  return isIdent(t, "double") || isIdent(t, "float");
+}
+
+}  // namespace
+
+DeclInfo collectDecls(const Tokens& toks) {
+  DeclInfo info;
+  const int n = static_cast<int>(toks.size());
+  static const std::set<std::string> kSmartPtr = {"unique_ptr", "shared_ptr"};
+  for (int i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if ((t.text == "unordered_map" || t.text == "unordered_set" ||
+         t.text == "unordered_multimap" || t.text == "unordered_multiset") &&
+        i + 1 < n && isPunct(toks[i + 1], "<")) {
+      int j = skipTemplateArgs(toks, i + 1);
+      if (j < 0) continue;
+      // Optional ::iterator / ::const_iterator, then cv/ref qualifiers.
+      if (j + 1 < n && isPunct(toks[j], "::") &&
+          (isIdent(toks[j + 1], "iterator") ||
+           isIdent(toks[j + 1], "const_iterator"))) {
+        j += 2;
+      }
+      while (j < n && (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+                       isIdent(toks[j], "const")))
+        ++j;
+      if (j < n && toks[j].kind == Token::Kind::kIdent)
+        info.unorderedNames.insert(toks[j].text);
+    } else if (t.text == "vector" && i + 1 < n && isPunct(toks[i + 1], "<")) {
+      int j = skipTemplateArgs(toks, i + 1);
+      if (j < 0) continue;
+      if (!templateArgsContain(toks, i + 1, j, kSmartPtr, true)) continue;
+      while (j < n && (isPunct(toks[j], "&") || isIdent(toks[j], "const")))
+        ++j;
+      if (j < n && toks[j].kind == Token::Kind::kIdent)
+        info.ptrVectorNames.insert(toks[j].text);
+    } else if (isFloatKeyword(t)) {
+      // `double x` declares x — unless this is a template argument
+      // (`vector<double>`), a cast `(double)` / `static_cast<double>`,
+      // or a function return type `double f(`.
+      if (i > 0 && (isPunct(toks[i - 1], "<") || isPunct(toks[i - 1], ","))) {
+        // could still be a parameter: `f(double x, float y)` has `,`
+        // before float — allow that case through when an identifier
+        // follows directly.
+        if (!(i + 1 < n && toks[i + 1].kind == Token::Kind::kIdent)) continue;
+      }
+      int j = i + 1;
+      while (j < n && (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+                       isIdent(toks[j], "const")))
+        ++j;
+      if (j < n && toks[j].kind == Token::Kind::kIdent &&
+          !(j + 1 < n && isPunct(toks[j + 1], "(")))
+        info.floatNames.insert(toks[j].text);
+    }
+  }
+  return info;
+}
+
+void mergeDecls(DeclInfo& into, const DeclInfo& from) {
+  into.unorderedNames.insert(from.unorderedNames.begin(),
+                             from.unorderedNames.end());
+  into.ptrVectorNames.insert(from.ptrVectorNames.begin(),
+                             from.ptrVectorNames.end());
+  into.floatNames.insert(from.floatNames.begin(), from.floatNames.end());
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scope predicates
+// ---------------------------------------------------------------------------
+
+bool anywhere(const std::string&) { return true; }
+bool inLibrary(const std::string& p) { return startsWith(p, "src/"); }
+bool inCore(const std::string& p) { return startsWith(p, "src/pscd/"); }
+bool notInTests(const std::string& p) { return !startsWith(p, "tests/"); }
+
+// ---------------------------------------------------------------------------
+// determinism: wall-clock
+// ---------------------------------------------------------------------------
+
+void checkWallClock(const FileContext& ctx, std::vector<Finding>& out) {
+  static const std::set<std::string> kBanned = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "timespec_get",
+      "localtime",     "gmtime",        "strftime",
+      "mktime",        "ctime",         "difftime",
+      "file_clock",    "utc_clock"};
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (kBanned.count(t.text)) {
+      addFinding(out, ctx, t.line, "wall-clock",
+                 "'" + t.text +
+                     "' reads the wall clock; route timing through "
+                     "pscd/util/wallclock.h or derive it from SimTime");
+      continue;
+    }
+    // time( / clock( as free-function calls; member calls like
+    // `r.time` or `metrics.clock(...)` on project types are fine.
+    if ((t.text == "time" || t.text == "clock") && i + 1 < n &&
+        isPunct(toks[i + 1], "(")) {
+      if (i > 0 && (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->")))
+        continue;
+      addFinding(out, ctx, t.line, "wall-clock",
+                 "'" + t.text +
+                     "()' reads the wall clock; simulations must draw "
+                     "time from the event loop, diagnostics from "
+                     "pscd/util/wallclock.h");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism: random-source
+// ---------------------------------------------------------------------------
+
+void checkRandomSource(const FileContext& ctx, std::vector<Finding>& out) {
+  static const std::set<std::string> kBannedBare = {
+      "random_device", "mt19937",        "mt19937_64",
+      "minstd_rand",   "minstd_rand0",   "default_random_engine",
+      "ranlux24",      "ranlux48",       "knuth_b",
+      "random_shuffle"};
+  static const std::set<std::string> kBannedCall = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "random", "srandom"};
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (kBannedBare.count(t.text)) {
+      addFinding(out, ctx, t.line, "random-source",
+                 "'" + t.text +
+                     "' is a non-reproducible / implementation-defined "
+                     "random source; use pscd::Rng (util/rng.h)");
+    } else if (kBannedCall.count(t.text) && i + 1 < n &&
+               isPunct(toks[i + 1], "(") &&
+               !(i > 0 && (isPunct(toks[i - 1], ".") ||
+                           isPunct(toks[i - 1], "->")))) {
+      addFinding(out, ctx, t.line, "random-source",
+                 "'" + t.text +
+                     "()' is seeded from global state; use pscd::Rng "
+                     "with an explicit seed (util/rng.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism: unordered-iter
+// ---------------------------------------------------------------------------
+
+bool fileWritesOutput(const Tokens& toks) {
+  static const std::set<std::string> kSinks = {
+      "CsvWriter", "CsvSink",  "SimMetrics", "cout",   "cerr",  "clog",
+      "printf",    "fprintf",  "ostream",    "ofstream", "Logger"};
+  for (const Token& t : toks) {
+    if (t.kind == Token::Kind::kIdent && kSinks.count(t.text)) return true;
+    if (isPunct(t, "<<")) return true;
+  }
+  return false;
+}
+
+/// If the token range [begin, end) is a plain object path such as
+/// `entries_`, `this->pages_` or `obj.map_`, returns the final
+/// identifier; otherwise "".
+std::string basePathIdent(const Tokens& toks, int begin, int end) {
+  std::string last;
+  for (int j = begin; j < end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == Token::Kind::kIdent) {
+      last = t.text;
+    } else if (isPunct(t, ".") || isPunct(t, "->")) {
+      continue;
+    } else {
+      return "";  // calls, indexing, arithmetic: not a plain path
+    }
+  }
+  return last;
+}
+
+void checkUnorderedIter(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  if (!fileWritesOutput(toks)) return;
+  const std::set<std::string>& names = ctx.decls->unorderedNames;
+  if (names.empty()) return;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    // Range-for over an unordered container.
+    if (isIdent(toks[i], "for") && i + 1 < n && isPunct(toks[i + 1], "(")) {
+      int depth = 0;
+      int colon = -1, close = -1;
+      for (int j = i + 1; j < n; ++j) {
+        if (isPunct(toks[j], "(")) {
+          ++depth;
+        } else if (isPunct(toks[j], ")")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && isPunct(toks[j], ":") && colon < 0) {
+          colon = j;
+        }
+      }
+      if (colon >= 0 && close >= 0) {
+        const std::string base = basePathIdent(toks, colon + 1, close);
+        if (!base.empty() && names.count(base)) {
+          addFinding(out, ctx, toks[i].line, "unordered-iter",
+                     "range-for over unordered container '" + base +
+                         "' in output-writing code; iteration order is "
+                         "implementation-defined — iterate sorted keys "
+                         "or an ordered mirror index");
+        }
+      }
+    }
+    // Explicit iterator walk: name.begin( / name.cbegin(. A lone
+    // .end() is not flagged — `find(k) != m.end()` never iterates.
+    if (toks[i].kind == Token::Kind::kIdent && names.count(toks[i].text) &&
+        i + 2 < n && isPunct(toks[i + 1], ".") &&
+        (isIdent(toks[i + 2], "begin") || isIdent(toks[i + 2], "cbegin")) &&
+        i + 3 < n && isPunct(toks[i + 3], "(")) {
+      addFinding(out, ctx, toks[i].line, "unordered-iter",
+                 "iterator walk over unordered container '" + toks[i].text +
+                     "' in output-writing code; iteration order is "
+                     "implementation-defined — iterate sorted keys or "
+                     "an ordered mirror index");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism: ptr-order
+// ---------------------------------------------------------------------------
+
+void checkPtrOrder(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  static const std::set<std::string> kNone;
+  for (int i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if ((t.text == "less" || t.text == "greater" || t.text == "hash") &&
+        i + 1 < n && isPunct(toks[i + 1], "<")) {
+      int j = skipTemplateArgs(toks, i + 1);
+      if (j > 0 && templateArgsContain(toks, i + 1, j, kNone, true)) {
+        addFinding(out, ctx, t.line, "ptr-order",
+                   "std::" + t.text +
+                       " over a pointer type orders/hashes by address, "
+                       "which varies run to run; key on a stable id "
+                       "instead");
+      }
+    }
+    // Smart-pointer address comparison: `.get() <` / `.get() >=` ...
+    if (t.text == "get" && i >= 1 && isPunct(toks[i - 1], ".") &&
+        i + 3 < n && isPunct(toks[i + 1], "(") && isPunct(toks[i + 2], ")")) {
+      const Token& after = toks[i + 3];
+      if (isPunct(after, "<") || isPunct(after, ">") ||
+          isPunct(after, "<=") || isPunct(after, ">=")) {
+        addFinding(out, ctx, t.line, "ptr-order",
+                   "relational comparison of smart-pointer addresses is "
+                   "address-order nondeterminism; compare stable ids");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism: ptr-sort
+// ---------------------------------------------------------------------------
+
+void checkPtrSort(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const std::set<std::string>& names = ctx.decls->ptrVectorNames;
+  if (names.empty()) return;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i + 12 < n; ++i) {
+    if (!(isIdent(toks[i], "sort") || isIdent(toks[i], "stable_sort")))
+      continue;
+    if (!isPunct(toks[i + 1], "(")) continue;
+    // sort( X .begin() , X .end() )  — the two-argument, operator< form.
+    int j = i + 2;
+    if (toks[j].kind != Token::Kind::kIdent || !names.count(toks[j].text))
+      continue;
+    const std::string& name = toks[j].text;
+    if (isPunct(toks[j + 1], ".") && isIdent(toks[j + 2], "begin") &&
+        isPunct(toks[j + 3], "(") && isPunct(toks[j + 4], ")") &&
+        isPunct(toks[j + 5], ",") && isIdent(toks[j + 6], name.c_str()) &&
+        isPunct(toks[j + 7], ".") && isIdent(toks[j + 8], "end") &&
+        isPunct(toks[j + 9], "(") && isPunct(toks[j + 10], ")") &&
+        isPunct(toks[j + 11], ")")) {
+      addFinding(out, ctx, toks[i].line, "ptr-sort",
+                 "std::" + toks[i].text + " of pointer container '" + name +
+                     "' without a comparator sorts by address; pass a "
+                     "named comparator over stable fields");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correctness: bare-assert
+// ---------------------------------------------------------------------------
+
+void checkBareAssert(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i + 1 < n; ++i) {
+    if (isIdent(toks[i], "assert") && isPunct(toks[i + 1], "(")) {
+      addFinding(out, ctx, toks[i].line, "bare-assert",
+                 "assert() aborts and compiles out under NDEBUG; use "
+                 "PSCD_CHECK / PSCD_DCHECK (util/check.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correctness: throw-site
+// ---------------------------------------------------------------------------
+
+void checkThrowSite(const FileContext& ctx, std::vector<Finding>& out) {
+  if (ctx.effectivePath == "src/pscd/util/check.h") return;
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    if (!isIdent(toks[i], "throw")) continue;
+    // `noexcept` or exception-spec contexts: `throw (`? Legacy dynamic
+    // exception specifications do not appear in this codebase; treat
+    // `throw` followed by `;` as a bare rethrow (allowed).
+    if (i + 1 < n && isPunct(toks[i + 1], ";")) continue;
+    // Sanctioned: direct construction of a std:: exception type — the
+    // API-contract idiom kept by PR 1 (tests EXPECT_THROW on the exact
+    // std type). Everything else routes through PSCD_CHECK.
+    if (i + 4 < n && isIdent(toks[i + 1], "std") &&
+        isPunct(toks[i + 2], "::") &&
+        toks[i + 3].kind == Token::Kind::kIdent &&
+        isPunct(toks[i + 4], "(")) {
+      continue;
+    }
+    addFinding(out, ctx, toks[i].line, "throw-site",
+               "throw of a non-std type or value; use PSCD_CHECK "
+               "(util/check.h) for invariants or construct a typed "
+               "std:: exception for API contracts");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correctness: float-compare
+// ---------------------------------------------------------------------------
+
+bool isFloatLiteral(const Token& t) {
+  if (t.kind != Token::Kind::kNumber) return false;
+  const std::string& s = t.text;
+  if (startsWith(s, "0x") || startsWith(s, "0X")) return false;
+  for (char c : s) {
+    if (c == '.' || c == 'e' || c == 'E' || c == 'f' || c == 'F') return true;
+  }
+  return false;
+}
+
+void checkFloatCompare(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  const std::set<std::string>& floats = ctx.decls->floatNames;
+  for (int i = 1; i + 1 < n; ++i) {
+    if (!(isPunct(toks[i], "==") || isPunct(toks[i], "!="))) continue;
+    const Token& lhs = toks[i - 1];
+    const Token& rhs = toks[i + 1];
+    bool floaty = isFloatLiteral(lhs) || isFloatLiteral(rhs);
+    if (!floaty && lhs.kind == Token::Kind::kIdent && floats.count(lhs.text))
+      floaty = true;
+    if (!floaty && rhs.kind == Token::Kind::kIdent && floats.count(rhs.text))
+      floaty = true;
+    // `x == std::numeric_limits<double>::infinity()` and friends.
+    if (!floaty && isIdent(rhs, "std") && i + 6 < n &&
+        isIdent(toks[i + 3], "numeric_limits") &&
+        (isIdent(toks[i + 5], "double") || isIdent(toks[i + 5], "float")))
+      floaty = true;
+    // `...infinity() == x` — look back across the call parens.
+    if (!floaty && isPunct(lhs, ")") && i >= 3 && isPunct(toks[i - 2], "(") &&
+        (isIdent(toks[i - 3], "infinity") || isIdent(toks[i - 3], "epsilon") ||
+         isIdent(toks[i - 3], "quiet_NaN")))
+      floaty = true;
+    if (floaty) {
+      addFinding(out, ctx, toks[i].line, "float-compare",
+                 "exact == / != on floating-point values; compare against "
+                 "an epsilon, or suppress if an exact sentinel is intended");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correctness: naked-new
+// ---------------------------------------------------------------------------
+
+void checkNakedNew(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    if (isIdent(toks[i], "new")) {
+      addFinding(out, ctx, toks[i].line, "naked-new",
+                 "naked new in library code; use std::make_unique / "
+                 "std::make_shared or a container");
+    } else if (isIdent(toks[i], "delete")) {
+      // `= delete` (deleted special member) is not a deallocation.
+      if (i > 0 && isPunct(toks[i - 1], "=")) continue;
+      addFinding(out, ctx, toks[i].line, "naked-new",
+                 "naked delete in library code; owning raw pointers are "
+                 "banned — use std::unique_ptr");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correctness: env-access
+// ---------------------------------------------------------------------------
+
+void checkEnvAccess(const FileContext& ctx, std::vector<Finding>& out) {
+  if (ctx.effectivePath == "bench/bench_common.h") return;
+  static const std::set<std::string> kBanned = {
+      "getenv", "secure_getenv", "setenv", "putenv", "unsetenv"};
+  for (const Token& t : *ctx.tokens) {
+    if (t.kind == Token::Kind::kIdent && kBanned.count(t.text)) {
+      addFinding(out, ctx, t.line, "env-access",
+                 "'" + t.text +
+                     "' makes behavior depend on ambient environment; "
+                     "route configuration through bench_common.h or "
+                     "explicit flags");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& ruleRegistry() {
+  static const std::vector<Rule> kRules = {
+      {"wall-clock", "determinism",
+       "wall-clock reads (chrono clocks, time(), gettimeofday, ...) outside "
+       "the util/wallclock.h shim",
+       "derive simulation time from SimTime; for diagnostics include "
+       "pscd/util/wallclock.h and call pscd::monotonicSeconds()",
+       [](const std::string& p) { return p != "src/pscd/util/wallclock.h"; },
+       checkWallClock},
+      {"random-source", "determinism",
+       "rand()/srand(), std::random_device, and <random> engines instead of "
+       "the seeded pscd::Rng",
+       "construct pscd::Rng with an explicit seed (derive per-component "
+       "streams via split() or cellSeed())",
+       anywhere, checkRandomSource},
+      {"unordered-iter", "determinism",
+       "iteration over std::unordered_map/set in src/pscd/ code that writes "
+       "to streams, CSV sinks, or metrics",
+       "collect keys and sort them, keep an ordered mirror index, or prove "
+       "the fold is commutative and suppress with a justification",
+       inCore, checkUnorderedIter},
+      {"ptr-order", "determinism",
+       "ordering or hashing by pointer value (std::less/hash over T*, "
+       "smart-pointer .get() comparisons)",
+       "key on a stable id owned by the object, never its address",
+       anywhere, checkPtrOrder},
+      {"ptr-sort", "determinism",
+       "std::sort/stable_sort of a pointer container without a comparator",
+       "pass a named comparator over stable fields of the pointees",
+       anywhere, checkPtrSort},
+      {"bare-assert", "correctness",
+       "assert() instead of PSCD_CHECK / PSCD_DCHECK",
+       "use PSCD_CHECK (always on, catchable) or PSCD_DCHECK (debug), "
+       "from pscd/util/check.h",
+       anywhere, checkBareAssert},
+      {"throw-site", "correctness",
+       "throw of anything but a typed std:: exception outside util/check.h",
+       "invariants: PSCD_CHECK; API contracts: throw a std:: exception "
+       "type tests can EXPECT_THROW on",
+       anywhere, checkThrowSite},
+      {"float-compare", "correctness",
+       "exact ==/!= on floating-point values outside tests/",
+       "compare |a-b| against an epsilon; exact sentinel compares take an "
+       "allow(float-compare) with justification",
+       notInTests, checkFloatCompare},
+      {"naked-new", "correctness",
+       "naked new/delete in library code (src/)",
+       "use std::make_unique/std::make_shared or standard containers",
+       inLibrary, checkNakedNew},
+      {"env-access", "correctness",
+       "environment access (getenv & friends) outside bench_common.h",
+       "plumb configuration through explicit flags or BenchEnv",
+       anywhere, checkEnvAccess},
+  };
+  return kRules;
+}
+
+bool isKnownRule(const std::string& name) {
+  for (const Rule& r : ruleRegistry()) {
+    if (r.name == name) return true;
+  }
+  return name == "lint-directive";
+}
+
+}  // namespace pscd_lint

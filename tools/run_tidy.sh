@@ -8,16 +8,30 @@
 # --strict a missing clang-tidy binary is an error; without it the run
 # is skipped so machines without clang can still use the script in
 # pre-commit hooks. Any warning fails the run (WarningsAsErrors: '*').
+#
+# --strict may appear in any argument position, and is implied when
+# $CI is set: a CI runner with a missing binary must fail loudly, never
+# silently skip the lint gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 strict=0
-if [[ "${1:-}" == "--strict" ]]; then
+if [[ -n "${CI:-}" ]]; then
   strict=1
-  shift
 fi
-build_dir="${1:-build/tidy}"
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict=1 ;;
+    -*)
+      echo "usage: tools/run_tidy.sh [--strict] [build-dir]" >&2
+      exit 2
+      ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+build_dir="${build_dir:-build/tidy}"
 
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$tidy_bin" >/dev/null 2>&1; then
