@@ -20,6 +20,7 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,41 +54,89 @@ struct BenchEnv {
   std::string csvPath;     // empty = no CSV export
 };
 
+/// Outcome of tryParseBenchEnv: parsed fine, --help was requested (the
+/// message holds the help text), or the options were invalid (the
+/// message holds the fully formatted diagnostic).
+enum class BenchEnvStatus { kOk, kHelp, kError };
+
+/// Testable core of parseBenchEnv. Environment variables provide
+/// *defaults* that explicit flags always override:
+///
+///   PSCD_BENCH_JOBS   default for --jobs
+///   PSCD_BENCH_SCALE  default for --scale
+///   PSCD_BENCH_CSV    default for --csv
+///
+/// All environment access goes through `envLookup` (pass nullptr-
+/// returning lambdas in tests; parseBenchEnv wires std::getenv), so the
+/// precedence logic is unit-testable without mutating the process
+/// environment. Does not print or exit.
+inline BenchEnvStatus tryParseBenchEnv(
+    int argc, const char* const* argv, const std::string& program,
+    const std::string& description,
+    const std::function<const char*(const char*)>& envLookup, BenchEnv* out,
+    std::string* message) {
+  const auto envDefault = [&](const char* name, const char* fallback) {
+    const char* v = envLookup ? envLookup(name) : nullptr;
+    return v != nullptr && *v != '\0' ? std::string(v)
+                                      : std::string(fallback);
+  };
+  ArgParser parser(program, description);
+  parser.addOption("jobs",
+                   "worker threads for simulation cells "
+                   "(0 = hardware concurrency)",
+                   envDefault("PSCD_BENCH_JOBS", "0"));
+  parser.addOption("scale",
+                   "workload scale factor in (0, 1]; 1 = paper setup",
+                   envDefault("PSCD_BENCH_SCALE", "1"));
+  parser.addOption("csv", "also write every table to this CSV file",
+                   envDefault("PSCD_BENCH_CSV", ""));
+  if (!parser.parse(argc, argv)) {
+    if (parser.error().empty()) {
+      *message = parser.help();
+      return BenchEnvStatus::kHelp;
+    }
+    *message = program + ": " + parser.error() + "\n" + parser.help();
+    return BenchEnvStatus::kError;
+  }
+  std::int64_t jobs = 0;
+  try {  // malformed values can arrive via PSCD_BENCH_* as well as flags
+    jobs = parser.optionInt("jobs");
+    out->scale = parser.optionDouble("scale");
+  } catch (const std::invalid_argument& e) {
+    *message = program + ": " + e.what() + "\n";
+    return BenchEnvStatus::kError;
+  }
+  if (jobs < 0) {
+    *message = program + ": --jobs must be >= 0\n";
+    return BenchEnvStatus::kError;
+  }
+  out->jobs = resolveJobs(static_cast<unsigned>(jobs));
+  if (!(out->scale > 0.0 && out->scale <= 1.0)) {
+    *message = program + ": --scale must be in (0, 1]\n";
+    return BenchEnvStatus::kError;
+  }
+  out->csvPath = parser.option("csv");
+  return BenchEnvStatus::kOk;
+}
+
 /// Parses the shared bench options. Exits on --help (0) or bad usage
 /// (2), so drivers can use the result unconditionally.
 inline BenchEnv parseBenchEnv(int argc, const char* const* argv,
                               const std::string& program,
                               const std::string& description) {
-  ArgParser parser(program, description);
-  parser.addOption("jobs",
-                   "worker threads for simulation cells "
-                   "(0 = hardware concurrency)",
-                   "0");
-  parser.addOption("scale",
-                   "workload scale factor in (0, 1]; 1 = paper setup", "1");
-  parser.addOption("csv", "also write every table to this CSV file", "");
-  if (!parser.parse(argc, argv)) {
-    if (parser.error().empty()) {
-      std::printf("%s", parser.help().c_str());
-      std::exit(0);
-    }
-    std::fprintf(stderr, "%s: %s\n%s", program.c_str(),
-                 parser.error().c_str(), parser.help().c_str());
-    std::exit(2);
-  }
   BenchEnv env;
-  const std::int64_t jobs = parser.optionInt("jobs");
-  if (jobs < 0) {
-    std::fprintf(stderr, "%s: --jobs must be >= 0\n", program.c_str());
+  std::string message;
+  const BenchEnvStatus status = tryParseBenchEnv(
+      argc, argv, program, description,
+      [](const char* name) { return std::getenv(name); }, &env, &message);
+  if (status == BenchEnvStatus::kHelp) {
+    std::printf("%s", message.c_str());
+    std::exit(0);
+  }
+  if (status == BenchEnvStatus::kError) {
+    std::fprintf(stderr, "%s", message.c_str());
     std::exit(2);
   }
-  env.jobs = resolveJobs(static_cast<unsigned>(jobs));
-  env.scale = parser.optionDouble("scale");
-  if (!(env.scale > 0.0 && env.scale <= 1.0)) {
-    std::fprintf(stderr, "%s: --scale must be in (0, 1]\n", program.c_str());
-    std::exit(2);
-  }
-  env.csvPath = parser.option("csv");
   return env;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -15,20 +16,20 @@ DualMethodsStrategy::DualMethodsStrategy(Bytes capacity, double fetchCost,
   }
 }
 
-double DualMethodsStrategy::subValue(std::uint32_t subCount,
-                                     Bytes size) const {
+PSCD_HOT double DualMethodsStrategy::subValue(std::uint32_t subCount,
+                                              Bytes size) const {
   return static_cast<double>(subCount) * fetchCost_ /
          static_cast<double>(size);
 }
 
-double DualMethodsStrategy::gdValue(std::uint32_t accessCount,
-                                    Bytes size) const {
+PSCD_HOT double DualMethodsStrategy::gdValue(std::uint32_t accessCount,
+                                             Bytes size) const {
   const double utility =
       static_cast<double>(accessCount) * fetchCost_ / static_cast<double>(size);
   return inflation_ + std::pow(utility, 1.0 / beta_);
 }
 
-void DualMethodsStrategy::removeEntry(
+PSCD_HOT void DualMethodsStrategy::removeEntry(
     std::unordered_map<PageId, DmEntry>::iterator it) {
   subIndex_.erase({it->second.subValue, it->first});
   gdIndex_.erase({it->second.gdValue, it->first});
@@ -36,7 +37,7 @@ void DualMethodsStrategy::removeEntry(
   entries_.erase(it);
 }
 
-void DualMethodsStrategy::store(const DmEntry& entry) {
+PSCD_HOT void DualMethodsStrategy::store(const DmEntry& entry) {
   PSCD_DCHECK_LE(used_ + entry.size, capacity_)
       << "DualMethodsStrategy::store without room for page " << entry.page;
   entries_.emplace(entry.page, entry);
@@ -45,7 +46,7 @@ void DualMethodsStrategy::store(const DmEntry& entry) {
   used_ += entry.size;
 }
 
-PushOutcome DualMethodsStrategy::onPush(const PushContext& ctx) {
+PSCD_HOT PushOutcome DualMethodsStrategy::onPush(const PushContext& ctx) {
   DmEntry entry;
   if (const auto it = entries_.find(ctx.page); it != entries_.end()) {
     entry = it->second;  // refresh in place, keep access history
@@ -78,17 +79,23 @@ PushOutcome DualMethodsStrategy::onPush(const PushContext& ctx) {
   return {true};
 }
 
-RequestOutcome DualMethodsStrategy::onRequest(const RequestContext& ctx) {
+PSCD_HOT RequestOutcome DualMethodsStrategy::onRequest(
+    const RequestContext& ctx) {
   RequestOutcome out;
   DmEntry entry;
   if (const auto it = entries_.find(ctx.page); it != entries_.end()) {
     if (it->second.version == ctx.latestVersion) {
-      // Hit: the access module re-evaluates under the current L.
-      gdIndex_.erase({it->second.gdValue, ctx.page});
+      // Hit: the access module re-evaluates under the current L. Re-key
+      // the GD* index by node extraction — the hit path runs per
+      // request, and erase+emplace would churn a tree node each time.
+      auto node = gdIndex_.extract({it->second.gdValue, ctx.page});
+      PSCD_DCHECK(!node.empty())
+          << "DualMethodsStrategy: GD* index missing page " << ctx.page;
       ++it->second.accessCount;
       it->second.lastAccess = ctx.now;
       it->second.gdValue = gdValue(it->second.accessCount, it->second.size);
-      gdIndex_.emplace(it->second.gdValue, ctx.page);
+      node.value().first = it->second.gdValue;
+      gdIndex_.insert(std::move(node));
       out.hit = true;
       return out;
     }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -78,8 +79,8 @@ GdsFamilyStrategy::GdsFamilyStrategy(Bytes capacity, double fetchCost,
   }
 }
 
-double GdsFamilyStrategy::frequency(std::uint32_t subCount,
-                                    std::uint32_t accessCount) const {
+PSCD_HOT double GdsFamilyStrategy::frequency(std::uint32_t subCount,
+                                             std::uint32_t accessCount) const {
   using FreqMode = GdsFamilyConfig::FreqMode;
   switch (config_.freqMode) {
     case FreqMode::kAccessOnly:
@@ -94,7 +95,7 @@ double GdsFamilyStrategy::frequency(std::uint32_t subCount,
   return 0.0;
 }
 
-double GdsFamilyStrategy::value(double frequency, Bytes size) const {
+PSCD_HOT double GdsFamilyStrategy::value(double frequency, Bytes size) const {
   double utility = frequency;
   if (config_.useCost) utility *= fetchCost_;
   if (config_.useSize) utility /= static_cast<double>(size);
@@ -110,21 +111,23 @@ void GdsFamilyStrategy::noteEvictions(
   }
 }
 
-std::uint32_t GdsFamilyStrategy::effectiveAccessCount(
+PSCD_HOT std::uint32_t GdsFamilyStrategy::effectiveAccessCount(
     const CacheEntry& entry) const {
   if (!config_.persistentAccessCounts) return entry.accessCount;
   const auto it = accessHistory_.find(entry.page);
   return it == accessHistory_.end() ? 0 : it->second;
 }
 
-void GdsFamilyStrategy::noteAccess(PageId page) {
+PSCD_HOT void GdsFamilyStrategy::noteAccess(PageId page) {
   if (config_.persistentAccessCounts) ++accessHistory_[page];
 }
 
-bool GdsFamilyStrategy::insert(const CacheEntry& entry) {
-  const double v =
-      value(frequency(entry.subCount, effectiveAccessCount(entry)),
-            entry.size);
+PSCD_HOT bool GdsFamilyStrategy::insert(const CacheEntry& entry) {
+  // The frequency term is identical before and after eviction (only the
+  // inflation offset inside value() moves), so probe the access-history
+  // hash once and reuse the result for both valuations.
+  const double freq = frequency(entry.subCount, effectiveAccessCount(entry));
+  const double v = value(freq, entry.size);
   std::optional<std::vector<ValueCache::StoredEntry>> evicted;
   if (config_.valueBasedAdmission) {
     evicted = cache_.tryEvictLowerThan(v, entry.size);
@@ -135,13 +138,11 @@ bool GdsFamilyStrategy::insert(const CacheEntry& entry) {
   noteEvictions(*evicted);
   // Assign the value with the post-eviction inflation, as in the
   // pseudo-code (evict first, then V(p) <- L + ...).
-  cache_.insertNoEvict(
-      entry, value(frequency(entry.subCount, effectiveAccessCount(entry)),
-                   entry.size));
+  cache_.insertNoEvict(entry, value(freq, entry.size));
   return true;
 }
 
-PushOutcome GdsFamilyStrategy::onPush(const PushContext& ctx) {
+PSCD_HOT PushOutcome GdsFamilyStrategy::onPush(const PushContext& ctx) {
   if (!config_.pushEnabled) return {false};
   CacheEntry entry;
   if (const auto prior = cache_.erase(ctx.page)) {
@@ -156,7 +157,8 @@ PushOutcome GdsFamilyStrategy::onPush(const PushContext& ctx) {
   return {insert(entry)};
 }
 
-RequestOutcome GdsFamilyStrategy::onRequest(const RequestContext& ctx) {
+PSCD_HOT RequestOutcome GdsFamilyStrategy::onRequest(
+    const RequestContext& ctx) {
   RequestOutcome out;
   noteAccess(ctx.page);
   if (const auto* cached = cache_.find(ctx.page)) {

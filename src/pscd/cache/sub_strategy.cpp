@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pscd/util/hot.h"
+
 namespace pscd {
 
 SubStrategy::SubStrategy(Bytes capacity, double fetchCost)
@@ -11,12 +13,12 @@ SubStrategy::SubStrategy(Bytes capacity, double fetchCost)
   }
 }
 
-double SubStrategy::value(std::uint32_t subCount, Bytes size) const {
+PSCD_HOT double SubStrategy::value(std::uint32_t subCount, Bytes size) const {
   return static_cast<double>(subCount) * fetchCost_ /
          static_cast<double>(size);
 }
 
-PushOutcome SubStrategy::onPush(const PushContext& ctx) {
+PSCD_HOT PushOutcome SubStrategy::onPush(const PushContext& ctx) {
   CacheEntry entry;
   if (const auto prior = cache_.erase(ctx.page)) entry = *prior;
   entry.page = ctx.page;
@@ -33,7 +35,7 @@ PushOutcome SubStrategy::onPush(const PushContext& ctx) {
   return {false};
 }
 
-RequestOutcome SubStrategy::onRequest(const RequestContext& ctx) {
+PSCD_HOT RequestOutcome SubStrategy::onRequest(const RequestContext& ctx) {
   RequestOutcome out;
   if (const auto* cached = cache_.find(ctx.page)) {
     if (cached->version == ctx.latestVersion) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -16,12 +17,13 @@ void ValueCache::setCapacity(Bytes capacity) {
   capacity_ = capacity;
 }
 
-const ValueCache::StoredEntry* ValueCache::find(PageId page) const {
+PSCD_HOT const ValueCache::StoredEntry* ValueCache::find(PageId page) const {
   const auto it = entries_.find(page);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-ValueCache::StoredEntry ValueCache::removeLowest(std::set<Key>::iterator it) {
+PSCD_HOT ValueCache::StoredEntry ValueCache::removeLowest(
+    std::set<Key>::iterator it) {
   const PageId page = it->second;
   index_.erase(it);
   const auto entryIt = entries_.find(page);
@@ -33,19 +35,22 @@ ValueCache::StoredEntry ValueCache::removeLowest(std::set<Key>::iterator it) {
   return removed;
 }
 
-std::optional<std::vector<ValueCache::StoredEntry>> ValueCache::evictFor(
-    Bytes size) {
+PSCD_HOT std::optional<std::vector<ValueCache::StoredEntry>>
+ValueCache::evictFor(Bytes size) {
   if (size > capacity_) return std::nullopt;
+  // pscd-lint: allow(alloc-in-hot) the eviction list escapes to the caller; empty when nothing is evicted
   std::vector<StoredEntry> evicted;
   while (free() < size) {
     PSCD_DCHECK(!index_.empty()) << "ValueCache::evictFor ran out of victims";
+    // pscd-lint: allow(grow-without-reserve) victim count depends on entry sizes and is unknowable before the walk
     evicted.push_back(removeLowest(index_.begin()));
   }
   return evicted;
 }
 
-std::optional<std::vector<ValueCache::StoredEntry>>
+PSCD_HOT std::optional<std::vector<ValueCache::StoredEntry>>
 ValueCache::tryEvictLowerThan(double value, Bytes size) {
+  // pscd-lint: allow(alloc-in-hot) empty-vector return on the fast path does not allocate
   if (free() >= size) return std::vector<StoredEntry>{};
   // First pass: can the candidates free enough space?
   Bytes reclaimable = free();
@@ -59,16 +64,19 @@ ValueCache::tryEvictLowerThan(double value, Bytes size) {
     }
   }
   if (!feasible) return std::nullopt;
+  // pscd-lint: allow(alloc-in-hot) the eviction list escapes to the caller
   std::vector<StoredEntry> evicted;
   while (free() < size) {
     PSCD_DCHECK(!index_.empty() && index_.begin()->first < value)
         << "ValueCache::tryEvictLowerThan evicting non-candidate";
+    // pscd-lint: allow(grow-without-reserve) victim count depends on entry sizes and is unknowable before the walk
     evicted.push_back(removeLowest(index_.begin()));
   }
   return evicted;
 }
 
-void ValueCache::insertNoEvict(const CacheEntry& entry, double value) {
+PSCD_HOT void ValueCache::insertNoEvict(const CacheEntry& entry,
+                                        double value) {
   if (entry.size > free()) {
     throw std::logic_error("ValueCache::insertNoEvict: no room");
   }
@@ -83,7 +91,8 @@ void ValueCache::insertNoEvict(const CacheEntry& entry, double value) {
   used_ += entry.size;
 }
 
-std::optional<ValueCache::StoredEntry> ValueCache::erase(PageId page) {
+PSCD_HOT std::optional<ValueCache::StoredEntry> ValueCache::erase(
+    PageId page) {
   const auto it = entries_.find(page);
   if (it == entries_.end()) return std::nullopt;
   StoredEntry removed = it->second;
@@ -93,18 +102,24 @@ std::optional<ValueCache::StoredEntry> ValueCache::erase(PageId page) {
   return removed;
 }
 
-void ValueCache::updateValue(PageId page, double value) {
+PSCD_HOT void ValueCache::updateValue(PageId page, double value) {
   const auto it = entries_.find(page);
   if (it == entries_.end()) {
     throw std::out_of_range("ValueCache::updateValue: page not cached");
   }
-  index_.erase({it->second.value, page});
+  // Re-key by extracting and reinserting the index node: every strategy
+  // touch lands here, and erase+emplace would free and reallocate a
+  // tree node per touch.
+  auto node = index_.extract(Key{it->second.value, page});
+  PSCD_DCHECK(!node.empty())
+      << "ValueCache::updateValue: index missing page " << page;
   it->second.value = value;
-  index_.emplace(value, page);
+  node.value().first = value;
+  index_.insert(std::move(node));
 }
 
-const ValueCache::StoredEntry& ValueCache::recordAccess(PageId page,
-                                                        SimTime now) {
+PSCD_HOT const ValueCache::StoredEntry& ValueCache::recordAccess(
+    PageId page, SimTime now) {
   const auto it = entries_.find(page);
   if (it == entries_.end()) {
     throw std::out_of_range("ValueCache::recordAccess: page not cached");
@@ -114,7 +129,7 @@ const ValueCache::StoredEntry& ValueCache::recordAccess(PageId page,
   return it->second;
 }
 
-double ValueCache::minValue() const {
+PSCD_HOT double ValueCache::minValue() const {
   if (index_.empty()) throw std::logic_error("ValueCache::minValue: empty");
   return index_.begin()->first;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -46,8 +47,8 @@ ContentDistributionEngine::pageState(PageId page) const {
   return it->second;
 }
 
-std::uint32_t ContentDistributionEngine::matchCount(const PageState& state,
-                                                    ProxyId proxy) const {
+PSCD_HOT std::uint32_t ContentDistributionEngine::matchCount(
+    const PageState& state, ProxyId proxy) const {
   const auto it = std::lower_bound(
       state.matches.begin(), state.matches.end(), proxy,
       [](const Notification& n, ProxyId p) { return n.proxy < p; });
@@ -55,7 +56,7 @@ std::uint32_t ContentDistributionEngine::matchCount(const PageState& state,
                                                            : 0;
 }
 
-PublishSummary ContentDistributionEngine::publish(
+PSCD_HOT PublishSummary ContentDistributionEngine::publish(
     const PublishEvent& event, const ContentAttributes& attrs,
     const PushFaults* faults) {
   if (event.size == 0) {
@@ -134,9 +135,8 @@ bool attemptFetch(const RequestFaults& faults, std::uint32_t& retries) {
 
 }  // namespace
 
-RequestSummary ContentDistributionEngine::request(ProxyId proxy, PageId page,
-                                                  SimTime now,
-                                                  const RequestFaults* faults) {
+PSCD_HOT RequestSummary ContentDistributionEngine::request(
+    ProxyId proxy, PageId page, SimTime now, const RequestFaults* faults) {
   if (proxy >= proxies_.size()) {
     throw std::out_of_range("ContentDistributionEngine: proxy out of range");
   }

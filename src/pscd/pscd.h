@@ -40,6 +40,8 @@
 #include "pscd/util/args.h"
 #include "pscd/util/csv.h"
 #include "pscd/util/distributions.h"
+#include "pscd/util/hot.h"
+#include "pscd/util/json.h"
 #include "pscd/util/log.h"
 #include "pscd/util/mutex.h"
 #include "pscd/util/rng.h"

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -24,8 +25,8 @@ bool Broker::unsubscribe(SubscriptionId id) {
   return engine_.removeSubscription(id);
 }
 
-void Broker::subscribeAggregated(ProxyId proxy, PageId page,
-                                 std::uint32_t count) {
+PSCD_HOT void Broker::subscribeAggregated(ProxyId proxy, PageId page,
+                                          std::uint32_t count) {
   if (proxy >= numProxies_) {
     throw std::out_of_range("Broker::subscribeAggregated: proxy out of range");
   }
@@ -41,8 +42,9 @@ void Broker::subscribeAggregated(ProxyId proxy, PageId page,
   }
 }
 
-std::uint32_t Broker::unsubscribeAggregated(ProxyId proxy, PageId page,
-                                            std::uint32_t count) {
+PSCD_HOT std::uint32_t Broker::unsubscribeAggregated(ProxyId proxy,
+                                                     PageId page,
+                                                     std::uint32_t count) {
   if (proxy >= numProxies_) {
     throw std::out_of_range(
         "Broker::unsubscribeAggregated: proxy out of range");
@@ -63,7 +65,8 @@ std::uint32_t Broker::unsubscribeAggregated(ProxyId proxy, PageId page,
   return removed;
 }
 
-std::uint32_t Broker::aggregatedCount(ProxyId proxy, PageId page) const {
+PSCD_HOT std::uint32_t Broker::aggregatedCount(ProxyId proxy,
+                                               PageId page) const {
   const auto pageIt = aggregated_.find(page);
   if (pageIt == aggregated_.end()) return 0;
   const auto& list = pageIt->second;
@@ -73,8 +76,10 @@ std::uint32_t Broker::aggregatedCount(ProxyId proxy, PageId page) const {
   return (it != list.end() && it->proxy == proxy) ? it->matchCount : 0;
 }
 
-std::vector<Notification> Broker::publish(const ContentAttributes& attrs) {
+PSCD_HOT std::vector<Notification> Broker::publish(
+    const ContentAttributes& attrs) {
   ++publishCount_;
+  // pscd-lint: allow(alloc-in-hot) the notification list escapes to the caller; default construction does not allocate
   std::vector<Notification> out;
 
   const auto pageIt = aggregated_.find(attrs.page);
@@ -83,6 +88,9 @@ std::vector<Notification> Broker::publish(const ContentAttributes& attrs) {
   if (engine_.size() > 0) {
     const MatchResult m = engine_.match(attrs);
     // Merge the (sorted) predicate-match counts into the aggregated list.
+    // Worst case every matched proxy is new to the list; one exact
+    // reserve keeps the sorted inserts from reallocating mid-merge.
+    out.reserve(out.size() + m.proxyCounts.size());
     for (const auto& [proxy, count] : m.proxyCounts) {
       const auto it = std::lower_bound(
           out.begin(), out.end(), proxy,

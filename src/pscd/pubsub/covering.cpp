@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pscd/util/hot.h"
+
 namespace pscd {
 
 namespace {
@@ -27,24 +29,39 @@ bool covers(const Subscription& a, const Subscription& b) {
                        predicateLess);
 }
 
-bool CoveringSet::add(Subscription sub) {
+PSCD_HOT bool coversNormalized(const std::vector<Predicate>& na,
+                               const std::vector<Predicate>& nb) {
+  if (na.empty()) return false;  // empty matches nothing
+  return std::includes(nb.begin(), nb.end(), na.begin(), na.end(),
+                       predicateLess);
+}
+
+PSCD_HOT bool CoveringSet::add(Subscription sub) {
+  // Normalize the newcomer once; members_ are canonical by construction,
+  // so every pairwise test below is an allocation-free std::includes
+  // (covers() would re-sort two fresh vectors per member).
   sub.conjuncts = normalizeConjuncts(std::move(sub.conjuncts));
   for (const Subscription& m : members_) {
-    if (covers(m, sub)) return false;
+    if (coversNormalized(m.conjuncts, sub.conjuncts)) return false;
   }
   // The newcomer may cover existing members: drop them.
-  std::erase_if(members_,
-                [&](const Subscription& m) { return covers(sub, m); });
+  std::erase_if(members_, [&](const Subscription& m) {
+    return coversNormalized(sub.conjuncts, m.conjuncts);
+  });
   members_.push_back(std::move(sub));
   return true;
 }
 
-bool CoveringSet::isCovered(const Subscription& sub) const {
+PSCD_HOT bool CoveringSet::isCovered(const Subscription& sub) const {
+  // One normalization of the probe, then allocation-free member tests.
+  const auto nsub = normalizeConjuncts(sub.conjuncts);
   return std::any_of(members_.begin(), members_.end(),
-                     [&](const Subscription& m) { return covers(m, sub); });
+                     [&](const Subscription& m) {
+                       return coversNormalized(m.conjuncts, nsub);
+                     });
 }
 
-bool CoveringSet::matches(const ContentAttributes& attrs) const {
+PSCD_HOT bool CoveringSet::matches(const ContentAttributes& attrs) const {
   return std::any_of(members_.begin(), members_.end(),
                      [&](const Subscription& m) { return m.matches(attrs); });
 }

@@ -19,6 +19,12 @@ std::vector<Predicate> normalizeConjuncts(std::vector<Predicate> conjuncts);
 /// are a subset of b's. Both inputs may be unnormalized.
 bool covers(const Subscription& a, const Subscription& b);
 
+/// Allocation-free covering test over conjunct lists that are already
+/// in canonical form (sorted + deduplicated, as normalizeConjuncts
+/// produces and CoveringSet maintains). The hot-path twin of covers().
+bool coversNormalized(const std::vector<Predicate>& na,
+                      const std::vector<Predicate>& nb);
+
 /// Maintains a covering-minimal set of subscriptions: add() absorbs new
 /// subscriptions that are already covered and evicts members the new
 /// subscription covers.

@@ -4,10 +4,11 @@
 #include <stdexcept>
 
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
-SubscriptionId MatchingEngine::addSubscription(Subscription sub) {
+PSCD_HOT SubscriptionId MatchingEngine::addSubscription(Subscription sub) {
   if (sub.conjuncts.empty()) {
     throw std::invalid_argument("addSubscription: empty conjunction");
   }
@@ -22,6 +23,7 @@ SubscriptionId MatchingEngine::addSubscription(Subscription sub) {
   subs_.push_back({sub.proxy,
                    static_cast<std::uint32_t>(sub.conjuncts.size()), true});
   for (const Predicate& p : sub.conjuncts) {
+    // pscd-lint: allow(map-bracket-insert) find-or-create is the intent: a miss must create the empty postings list
     index_[key(p.kind, p.value)].push_back(id);
   }
   ++liveCount_;
@@ -36,7 +38,8 @@ bool MatchingEngine::removeSubscription(SubscriptionId id) {
   return true;
 }
 
-MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
+PSCD_HOT MatchResult MatchingEngine::match(
+    const ContentAttributes& attrs) const {
   MatchResult result;
   if (subs_.empty()) return result;
 
@@ -55,6 +58,7 @@ MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
         hitCount_[id] = 0;
       }
       if (++hitCount_[id] == rec.numConjuncts) {
+        // pscd-lint: allow(grow-without-reserve) match cardinality is unknowable a priori; growth is amortized O(1)
         result.subscriptions.push_back(id);
       }
     }
@@ -64,22 +68,35 @@ MatchResult MatchingEngine::match(const ContentAttributes& attrs) const {
   scan(key(Predicate::Kind::kCategoryEq, attrs.category));
   // Deduplicate the keyword list: a keyword occurring twice in the
   // attributes must not advance a subscription's conjunct counter twice.
-  std::vector<std::uint32_t> keywords(attrs.keywords);
-  std::sort(keywords.begin(), keywords.end());
-  keywords.erase(std::unique(keywords.begin(), keywords.end()),
-                 keywords.end());
-  for (const std::uint32_t kw : keywords) {
+  // keywordScratch_ is a reused member, so steady-state matching does
+  // not allocate here.
+  keywordScratch_.assign(attrs.keywords.begin(), attrs.keywords.end());
+  std::sort(keywordScratch_.begin(), keywordScratch_.end());
+  keywordScratch_.erase(
+      std::unique(keywordScratch_.begin(), keywordScratch_.end()),
+      keywordScratch_.end());
+  for (const std::uint32_t kw : keywordScratch_) {
     scan(key(Predicate::Kind::kKeywordContains, kw));
   }
 
-  // Aggregate per proxy.
-  std::unordered_map<ProxyId, std::uint32_t> counts;
+  // Aggregate per proxy: collect (proxy, 1) pairs, sort, merge runs.
+  // One exact reserve + sort of a small vector replaces the previous
+  // per-event unordered_map (a rehashing allocation per match call).
+  auto& pc = result.proxyCounts;
+  pc.reserve(result.subscriptions.size());
   for (const SubscriptionId id : result.subscriptions) {
-    ++counts[subs_[id].proxy];
+    pc.emplace_back(subs_[id].proxy, 1u);
   }
-  // pscd-lint: allow(unordered-iter) hash order erased by the sort below
-  result.proxyCounts.assign(counts.begin(), counts.end());
-  std::sort(result.proxyCounts.begin(), result.proxyCounts.end());
+  std::sort(pc.begin(), pc.end());
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < pc.size(); ++r) {
+    if (w > 0 && pc[w - 1].first == pc[r].first) {
+      pc[w - 1].second += pc[r].second;
+    } else {
+      pc[w++] = pc[r];
+    }
+  }
+  pc.resize(w);
   return result;
 }
 

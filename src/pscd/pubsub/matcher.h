@@ -68,6 +68,9 @@ class MatchingEngine {
   mutable std::vector<std::uint32_t> hitCount_;
   mutable std::vector<std::uint64_t> stamp_;
   mutable std::uint64_t epoch_ = 0;
+  // Reused keyword-dedup buffer: match() assigns into it instead of
+  // constructing a fresh vector per event.
+  mutable std::vector<std::uint32_t> keywordScratch_;
 };
 
 }  // namespace pscd

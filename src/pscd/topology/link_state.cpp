@@ -5,6 +5,7 @@
 
 #include "pscd/topology/shortest_path.h"
 #include "pscd/util/check.h"
+#include "pscd/util/hot.h"
 
 namespace pscd {
 
@@ -27,7 +28,7 @@ void LinkState::setLinkUp(NodeId a, NodeId b) {
   if (downLinks_.erase(linkKey(a, b)) > 0) residualDirty_ = true;
 }
 
-bool LinkState::linkDown(NodeId a, NodeId b) const {
+PSCD_HOT bool LinkState::linkDown(NodeId a, NodeId b) const {
   return downLinks_.contains(linkKey(a, b));
 }
 
@@ -49,14 +50,15 @@ void LinkState::setProxyUp(ProxyId proxy) {
   }
 }
 
-bool LinkState::proxyDown(ProxyId proxy) const {
+PSCD_HOT bool LinkState::proxyDown(ProxyId proxy) const {
   PSCD_CHECK_LT(proxy, proxyDownMask_.size())
       << "LinkState: proxy off the overlay";
   return proxyDownMask_[proxy] != 0;
 }
 
-void LinkState::refreshResidual() const {
+PSCD_HOT void LinkState::refreshResidual() const {
   if (!residualDirty_) return;
+  // pscd-lint: allow(alloc-in-hot) one residual Dijkstra per topology change, gated by residualDirty_ above
   const std::vector<double> dist = shortestPaths(
       network_->graph(), network_->publisherNode(),
       [this](NodeId u, NodeId v) { return downLinks_.contains(linkKey(u, v)); });
@@ -69,7 +71,7 @@ void LinkState::refreshResidual() const {
   residualDirty_ = false;
 }
 
-double LinkState::fetchCost(ProxyId proxy) const {
+PSCD_HOT double LinkState::fetchCost(ProxyId proxy) const {
   PSCD_CHECK_LT(proxy, proxyDownMask_.size())
       << "LinkState: proxy off the overlay";
   if (downLinks_.empty()) return network_->fetchCost(proxy);  // seed fast path
@@ -77,11 +79,11 @@ double LinkState::fetchCost(ProxyId proxy) const {
   return residualCost_[proxy];
 }
 
-bool LinkState::pathToPublisher(ProxyId proxy) const {
+PSCD_HOT bool LinkState::pathToPublisher(ProxyId proxy) const {
   return std::isfinite(fetchCost(proxy));
 }
 
-bool LinkState::reachable(ProxyId proxy) const {
+PSCD_HOT bool LinkState::reachable(ProxyId proxy) const {
   return !proxyDown(proxy) && pathToPublisher(proxy);
 }
 

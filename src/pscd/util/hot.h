@@ -1,0 +1,32 @@
+// PSCD_HOT: hot-path annotation, consumed by two audiences.
+//
+// The compiler sees [[gnu::hot]] (GCC/Clang), which raises the
+// function's optimization priority and groups hot text together.
+//
+// pscd-lint sees the `PSCD_HOT` token at the definition site and
+// harvests the function that follows — name, parameter list, and
+// brace-matched body — into a *hot region*. The performance rule pack
+// (alloc-in-hot, grow-without-reserve, map-bracket-insert, copy-param,
+// copy-in-loop, shared-ptr-copy-in-hot; see DESIGN.md §11) fires only
+// inside hot regions, so per-event allocation and copy hygiene is
+// enforced exactly where throughput matters and nowhere else.
+//
+// Annotate the *definition* (the token stream of the .cpp file is what
+// the linter scopes), before the return type:
+//
+//   PSCD_HOT MatchResult MatchingEngine::match(
+//       const ContentAttributes& attrs) const { ... }
+//
+// Annotate only genuinely per-event code: matcher scans, covering
+// frontier maintenance, cache touch/evict, publish fan-out, residual
+// cost lookups. A PSCD_HOT function that violates a perf rule for a
+// sound reason (result vector escapes to the caller, one-off rebuild
+// guarded by a dirty flag) carries a justified allow(rule) suppression
+// directive like any other finding.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PSCD_HOT [[gnu::hot]]
+#else
+#define PSCD_HOT
+#endif

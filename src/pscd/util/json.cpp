@@ -1,0 +1,168 @@
+#include "pscd/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pscd {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || keyPending_) {
+    throw std::logic_error("JsonWriter: endObject without matching object");
+  }
+  out_ << '}';
+  stack_.pop_back();
+  hasElement_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: endArray without matching array");
+  }
+  out_ << ']';
+  stack_.pop_back();
+  hasElement_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || keyPending_) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (hasElement_.back()) out_ << ',';
+  hasElement_.back() = true;
+  out_ << '"' << jsonEscape(k) << "\":";
+  keyPending_ = true;
+  return *this;
+}
+
+void JsonWriter::beforeValue() {
+  if (keyPending_) {
+    keyPending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() != Frame::kArray) {
+      throw std::logic_error("JsonWriter: value in object without key()");
+    }
+    if (hasElement_.back()) out_ << ',';
+    hasElement_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ << '"' << jsonEscape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument("JsonWriter: non-finite number");
+  }
+  // Integral doubles print without a fraction; everything else uses
+  // round-trip precision. Both are locale-independent and stable.
+  char buf[32];
+  // pscd-lint: allow(float-compare) exact integrality test chooses the shorter formatting, never affects the value
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty() || keyPending_) {
+    throw std::logic_error("JsonWriter: document still open");
+  }
+  return out_.str();
+}
+
+bool writeTextFileAtomic(const std::string& path, const std::string& content,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " -> " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pscd

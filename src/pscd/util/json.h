@@ -1,0 +1,78 @@
+// Minimal streaming JSON emitter for the persisted BENCH_*.json
+// trajectory files. Deliberately write-only: keys appear in exactly the
+// order the caller emits them (stable across runs and platforms, so
+// bench output diffs cleanly PR-over-PR), numbers are formatted
+// deterministically, and the companion writeTextFileAtomic() lands the
+// document with the same tmp+rename pattern as the CSV sink so a
+// crashed or concurrent writer can never leave a torn file.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pscd {
+
+/// Escapes a string for use inside a JSON string literal (quotes,
+/// backslashes, control characters; everything else passes through).
+std::string jsonEscape(const std::string& s);
+
+/// Streaming writer. Usage:
+///
+///   JsonWriter w;
+///   w.beginObject();
+///   w.key("schema").value("pscd-bench-micro-v1");
+///   w.key("results").beginArray();
+///   ...
+///   w.endArray().endObject();
+///   writeTextFileAtomic(path, w.str(), &err);
+///
+/// The writer checks its own bracketing: str() throws std::logic_error
+/// when containers are still open, and value() without a pending key
+/// inside an object throws as well — emitter bugs fail loudly in tests
+/// instead of producing malformed trajectory files.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Emits an object key; must be directly inside an object, and must
+  /// be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+
+  /// The finished document; throws std::logic_error if any object or
+  /// array is still open.
+  std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void beforeValue();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> hasElement_;  // parallel to stack_
+  bool keyPending_ = false;
+};
+
+/// Writes `content` to `path` via a sibling ".tmp" file and an atomic
+/// rename. Returns false (with a message in *error when non-null) if
+/// the write or rename fails; the destination is never left partial.
+bool writeTextFileAtomic(const std::string& path, const std::string& content,
+                         std::string* error = nullptr);
+
+}  // namespace pscd

@@ -1,0 +1,131 @@
+// Tests for the shared bench flag/env parsing (bench/bench_common.h):
+// explicit flags beat PSCD_BENCH_* environment defaults, which beat the
+// builtin defaults, and every invalid input surfaces as kError with a
+// printable diagnostic instead of exiting.
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace pscd::bench {
+namespace {
+
+using EnvMap = std::map<std::string, std::string>;
+
+BenchEnvStatus parse(const std::vector<std::string>& flags, const EnvMap& env,
+                     BenchEnv* out, std::string* message) {
+  std::vector<const char*> argv = {"bench_test"};
+  for (const std::string& f : flags) argv.push_back(f.c_str());
+  const auto lookup = [&env](const char* name) -> const char* {
+    const auto it = env.find(name);
+    return it == env.end() ? nullptr : it->second.c_str();
+  };
+  return tryParseBenchEnv(static_cast<int>(argv.size()), argv.data(),
+                          "bench_test", "test driver", lookup, out, message);
+}
+
+TEST(BenchEnv, BuiltinDefaults) {
+  BenchEnv env;
+  std::string message;
+  ASSERT_EQ(parse({}, {}, &env, &message), BenchEnvStatus::kOk);
+  EXPECT_GE(env.jobs, 1u);  // --jobs 0 resolves to hardware concurrency
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+  EXPECT_TRUE(env.csvPath.empty());
+}
+
+TEST(BenchEnv, EnvironmentProvidesDefaults) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_JOBS", "2"},
+                       {"PSCD_BENCH_SCALE", "0.5"},
+                       {"PSCD_BENCH_CSV", "env.csv"}};
+  ASSERT_EQ(parse({}, vars, &env, &message), BenchEnvStatus::kOk);
+  EXPECT_EQ(env.jobs, 2u);
+  EXPECT_DOUBLE_EQ(env.scale, 0.5);
+  EXPECT_EQ(env.csvPath, "env.csv");
+}
+
+TEST(BenchEnv, FlagsOverrideEnvironment) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_JOBS", "2"},
+                       {"PSCD_BENCH_SCALE", "0.5"},
+                       {"PSCD_BENCH_CSV", "env.csv"}};
+  ASSERT_EQ(parse({"--jobs", "3", "--scale", "0.25", "--csv", "flag.csv"},
+                  vars, &env, &message),
+            BenchEnvStatus::kOk);
+  EXPECT_EQ(env.jobs, 3u);
+  EXPECT_DOUBLE_EQ(env.scale, 0.25);
+  EXPECT_EQ(env.csvPath, "flag.csv");
+}
+
+TEST(BenchEnv, EmptyEnvironmentValueFallsBackToBuiltin) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_SCALE", ""}};
+  ASSERT_EQ(parse({}, vars, &env, &message), BenchEnvStatus::kOk);
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+}
+
+TEST(BenchEnv, HelpReturnsHelpText) {
+  BenchEnv env;
+  std::string message;
+  EXPECT_EQ(parse({"--help"}, {}, &env, &message), BenchEnvStatus::kHelp);
+  EXPECT_NE(message.find("--jobs"), std::string::npos);
+  EXPECT_NE(message.find("--scale"), std::string::npos);
+}
+
+TEST(BenchEnv, UnknownFlagIsError) {
+  BenchEnv env;
+  std::string message;
+  EXPECT_EQ(parse({"--frobnicate"}, {}, &env, &message),
+            BenchEnvStatus::kError);
+  EXPECT_NE(message.find("bench_test:"), std::string::npos);
+}
+
+TEST(BenchEnv, OutOfRangeScaleIsError) {
+  BenchEnv env;
+  std::string message;
+  EXPECT_EQ(parse({"--scale", "2"}, {}, &env, &message),
+            BenchEnvStatus::kError);
+  EXPECT_NE(message.find("--scale"), std::string::npos);
+}
+
+TEST(BenchEnv, OutOfRangeScaleFromEnvironmentIsError) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_SCALE", "0"}};
+  EXPECT_EQ(parse({}, vars, &env, &message), BenchEnvStatus::kError);
+  EXPECT_NE(message.find("--scale"), std::string::npos);
+}
+
+TEST(BenchEnv, NegativeJobsFromEnvironmentIsError) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_JOBS", "-1"}};
+  EXPECT_EQ(parse({}, vars, &env, &message), BenchEnvStatus::kError);
+  EXPECT_NE(message.find("--jobs"), std::string::npos);
+}
+
+TEST(BenchEnv, MalformedJobsFromEnvironmentIsErrorNotThrow) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_JOBS", "many"}};
+  EXPECT_EQ(parse({}, vars, &env, &message), BenchEnvStatus::kError);
+  EXPECT_NE(message.find("--jobs"), std::string::npos);
+}
+
+TEST(BenchEnv, ValidFlagBeatsMalformedEnvironment) {
+  BenchEnv env;
+  std::string message;
+  const EnvMap vars = {{"PSCD_BENCH_SCALE", "bogus"}};
+  ASSERT_EQ(parse({"--scale", "0.75"}, vars, &env, &message),
+            BenchEnvStatus::kOk);
+  EXPECT_DOUBLE_EQ(env.scale, 0.75);
+}
+
+}  // namespace
+}  // namespace pscd::bench

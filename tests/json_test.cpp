@@ -1,0 +1,133 @@
+// Tests for the streaming JSON emitter: insertion-ordered keys, stable
+// number formatting, loud failure on bracketing misuse, and the atomic
+// tmp+rename file writer.
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "pscd/util/json.h"
+
+namespace pscd {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, KeysKeepInsertionOrder) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("zebra").value(1);
+  w.key("apple").value(2);
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"zebra\":1,\"apple\":2}");
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("schema").value("pscd-bench-micro-v1");
+  w.key("ok").value(true);
+  w.key("results").beginArray();
+  w.beginObject();
+  w.key("n").value(std::uint64_t{1000});
+  w.endObject();
+  w.value(-3);
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"schema\":\"pscd-bench-micro-v1\",\"ok\":true,"
+            "\"results\":[{\"n\":1000},-3]}");
+}
+
+TEST(JsonWriter, NumberFormattingIsStable) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(2.0);     // integral double: no fraction
+  w.value(0.5);     // exact binary fraction: shortest form
+  w.value(-7.0);
+  w.endArray();
+  EXPECT_EQ(w.str(), "[2,0.5,-7]");
+}
+
+TEST(JsonWriter, NonFiniteNumbersThrow) {
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.value(std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.value(std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
+  }
+}
+
+TEST(JsonWriter, BracketingMisuseThrows) {
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key()
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.endObject(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.str(), std::logic_error);  // document still open
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    w.key("k");
+    EXPECT_THROW(w.endObject(), std::logic_error);  // dangling key
+  }
+}
+
+TEST(WriteTextFileAtomic, WritesAndOverwrites) {
+  const std::string path = testing::TempDir() + "pscd_json_atomic.json";
+  std::string error;
+  ASSERT_TRUE(writeTextFileAtomic(path, "{\"v\":1}", &error)) << error;
+  EXPECT_EQ(slurp(path), "{\"v\":1}");
+  ASSERT_TRUE(writeTextFileAtomic(path, "{\"v\":2}", &error)) << error;
+  EXPECT_EQ(slurp(path), "{\"v\":2}");
+  // The temp sibling never outlives a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(WriteTextFileAtomic, FailureReportsError) {
+  const std::string path =
+      testing::TempDir() + "no_such_dir_pscd/deep/out.json";
+  std::string error;
+  EXPECT_FALSE(writeTextFileAtomic(path, "x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace pscd

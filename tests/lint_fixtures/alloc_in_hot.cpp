@@ -1,0 +1,30 @@
+// Fixture: allocations inside a PSCD_HOT body. The identical
+// constructions in the un-annotated twin below must stay silent — the
+// perf rules are scoped to hot regions, not to the whole file.
+// pscd-lint: as-path(src/pscd/util/alloc_in_hot_fixture.cpp)
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Scanner {
+  PSCD_HOT int scan(int n) {
+    std::vector<int> tmp;  // pscd-lint: expect(alloc-in-hot)
+    auto boxed = std::make_unique<int>(n);  // pscd-lint: expect(alloc-in-hot)
+    auto shared = std::make_shared<int>(n);  // pscd-lint: expect(alloc-in-hot)
+    std::string label(static_cast<std::size_t>(n), 'x');  // pscd-lint: expect(alloc-in-hot)
+    tmp.resize(static_cast<std::size_t>(*boxed + *shared));
+    return static_cast<int>(tmp.size() + label.size());
+  }
+
+  int cold(int n) {
+    std::vector<int> fine;  // not a hot region: no finding
+    fine.resize(static_cast<std::size_t>(n));
+    return static_cast<int>(fine.size());
+  }
+};
+
+}  // namespace fixture

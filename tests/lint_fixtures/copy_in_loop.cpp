@@ -1,0 +1,25 @@
+// Fixture: a range-for binding elements by value (auto, no &) inside a
+// PSCD_HOT body fires; const-reference and mutable-reference bindings
+// stay silent.
+// pscd-lint: as-path(src/pscd/util/copy_in_loop_fixture.cpp)
+#include <string>
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Joiner {
+  PSCD_HOT std::size_t total(const std::vector<std::string>& parts) {
+    std::size_t sum = 0;
+    for (auto part : parts) {  // pscd-lint: expect(copy-in-loop)
+      sum += part.size();
+    }
+    for (const auto& part : parts) {
+      sum += part.size();  // by reference: no finding
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: by-value heavy parameters on PSCD_HOT functions fire; the
+// const-reference twins stay silent, and the rule also covers hot
+// declarations without bodies.
+// pscd-lint: as-path(src/pscd/util/copy_param_fixture.cpp)
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Handler {
+  PSCD_HOT int consume(std::string name,  // pscd-lint: expect(copy-param)
+                       const std::vector<int>& xs) {
+    return static_cast<int>(name.size() + xs.size());
+  }
+
+  PSCD_HOT int retain(std::shared_ptr<int> owner) {  // pscd-lint: expect(copy-param)
+    return owner ? *owner : 0;
+  }
+
+  // Declaration-only hot function: the parameter scan still applies.
+  PSCD_HOT int forward(std::vector<int> xs);  // pscd-lint: expect(copy-param)
+
+  PSCD_HOT int inspect(const std::string& name) {  // const&: no finding
+    return static_cast<int>(name.size());
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: a hot loop growing a vector with no reserve() in the same
+// function fires; the reserved twin stays silent.
+// pscd-lint: as-path(src/pscd/util/grow_without_reserve_fixture.cpp)
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Builder {
+  PSCD_HOT std::vector<int> build(const std::vector<int>& xs) {
+    // pscd-lint: allow(alloc-in-hot) fixture: this file exercises the growth rule
+    std::vector<int> out;
+    for (const int x : xs) {
+      out.push_back(x);  // pscd-lint: expect(grow-without-reserve)
+    }
+    // pscd-lint: allow(alloc-in-hot) fixture: reserved twin must stay silent below
+    std::vector<int> good;
+    good.reserve(xs.size());
+    for (const int x : xs) {
+      good.push_back(x);  // reserve() above: no finding
+    }
+    out.insert(out.end(), good.begin(), good.end());
+    return out;
+  }
+};
+
+}  // namespace fixture

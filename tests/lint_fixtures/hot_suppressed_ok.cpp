@@ -1,0 +1,24 @@
+// Fixture: a PSCD_HOT function whose perf findings all carry justified
+// allow() suppressions — strict mode must report nothing, and the
+// strict suppression-hygiene pass verifies every allow() is actually
+// used (an unused one would itself be a lint-directive finding).
+// pscd-lint: as-path(src/pscd/util/hot_suppressed_fixture.cpp)
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Collector {
+  PSCD_HOT std::vector<int> collect(int n) {
+    // pscd-lint: allow(alloc-in-hot) fixture: the result escapes to the caller
+    std::vector<int> out;
+    for (int i = 0; i < n; ++i) {
+      // pscd-lint: allow(grow-without-reserve) fixture: growth bounded by caller-validated n
+      out.push_back(i);
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: map operator[] in a hot loop fires (a miss default-constructs
+// the mapped value every iteration); the same access outside a loop is
+// a one-off and stays silent.
+// pscd-lint: as-path(src/pscd/util/map_bracket_insert_fixture.cpp)
+#include <unordered_map>
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Histogram {
+  std::unordered_map<int, int> counts_;
+
+  PSCD_HOT void add(const std::vector<int>& keys) {
+    for (const int k : keys) {
+      ++counts_[k];  // pscd-lint: expect(map-bracket-insert)
+    }
+    counts_[0] += 1;  // not in a loop: no finding
+  }
+};
+
+}  // namespace fixture

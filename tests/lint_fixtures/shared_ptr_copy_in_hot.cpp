@@ -1,0 +1,24 @@
+// Fixture: copying a shared_ptr (refcount bump) inside a PSCD_HOT body
+// fires; moves, make_shared initialization, and default construction
+// stay silent.
+// pscd-lint: as-path(src/pscd/util/shared_ptr_copy_fixture.cpp)
+#include <memory>
+#include <utility>
+
+#include "pscd/util/hot.h"
+
+namespace fixture {
+
+struct Router {
+  std::shared_ptr<int> route_;
+
+  PSCD_HOT int send(int v) {
+    std::shared_ptr<int> copy = route_;  // pscd-lint: expect(shared-ptr-copy-in-hot)
+    std::shared_ptr<int> moved = std::move(copy);  // move: no finding
+    std::shared_ptr<int> empty;  // default construction: no finding
+    empty = moved;
+    return empty ? *empty + v : v;
+  }
+};
+
+}  // namespace fixture

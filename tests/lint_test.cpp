@@ -445,6 +445,151 @@ TEST(Driver, CheckFixturesPassesAndFails) {
   EXPECT_NE(output.find("DID NOT FIRE"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Hot regions and the performance rule pack
+// ---------------------------------------------------------------------------
+
+TEST(HotRegions, HarvestsNameParamsAndBody) {
+  const LexResult r = lex(
+      "PSCD_HOT int fast(int a) { return a; }\n"
+      "int cold(int b) { return b; }\n"
+      "PSCD_HOT void decl(std::vector<int> xs);\n");
+  const auto regions = collectHotRegions(r.tokens);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].name, "fast");
+  EXPECT_GT(regions[0].paramEnd, regions[0].paramBegin);
+  EXPECT_GT(regions[0].bodyBegin, regions[0].paramEnd);
+  EXPECT_GT(regions[0].bodyEnd, regions[0].bodyBegin);
+  EXPECT_EQ(regions[1].name, "decl");
+  EXPECT_EQ(regions[1].bodyBegin, -1);  // declaration-only
+}
+
+TEST(HotRegions, SkipsNoexceptAndMemberInitParens) {
+  const LexResult r = lex(
+      "struct S {\n"
+      "  int v;\n"
+      "  PSCD_HOT explicit S(int a) noexcept : v(a) { v += 1; }\n"
+      "};\n");
+  const auto regions = collectHotRegions(r.tokens);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].name, "S");
+  ASSERT_GE(regions[0].bodyBegin, 0);
+  EXPECT_EQ(r.tokens[static_cast<std::size_t>(regions[0].bodyBegin)].text,
+            "{");
+  EXPECT_GT(regions[0].bodyEnd, regions[0].bodyBegin);
+}
+
+TEST(PerfRules, AllocInHotFiresOnlyInHotBodies) {
+  const auto hot = run(
+      "src/pscd/a.cpp", "PSCD_HOT int f() { std::vector<int> v; return 0; }\n");
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].rule, "alloc-in-hot");
+  const auto cold =
+      run("src/pscd/a.cpp", "int f() { std::vector<int> v; return 0; }\n");
+  EXPECT_TRUE(cold.empty());
+}
+
+TEST(PerfRules, GrowWithoutReserveWantsAReserveCall) {
+  const auto fires = run("src/pscd/a.cpp",
+                         "PSCD_HOT void f(std::vector<int>& out) {\n"
+                         "  for (int i = 0; i < 9; ++i) out.push_back(i);\n"
+                         "}\n");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].rule, "grow-without-reserve");
+  const auto silent = run("src/pscd/a.cpp",
+                          "PSCD_HOT void f(std::vector<int>& out) {\n"
+                          "  out.reserve(9);\n"
+                          "  for (int i = 0; i < 9; ++i) out.push_back(i);\n"
+                          "}\n");
+  EXPECT_TRUE(silent.empty());
+}
+
+TEST(PerfRules, MapBracketInsertFiresInsideLoopsOnly) {
+  const auto fires = run(
+      "src/pscd/a.cpp",
+      "struct S {\n"
+      "  std::unordered_map<int, int> counts_;\n"
+      "  PSCD_HOT void f() {\n"
+      "    for (int i = 0; i < 9; ++i) counts_[i] = 1;\n"
+      "  }\n"
+      "};\n");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].rule, "map-bracket-insert");
+  const auto silent = run(
+      "src/pscd/a.cpp",
+      "struct S {\n"
+      "  std::unordered_map<int, int> counts_;\n"
+      "  PSCD_HOT void f() { counts_[0] = 1; }\n"
+      "};\n");
+  EXPECT_TRUE(silent.empty());
+}
+
+TEST(PerfRules, CopyParamFiresOnDeclarationsToo) {
+  const auto fires =
+      run("src/pscd/a.cpp", "PSCD_HOT int f(std::vector<int> xs);\n");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].rule, "copy-param");
+  const auto silent = run(
+      "src/pscd/a.cpp",
+      "PSCD_HOT int f(const std::vector<int>& xs) { return 0; }\n");
+  EXPECT_TRUE(silent.empty());
+}
+
+TEST(PerfRules, CopyInLoopWantsAReferenceBinding) {
+  const auto fires = run("src/pscd/a.cpp",
+                         "PSCD_HOT int f(const std::vector<long>& xs) {\n"
+                         "  int n = 0;\n"
+                         "  for (auto x : xs) n += 1;\n"
+                         "  return n;\n"
+                         "}\n");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].rule, "copy-in-loop");
+  const auto silent = run("src/pscd/a.cpp",
+                          "PSCD_HOT int f(const std::vector<long>& xs) {\n"
+                          "  int n = 0;\n"
+                          "  for (const auto& x : xs) n += 1;\n"
+                          "  return n;\n"
+                          "}\n");
+  EXPECT_TRUE(silent.empty());
+}
+
+TEST(PerfRules, SharedPtrCopyFiresButMoveIsSilent) {
+  const auto fires =
+      run("src/pscd/a.cpp",
+          "PSCD_HOT void f(const std::shared_ptr<int>& p) {\n"
+          "  std::shared_ptr<int> q = p;\n"
+          "}\n");
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].rule, "shared-ptr-copy-in-hot");
+  const auto silent =
+      run("src/pscd/a.cpp",
+          "PSCD_HOT void f(std::shared_ptr<int>&& p) {\n"
+          "  std::shared_ptr<int> q = std::move(p);\n"
+          "}\n");
+  EXPECT_TRUE(silent.empty());
+}
+
+TEST(PerfRules, HotFindingsAreSuppressible) {
+  const auto f = run(
+      "src/pscd/a.cpp",
+      "PSCD_HOT std::vector<int> f() {\n"
+      "  std::vector<int> v;  // pscd-lint: allow(alloc-in-hot) escapes\n"
+      "  return v;\n"
+      "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Driver, GithubModeEmitsWorkflowAnnotations) {
+  const std::string path =
+      writeTemp("pscd_lint_gh.cpp", "std::mt19937 gen(1);\n");
+  std::string output;
+  EXPECT_EQ(runWith({"--github", path}, &output), 1);
+  EXPECT_NE(output.find("::error file="), std::string::npos);
+  // ':' in the title property is %-escaped per the workflow-command rules.
+  EXPECT_NE(output.find("title=pscd-lint%3A random-source"),
+            std::string::npos);
+}
+
 TEST(Driver, ExcludeSkipsPrefix) {
   namespace fs = std::filesystem;
   const std::string dir = testing::TempDir() + "pscd_lint_exclude_dir/";

@@ -55,10 +55,13 @@ Analysis analyzeSource(const std::string& displayPath,
   DeclInfo decls = collectDecls(lexed.tokens);
   mergeDecls(decls, headerDecls);
 
+  std::vector<HotRegion> hotRegions = collectHotRegions(lexed.tokens);
+
   FileContext ctx;
   ctx.effectivePath = effectivePath;
   ctx.tokens = &lexed.tokens;
   ctx.decls = &decls;
+  ctx.hotRegions = &hotRegions;
 
   std::vector<Finding> raw;
   for (const Rule& rule : ruleRegistry()) {
@@ -151,6 +154,7 @@ struct Options {
   bool listRules = false;
   bool fixHints = false;
   bool checkFixtures = false;
+  bool github = false;
   std::vector<std::string> excludes;
   std::vector<std::string> paths;
 };
@@ -167,6 +171,9 @@ int usage(std::ostream& err, const std::string& message) {
          "  --strict          also fail on unused or unknown pscd-lint\n"
          "                    suppression directives\n"
          "  --fix-hints       print a remediation hint under each finding\n"
+         "  --github          additionally emit GitHub Actions '::error'\n"
+         "                    workflow commands so findings annotate the\n"
+         "                    PR diff inline\n"
          "  --exclude PREFIX  skip files whose path starts with PREFIX\n"
          "  --check-fixtures  fixture mode: every '// pscd-lint: expect(r)'\n"
          "                    must fire, nothing else may, and every\n"
@@ -190,6 +197,8 @@ bool parseArgs(const std::vector<std::string>& args, Options* opts,
       opts->fixHints = true;
     } else if (a == "--check-fixtures") {
       opts->checkFixtures = true;
+    } else if (a == "--github") {
+      opts->github = true;
     } else if (a == "--exclude") {
       if (i + 1 >= args.size()) {
         *exitCode = usage(err, "--exclude needs a path prefix");
@@ -255,14 +264,53 @@ const Rule* findRule(const std::string& name) {
   return nullptr;
 }
 
+/// Escapes a GitHub Actions workflow-command *property* value
+/// (file=..., title=...). Properties additionally escape ':' and ','.
+std::string githubEscapeProperty(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += "%3A"; break;
+      case ',': out += "%2C"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a workflow-command *message* (the part after `::`).
+std::string githubEscapeMessage(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 void printFindings(const std::vector<Finding>& findings, bool fixHints,
-                   std::ostream& out) {
+                   bool github, std::ostream& out) {
   for (const Finding& f : findings) {
     out << f.path << ':' << f.line << ':' << f.rule << ": " << f.message
         << "\n";
     if (fixHints) {
       const Rule* rule = findRule(f.rule);
       if (rule != nullptr) out << "    hint: " << rule->hint << "\n";
+    }
+    if (github) {
+      out << "::error file=" << githubEscapeProperty(f.path)
+          << ",line=" << f.line
+          << ",title=" << githubEscapeProperty("pscd-lint: " + f.rule)
+          << "::" << githubEscapeMessage(f.message) << "\n";
     }
   }
 }
@@ -366,7 +414,7 @@ int runLint(const std::vector<std::string>& args, std::ostream& out,
     all.insert(all.end(), a.findings.begin(), a.findings.end());
   }
   std::sort(all.begin(), all.end());
-  printFindings(all, opts.fixHints, out);
+  printFindings(all, opts.fixHints, opts.github, out);
   if (!all.empty()) {
     out << "pscd_lint: " << all.size() << " finding"
         << (all.size() == 1 ? "" : "s") << " in " << files.size()

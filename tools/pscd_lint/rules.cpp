@@ -70,9 +70,14 @@ DeclInfo collectDecls(const Tokens& toks) {
   for (int i = 0; i < n; ++i) {
     const Token& t = toks[i];
     if (t.kind != Token::Kind::kIdent) continue;
-    if ((t.text == "unordered_map" || t.text == "unordered_set" ||
-         t.text == "unordered_multimap" || t.text == "unordered_multiset") &&
-        i + 1 < n && isPunct(toks[i + 1], "<")) {
+    const bool isUnorderedType =
+        t.text == "unordered_map" || t.text == "unordered_set" ||
+        t.text == "unordered_multimap" || t.text == "unordered_multiset";
+    const bool isMapType = t.text == "unordered_map" ||
+                           t.text == "unordered_multimap" ||
+                           t.text == "map" || t.text == "multimap";
+    if ((isUnorderedType || isMapType) && i + 1 < n &&
+        isPunct(toks[i + 1], "<")) {
       int j = skipTemplateArgs(toks, i + 1);
       if (j < 0) continue;
       // Optional ::iterator / ::const_iterator, then cv/ref qualifiers.
@@ -84,8 +89,10 @@ DeclInfo collectDecls(const Tokens& toks) {
       while (j < n && (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
                        isIdent(toks[j], "const")))
         ++j;
-      if (j < n && toks[j].kind == Token::Kind::kIdent)
-        info.unorderedNames.insert(toks[j].text);
+      if (j < n && toks[j].kind == Token::Kind::kIdent) {
+        if (isUnorderedType) info.unorderedNames.insert(toks[j].text);
+        if (isMapType) info.mapNames.insert(toks[j].text);
+      }
     } else if (t.text == "vector" && i + 1 < n && isPunct(toks[i + 1], "<")) {
       int j = skipTemplateArgs(toks, i + 1);
       if (j < 0) continue;
@@ -122,6 +129,94 @@ void mergeDecls(DeclInfo& into, const DeclInfo& from) {
   into.ptrVectorNames.insert(from.ptrVectorNames.begin(),
                              from.ptrVectorNames.end());
   into.floatNames.insert(from.floatNames.begin(), from.floatNames.end());
+  into.mapNames.insert(from.mapNames.begin(), from.mapNames.end());
+}
+
+// ---------------------------------------------------------------------------
+// Hot-region harvesting (PSCD_HOT, see src/pscd/util/hot.h)
+// ---------------------------------------------------------------------------
+
+std::vector<HotRegion> collectHotRegions(const Tokens& toks) {
+  std::vector<HotRegion> regions;
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    if (!isIdent(toks[i], "PSCD_HOT")) continue;
+    HotRegion r;
+    r.line = toks[i].line;
+    // The parameter list is the first '(' directly preceded by an
+    // identifier (the function name — skips over the return type,
+    // including templated ones, whose '<'...'>' contain no parens).
+    int open = -1;
+    for (int j = i + 1; j < n; ++j) {
+      if (isPunct(toks[j], ";") || isPunct(toks[j], "{")) break;
+      if (isPunct(toks[j], "(") && toks[j - 1].kind == Token::Kind::kIdent) {
+        open = j;
+        break;
+      }
+    }
+    if (open < 0) continue;  // annotation on a non-function; ignore
+    r.name = toks[open - 1].text;
+    r.paramBegin = open;
+    int depth = 0;
+    for (int j = open; j < n; ++j) {
+      if (isPunct(toks[j], "(")) {
+        ++depth;
+      } else if (isPunct(toks[j], ")")) {
+        if (--depth == 0) {
+          r.paramEnd = j;
+          break;
+        }
+      }
+    }
+    if (r.paramEnd < 0) continue;
+    // After the parameter list: cv-qualifiers, ref-qualifiers,
+    // noexcept(...), override/final, trailing return types, and
+    // paren-style member-initializer lists may all precede the body.
+    // Skip balanced paren groups; the first top-level '{' opens the
+    // body, a ';' means declaration-only (copy-param still applies).
+    // Known limitation: a brace-init member initializer (`: f_{x}`)
+    // would be mistaken for the body — this codebase initializes with
+    // parens.
+    int j = r.paramEnd + 1;
+    while (j < n) {
+      if (isPunct(toks[j], ";")) break;
+      if (isPunct(toks[j], "{")) {
+        r.bodyBegin = j;
+        break;
+      }
+      if (isPunct(toks[j], "(")) {
+        int d = 0;
+        for (; j < n; ++j) {
+          if (isPunct(toks[j], "(")) {
+            ++d;
+          } else if (isPunct(toks[j], ")")) {
+            if (--d == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      ++j;
+    }
+    if (r.bodyBegin >= 0) {
+      int d = 0;
+      for (int k = r.bodyBegin; k < n; ++k) {
+        if (isPunct(toks[k], "{")) {
+          ++d;
+        } else if (isPunct(toks[k], "}")) {
+          if (--d == 0) {
+            r.bodyEnd = k;
+            break;
+          }
+        }
+      }
+      if (r.bodyEnd < 0) continue;  // unbalanced braces: bail out
+    }
+    regions.push_back(std::move(r));
+  }
+  return regions;
 }
 
 namespace {
@@ -134,6 +229,16 @@ bool anywhere(const std::string&) { return true; }
 bool inLibrary(const std::string& p) { return startsWith(p, "src/"); }
 bool inCore(const std::string& p) { return startsWith(p, "src/pscd/"); }
 bool notInTests(const std::string& p) { return !startsWith(p, "tests/"); }
+// Self-lint: the linter holds itself to library policy too.
+bool inLintTool(const std::string& p) {
+  return startsWith(p, "tools/pscd_lint/");
+}
+bool inLibraryOrLintTool(const std::string& p) {
+  return inLibrary(p) || inLintTool(p);
+}
+bool inCoreOrLintTool(const std::string& p) {
+  return inCore(p) || inLintTool(p);
+}
 
 // ---------------------------------------------------------------------------
 // determinism: wall-clock
@@ -489,6 +594,286 @@ void checkEnvAccess(const FileContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// performance: hot-region rule pack (PSCD_HOT scopes)
+// ---------------------------------------------------------------------------
+
+/// Token-index ranges (inclusive) of loop bodies — `for`/`while`/`do`
+/// statements, braced or single-statement — within [from, to]. Nested
+/// loops each contribute their own (overlapping) range.
+std::vector<std::pair<int, int>> collectLoopBodies(const Tokens& toks,
+                                                   int from, int to) {
+  std::vector<std::pair<int, int>> out;
+  for (int i = from; i <= to; ++i) {
+    int bodyStart = -1;
+    if ((isIdent(toks[i], "for") || isIdent(toks[i], "while")) &&
+        i + 1 <= to && isPunct(toks[i + 1], "(")) {
+      int depth = 0, close = -1;
+      for (int j = i + 1; j <= to; ++j) {
+        if (isPunct(toks[j], "(")) {
+          ++depth;
+        } else if (isPunct(toks[j], ")")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        }
+      }
+      if (close < 0) continue;
+      bodyStart = close + 1;
+      // `do { ... } while (cond);` — the trailing while owns no body.
+      if (bodyStart > to || isPunct(toks[bodyStart], ";")) continue;
+    } else if (isIdent(toks[i], "do")) {
+      bodyStart = i + 1;
+    } else {
+      continue;
+    }
+    if (bodyStart > to) continue;
+    if (isPunct(toks[bodyStart], "{")) {
+      int d = 0;
+      for (int k = bodyStart; k <= to; ++k) {
+        if (isPunct(toks[k], "{")) {
+          ++d;
+        } else if (isPunct(toks[k], "}")) {
+          if (--d == 0) {
+            out.emplace_back(bodyStart, k);
+            break;
+          }
+        }
+      }
+    } else {
+      // Single-statement body: up to the ';' at paren depth 0.
+      int d = 0;
+      for (int k = bodyStart; k <= to; ++k) {
+        if (isPunct(toks[k], "(")) {
+          ++d;
+        } else if (isPunct(toks[k], ")")) {
+          --d;
+        } else if (d == 0 && isPunct(toks[k], ";")) {
+          out.emplace_back(bodyStart, k);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool memberCallBefore(const Tokens& toks, int i) {
+  return i > 0 && (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->"));
+}
+
+void checkAllocInHot(const FileContext& ctx, std::vector<Finding>& out) {
+  static const std::set<std::string> kContainers = {
+      "vector", "string",        "unordered_map", "unordered_set",
+      "map",    "set",           "deque",         "list",
+      "function", "stringstream", "ostringstream"};
+  const Tokens& toks = *ctx.tokens;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.bodyBegin < 0) continue;
+    for (int i = r.bodyBegin + 1; i < r.bodyEnd; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "new") {
+        addFinding(out, ctx, t.line, "alloc-in-hot",
+                   "'new' inside PSCD_HOT '" + r.name +
+                       "'; hoist the allocation out of the hot path or "
+                       "reuse a scratch buffer");
+        continue;
+      }
+      if (t.text == "make_unique" || t.text == "make_shared") {
+        addFinding(out, ctx, t.line, "alloc-in-hot",
+                   "'" + t.text + "' allocates inside PSCD_HOT '" + r.name +
+                       "'; hoist the allocation out of the hot path");
+        continue;
+      }
+      if (!kContainers.count(t.text)) continue;
+      // A local declaration or temporary construction of an allocating
+      // type: `std::vector<T> v`, `std::string(...)`, `std::function<...>
+      // f = lambda`. References, pointers, and nested template args are
+      // not constructions and stay silent.
+      int j = i + 1;
+      if (j < r.bodyEnd && isPunct(toks[j], "<")) {
+        j = skipTemplateArgs(toks, j);
+        if (j < 0 || j >= r.bodyEnd) continue;
+      }
+      if (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+          isPunct(toks[j], "::"))
+        continue;
+      if (toks[j].kind == Token::Kind::kIdent && !isIdent(toks[j], "const")) {
+        addFinding(out, ctx, t.line, "alloc-in-hot",
+                   "local '" + t.text + "' constructed inside PSCD_HOT '" +
+                       r.name +
+                       "'; hoist to a reused scratch member or take it "
+                       "from the caller");
+      } else if (isPunct(toks[j], "(") || isPunct(toks[j], "{")) {
+        addFinding(out, ctx, t.line, "alloc-in-hot",
+                   "temporary '" + t.text + "' constructed inside PSCD_HOT '" +
+                       r.name + "'; build it once outside the hot path");
+      }
+    }
+  }
+}
+
+void checkGrowWithoutReserve(const FileContext& ctx,
+                             std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.bodyBegin < 0) continue;
+    // Containers that see a .reserve( anywhere in this function.
+    std::set<std::string> reserved;
+    for (int i = r.bodyBegin + 1; i < r.bodyEnd; ++i) {
+      if (isIdent(toks[i], "reserve") && memberCallBefore(toks, i) &&
+          i + 1 < r.bodyEnd && isPunct(toks[i + 1], "(") && i >= 2 &&
+          toks[i - 2].kind == Token::Kind::kIdent) {
+        reserved.insert(toks[i - 2].text);
+      }
+    }
+    for (const auto& [lb, le] : collectLoopBodies(toks, r.bodyBegin + 1,
+                                                  r.bodyEnd - 1)) {
+      for (int i = lb; i <= le; ++i) {
+        if (!(isIdent(toks[i], "push_back") || isIdent(toks[i], "emplace_back")))
+          continue;
+        if (!memberCallBefore(toks, i)) continue;
+        if (!(i + 1 <= le && isPunct(toks[i + 1], "("))) continue;
+        if (i < 2 || toks[i - 2].kind != Token::Kind::kIdent) continue;
+        const std::string& base = toks[i - 2].text;
+        if (reserved.count(base)) continue;
+        addFinding(out, ctx, toks[i].line, "grow-without-reserve",
+                   "'" + base + "." + toks[i].text +
+                       "' grows in a loop inside PSCD_HOT '" + r.name +
+                       "' with no reserve() in this function; reserve the "
+                       "expected size before the loop");
+      }
+    }
+  }
+}
+
+void checkMapBracketInsert(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  const std::set<std::string>& maps = ctx.decls->mapNames;
+  if (maps.empty()) return;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.bodyBegin < 0) continue;
+    for (const auto& [lb, le] : collectLoopBodies(toks, r.bodyBegin + 1,
+                                                  r.bodyEnd - 1)) {
+      for (int i = lb; i + 1 <= le; ++i) {
+        if (toks[i].kind != Token::Kind::kIdent || !maps.count(toks[i].text))
+          continue;
+        if (!isPunct(toks[i + 1], "[")) continue;
+        addFinding(out, ctx, toks[i].line, "map-bracket-insert",
+                   "map operator[] on '" + toks[i].text +
+                       "' in a loop inside PSCD_HOT '" + r.name +
+                       "'; operator[] default-constructs on miss — use "
+                       "find()/try_emplace() and reuse the iterator");
+      }
+    }
+  }
+}
+
+void checkCopyParam(const FileContext& ctx, std::vector<Finding>& out) {
+  static const std::set<std::string> kHeavy = {
+      "string", "vector", "shared_ptr", "function", "map",
+      "unordered_map", "set", "unordered_set", "deque"};
+  const Tokens& toks = *ctx.tokens;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.paramBegin < 0 || r.paramEnd <= r.paramBegin) continue;
+    for (int i = r.paramBegin + 1; i < r.paramEnd; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent || !kHeavy.count(t.text)) continue;
+      int j = i + 1;
+      if (j < r.paramEnd && isPunct(toks[j], "<")) {
+        j = skipTemplateArgs(toks, j);
+        if (j < 0 || j > r.paramEnd) continue;
+      }
+      // By value iff the parameter name follows directly; '&' and '*'
+      // are pass-by-reference/pointer, anything else (a '>' closing an
+      // enclosing template argument list, ',', ')') is not a parameter
+      // of this type.
+      if (j < r.paramEnd && toks[j].kind == Token::Kind::kIdent &&
+          !isIdent(toks[j], "const")) {
+        addFinding(out, ctx, t.line, "copy-param",
+                   "by-value '" + t.text + "' parameter '" + toks[j].text +
+                       "' on PSCD_HOT '" + r.name +
+                       "'; pass by const reference (or std::move a sink "
+                       "argument and suppress with justification)");
+      }
+    }
+  }
+}
+
+void checkCopyInLoop(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.bodyBegin < 0) continue;
+    for (int i = r.bodyBegin + 1; i < r.bodyEnd; ++i) {
+      if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "(")) continue;
+      int depth = 0, colon = -1, close = -1;
+      for (int j = i + 1; j < r.bodyEnd; ++j) {
+        if (isPunct(toks[j], "(")) {
+          ++depth;
+        } else if (isPunct(toks[j], ")")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && isPunct(toks[j], ":") && colon < 0) {
+          colon = j;
+        }
+      }
+      if (colon < 0 || close < 0) continue;  // classic for, not range-for
+      bool hasAuto = false, byRefOrPtr = false;
+      for (int j = i + 2; j < colon; ++j) {
+        if (isIdent(toks[j], "auto")) hasAuto = true;
+        if (isPunct(toks[j], "&") || isPunct(toks[j], "*")) byRefOrPtr = true;
+      }
+      if (hasAuto && !byRefOrPtr) {
+        addFinding(out, ctx, toks[i].line, "copy-in-loop",
+                   "range-for binds each element by value inside PSCD_HOT '" +
+                       r.name +
+                       "'; bind `const auto&` (or `auto&` to mutate)");
+      }
+    }
+  }
+}
+
+void checkSharedPtrCopyInHot(const FileContext& ctx,
+                             std::vector<Finding>& out) {
+  const Tokens& toks = *ctx.tokens;
+  for (const HotRegion& r : *ctx.hotRegions) {
+    if (r.bodyBegin < 0) continue;
+    for (int i = r.bodyBegin + 1; i < r.bodyEnd; ++i) {
+      if (!isIdent(toks[i], "shared_ptr")) continue;
+      if (!(i + 1 < r.bodyEnd && isPunct(toks[i + 1], "<"))) continue;
+      int j = skipTemplateArgs(toks, i + 1);
+      if (j < 0 || j >= r.bodyEnd) continue;
+      if (toks[j].kind != Token::Kind::kIdent || isIdent(toks[j], "const"))
+        continue;
+      // `shared_ptr<T> name = rhs` / `shared_ptr<T> name(rhs)`. A
+      // default-constructed local or a move/make_shared initializer
+      // does not bump the refcount, so those stay silent.
+      int k = j + 1;
+      if (k >= r.bodyEnd) continue;
+      if (isPunct(toks[k], ";")) continue;  // default construction
+      if (isPunct(toks[k], "=") || isPunct(toks[k], "(") ||
+          isPunct(toks[k], "{")) {
+        int v = k + 1;
+        if (v < r.bodyEnd && isIdent(toks[v], "std") &&
+            v + 2 < r.bodyEnd && isPunct(toks[v + 1], "::"))
+          v += 2;
+        if (v < r.bodyEnd && (isIdent(toks[v], "move") ||
+                              isIdent(toks[v], "make_shared")))
+          continue;
+        addFinding(out, ctx, toks[i].line, "shared-ptr-copy-in-hot",
+                   "shared_ptr copy into '" + toks[j].text +
+                       "' inside PSCD_HOT '" + r.name +
+                       "'; refcount bumps are atomic RMWs — take a raw "
+                       "pointer/reference or std::move the pointer");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& ruleRegistry() {
@@ -511,7 +896,7 @@ const std::vector<Rule>& ruleRegistry() {
        "to streams, CSV sinks, or metrics",
        "collect keys and sort them, keep an ordered mirror index, or prove "
        "the fold is commutative and suppress with a justification",
-       inCore, checkUnorderedIter},
+       inCoreOrLintTool, checkUnorderedIter},
       {"ptr-order", "determinism",
        "ordering or hashing by pointer value (std::less/hash over T*, "
        "smart-pointer .get() comparisons)",
@@ -537,13 +922,47 @@ const std::vector<Rule>& ruleRegistry() {
        "allow(float-compare) with justification",
        notInTests, checkFloatCompare},
       {"naked-new", "correctness",
-       "naked new/delete in library code (src/)",
+       "naked new/delete in library code (src/, tools/pscd_lint/)",
        "use std::make_unique/std::make_shared or standard containers",
-       inLibrary, checkNakedNew},
+       inLibraryOrLintTool, checkNakedNew},
       {"env-access", "correctness",
        "environment access (getenv & friends) outside bench_common.h",
        "plumb configuration through explicit flags or BenchEnv",
        anywhere, checkEnvAccess},
+      {"alloc-in-hot", "performance",
+       "allocation inside a PSCD_HOT body (new, make_unique/make_shared, "
+       "container/string/function construction)",
+       "hoist the allocation to a reused scratch buffer, a member set up "
+       "once, or the caller; a result that must escape takes an "
+       "allow(alloc-in-hot) with justification",
+       anywhere, checkAllocInHot},
+      {"grow-without-reserve", "performance",
+       "push_back/emplace_back in a loop inside a PSCD_HOT body with no "
+       "reserve() on that container in the same function",
+       "call container.reserve(expected) before the loop; when the size "
+       "is unknowable, suppress with the reason",
+       anywhere, checkGrowWithoutReserve},
+      {"map-bracket-insert", "performance",
+       "map/unordered_map operator[] in a loop inside a PSCD_HOT body",
+       "operator[] default-constructs the mapped value on every miss; "
+       "use find()/try_emplace() once and reuse the iterator",
+       anywhere, checkMapBracketInsert},
+      {"copy-param", "performance",
+       "by-value string/vector/shared_ptr/function/map parameter on a "
+       "PSCD_HOT function",
+       "pass heavy parameters by const reference; an intentional sink "
+       "parameter (stored via std::move) takes an allow(copy-param)",
+       anywhere, checkCopyParam},
+      {"copy-in-loop", "performance",
+       "range-for that binds elements by value inside a PSCD_HOT body",
+       "bind `const auto&` (read) or `auto&` (mutate); copy on purpose "
+       "only with an allow(copy-in-loop) and the reason",
+       anywhere, checkCopyInLoop},
+      {"shared-ptr-copy-in-hot", "performance",
+       "shared_ptr copied (refcount bumped) inside a PSCD_HOT body",
+       "take T* or T& for non-owning access inside the hot path; "
+       "transfer ownership with std::move",
+       anywhere, checkSharedPtrCopyInHot},
   };
   return kRules;
 }

@@ -39,20 +39,39 @@ struct DeclInfo {
   std::set<std::string> unorderedNames;  // std::unordered_{map,set} vars
   std::set<std::string> ptrVectorNames;  // std::vector<T*> / vector<unique_ptr>
   std::set<std::string> floatNames;      // double / float vars & members
+  std::set<std::string> mapNames;        // std::map / std::unordered_map vars
 };
 
 DeclInfo collectDecls(const std::vector<Token>& tokens);
 void mergeDecls(DeclInfo& into, const DeclInfo& from);
 
+/// One `PSCD_HOT`-annotated function, harvested from the token stream
+/// with brace-depth tracking (util/hot.h documents the annotation).
+/// Token indexes are into the lexed file; -1 marks an absent part
+/// (a declaration without a body has bodyBegin = bodyEnd = -1).
+struct HotRegion {
+  std::string name;    // identifier before the parameter list
+  int line = 0;        // line of the PSCD_HOT token
+  int paramBegin = -1;  // index of the '(' opening the parameter list
+  int paramEnd = -1;    // index of the matching ')'
+  int bodyBegin = -1;   // index of the '{' opening the body
+  int bodyEnd = -1;     // index of the matching '}'
+};
+
+/// Scans the token stream for PSCD_HOT annotations and resolves each to
+/// its function's parameter list and (brace-matched) body.
+std::vector<HotRegion> collectHotRegions(const std::vector<Token>& tokens);
+
 struct FileContext {
   std::string effectivePath;  // after any as-path directive
   const std::vector<Token>* tokens = nullptr;
   const DeclInfo* decls = nullptr;
+  const std::vector<HotRegion>* hotRegions = nullptr;
 };
 
 struct Rule {
   std::string name;
-  std::string group;    // "determinism" or "correctness"
+  std::string group;    // "determinism", "correctness", or "performance"
   std::string summary;  // one line, shown by --list-rules
   std::string hint;     // remediation, shown by --fix-hints
   std::function<bool(const std::string& path)> inScope;
