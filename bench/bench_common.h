@@ -221,4 +221,89 @@ class CsvSink {
   std::ostringstream buffer_ PSCD_GUARDED_BY(mu_);
 };
 
+// --- BENCH_micro.json trajectory (schema pscd-bench-micro-v2) --------
+//
+// The micro-bench history is an append-only array of timestamped run
+// entries, capped at kMicroHistoryLimit. The repo has a JSON *writer*
+// only, so the helpers below splice raw entry objects textually: they
+// scan with a string-literal-aware depth counter, never interpret
+// numbers, and round-trip unknown fields untouched.
+
+inline constexpr std::size_t kMicroHistoryLimit = 50;
+
+/// Whole file as a string; empty when missing or unreadable (a fresh
+/// checkout simply starts a new history).
+inline std::string readTextFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::string();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Splits the top-level `"entries":[...]` array of a v2 history
+/// document into one raw JSON string per entry object. Returns empty
+/// for anything that is not a v2 history (including v1 snapshots).
+inline std::vector<std::string> extractMicroEntries(const std::string& doc) {
+  std::vector<std::string> entries;
+  if (doc.find("\"pscd-bench-micro-v2\"") == std::string::npos) return entries;
+  const std::size_t tag = doc.find("\"entries\":[");
+  if (tag == std::string::npos) return entries;
+  std::size_t i = tag + std::string("\"entries\":[").size();
+  int depth = 0;
+  bool inString = false;
+  std::size_t start = std::string::npos;
+  for (; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      inString = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0 && start != std::string::npos) {
+        entries.push_back(doc.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    } else if (c == ']' && depth == 0) {
+      return entries;  // end of the entries array
+    }
+  }
+  return std::vector<std::string>();  // truncated document: start fresh
+}
+
+/// Migrates a v1 single-snapshot document into one v2 entry. The v1
+/// run predates timestamping, so it gets timestamp 0 ("unknown, before
+/// the history began"). Returns "" when doc is not a v1 snapshot.
+inline std::string migrateMicroV1(const std::string& doc) {
+  const std::string v1Prefix = "{\"schema\":\"pscd-bench-micro-v1\",";
+  if (doc.compare(0, v1Prefix.size(), v1Prefix) != 0) return std::string();
+  return "{\"timestamp\":0," + doc.substr(v1Prefix.size());
+}
+
+/// Renders the full v2 history document from raw entry objects,
+/// keeping only the newest `limit` entries (the tail of the vector).
+inline std::string renderMicroHistory(
+    const std::vector<std::string>& entries,
+    std::size_t limit = kMicroHistoryLimit) {
+  const std::size_t begin =
+      entries.size() > limit ? entries.size() - limit : 0;
+  std::string out = "{\"schema\":\"pscd-bench-micro-v2\",\"entries\":[";
+  for (std::size_t i = begin; i < entries.size(); ++i) {
+    if (i > begin) out += ',';
+    out += entries[i];
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace pscd::bench

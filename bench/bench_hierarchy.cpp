@@ -6,7 +6,7 @@
 // baseline gains a lot.
 #include "bench_common.h"
 
-#include "pscd/core/hierarchy.h"
+#include "pscd/sim/hierarchy.h"
 
 using namespace pscd;
 using namespace pscd::bench;

@@ -13,7 +13,7 @@
 
 #include "fuzz_check.h"
 #include "fuzz_decoder.h"
-#include "pscd/sim/fault_plan.h"
+#include "pscd/core/fault_plan.h"
 #include "pscd/sim/simulator.h"
 #include "pscd/topology/link_state.h"
 #include "pscd/topology/network.h"

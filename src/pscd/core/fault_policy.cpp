@@ -1,0 +1,67 @@
+#include "pscd/core/fault_policy.h"
+
+namespace pscd {
+
+namespace {
+
+// Stream 2 of the fault seed; streams 0/1 feed the proxy/link
+// schedules in buildFaultPlan. Must match the historical simulator
+// derivation bit for bit.
+std::uint64_t lossStreamSeed(std::uint64_t seed) {
+  std::uint64_t s = seed + 3 * 0x9e3779b97f4a7c15ull;
+  splitmix64(s);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+FaultPolicy::FaultPolicy(const FaultConfig& config, const Network& network)
+    : config_(config),
+      linkState_(network),
+      rng_(lossStreamSeed(config.seed)) {}
+
+void FaultPolicy::apply(const FaultEvent& event,
+                        ContentDistributionEngine& engine) {
+  switch (event.kind) {
+    case FaultEventKind::kProxyDown:
+      linkState_.setProxyDown(event.proxy);
+      break;
+    case FaultEventKind::kProxyUp:
+      linkState_.setProxyUp(event.proxy);
+      engine.restartProxy(event.proxy, config_.warmRestart);
+      break;
+    case FaultEventKind::kLinkDown:
+      linkState_.setLinkDown(event.linkA, event.linkB);
+      break;
+    case FaultEventKind::kLinkUp:
+      linkState_.setLinkUp(event.linkA, event.linkB);
+      break;
+  }
+}
+
+PushFaults FaultPolicy::pushFaults() {
+  const double lossP = config_.pushLossProbability;
+  PushFaults pf;
+  pf.lost = [this, lossP](ProxyId p) {
+    if (linkState_.proxyDown(p) || !linkState_.pathToPublisher(p)) {
+      return true;
+    }
+    return lossP > 0.0 && rng_.bernoulli(lossP);
+  };
+  return pf;
+}
+
+RequestFaults FaultPolicy::requestFaults(ProxyId proxy) {
+  RequestFaults rf;
+  rf.proxyDown = linkState_.proxyDown(proxy);
+  rf.pathToPublisher = linkState_.pathToPublisher(proxy);
+  rf.publisherFailover = config_.publisherFailover;
+  rf.maxRetries = config_.retry.maxRetries;
+  const double failP = config_.fetchFailureProbability;
+  if (failP > 0.0) {
+    rf.fetchAttemptFails = [this, failP]() { return rng_.bernoulli(failP); };
+  }
+  return rf;
+}
+
+}  // namespace pscd

@@ -1,0 +1,57 @@
+// Failure/recovery decision logic, factored out of the event loop: owns
+// the residual-connectivity overlay (LinkState) and the per-operation
+// loss RNG, applies scheduled fault events to them, and answers the
+// engine's per-publish/per-request fault questions (PushFaults /
+// RequestFaults). Pure decision code — it never sees the event queue or
+// the simulator clock, so the same policy object can back a live
+// deployment's failure detector.
+//
+// Determinism contract (DESIGN.md section 9): the loss RNG is stream 2
+// of the fault seed (streams 0/1 feed the proxy/link schedules inside
+// buildFaultPlan), and the engine consumes push-loss draws once per
+// notified push-capable proxy in ascending proxy order.
+#pragma once
+
+#include "pscd/core/engine.h"
+#include "pscd/core/fault_plan.h"
+#include "pscd/topology/link_state.h"
+#include "pscd/util/rng.h"
+
+namespace pscd {
+
+class FaultPolicy {
+ public:
+  /// `config` must satisfy config.enabled(); the policy starts with
+  /// every proxy and link up.
+  FaultPolicy(const FaultConfig& config, const Network& network);
+
+  /// Applies one scheduled fault event: crashes/restores connectivity
+  /// state, and on kProxyUp restarts the proxy's strategy (cold or warm
+  /// per the config).
+  void apply(const FaultEvent& event, ContentDistributionEngine& engine);
+
+  /// Per-publish fault decisions. Pushes to a crashed or partitioned
+  /// proxy are always lost; a reachable proxy additionally loses pushes
+  /// with the configured in-flight probability. The returned struct
+  /// borrows this policy — it must not outlive it.
+  PushFaults pushFaults();
+
+  /// Per-request fault decisions for a user attached to `proxy`. The
+  /// returned struct borrows this policy — it must not outlive it.
+  RequestFaults requestFaults(ProxyId proxy);
+
+  /// Normalized cost of the cheapest *residual* publisher path (down
+  /// links removed); used to price a fetch under failures.
+  double fetchCost(ProxyId proxy) const { return linkState_.fetchCost(proxy); }
+
+  const LinkState& linkState() const { return linkState_; }
+
+  void checkInvariants() const { linkState_.checkInvariants(); }
+
+ private:
+  FaultConfig config_;
+  LinkState linkState_;
+  Rng rng_;
+};
+
+}  // namespace pscd

@@ -1,0 +1,19 @@
+#include "pscd/core/latency.h"
+
+#include <cmath>
+
+#include "pscd/util/check.h"
+
+namespace pscd {
+
+void LatencyModel::validate() const {
+  PSCD_CHECK(std::isfinite(localLatencyMs) && localLatencyMs >= 0.0)
+      << "LatencyModel: localLatencyMs must be finite and >= 0, got "
+      << localLatencyMs;
+  PSCD_CHECK(std::isfinite(remoteLatencyMsPerUnit) &&
+             remoteLatencyMsPerUnit >= 0.0)
+      << "LatencyModel: remoteLatencyMsPerUnit must be finite and >= 0, got "
+      << remoteLatencyMsPerUnit;
+}
+
+}  // namespace pscd

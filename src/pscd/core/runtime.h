@@ -1,0 +1,64 @@
+// The narrow seam between decision logic (core) and whatever drives it:
+// a Clock the service reads instead of event timestamps, and an
+// EventSink it reports deliveries to instead of a metrics object. The
+// discrete-event simulator implements both (sim/simulator.cpp advances
+// a virtual clock and folds deliveries into SimMetrics); a wire daemon
+// would implement them with the wall clock and a stats exporter. This
+// is the layering manifest's load-bearing edge: core never includes
+// sim, so the same DistributionService can sit behind either driver
+// (enforced transitively by `pscd_lint --forbid-reach core:sim`).
+#pragma once
+
+#include <cstdint>
+
+#include "pscd/util/types.h"
+
+namespace pscd {
+
+/// One publish event's deliveries, publisher -> all notified proxies.
+/// Lost pages/bytes are always 0 when the failure layer is off.
+struct PushDelivery {
+  SimTime time = 0.0;
+  std::uint64_t pages = 0;
+  Bytes bytes = 0;
+  std::uint64_t pagesLost = 0;
+  Bytes bytesLost = 0;
+};
+
+/// One request's outcome as seen by the user attached to `proxy`.
+/// The failure-layer fields (retries/servedStale/failover/unavailable)
+/// are all zero/false when the failure layer is off; an unavailable
+/// request has no response and responseTimeMs is 0.
+struct RequestDelivery {
+  ProxyId proxy = 0;
+  SimTime time = 0.0;
+  bool hit = false;
+  bool stale = false;
+  Bytes bytesTransferred = 0;
+  double responseTimeMs = 0.0;
+  std::uint32_t retries = 0;
+  bool servedStale = false;
+  bool failover = false;
+  bool unavailable = false;
+};
+
+/// Source of "now" for decision logic. The driver owns time: the
+/// simulator sets it from the merged event streams, a daemon would
+/// read the wall clock. Core code must never learn time any other way.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+/// Receiver of delivery records. Core pushes facts out through this
+/// interface and never sees what the driver does with them (metrics
+/// aggregation, logging, a live dashboard).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void onPush(const PushDelivery& delivery) = 0;
+  virtual void onRequest(const RequestDelivery& delivery) = 0;
+};
+
+}  // namespace pscd

@@ -1,0 +1,99 @@
+#include "pscd/core/service.h"
+
+#include <utility>
+
+#include "pscd/util/check.h"
+
+namespace pscd {
+
+DistributionService::DistributionService(const Network& network,
+                                         const Clock& clock, EventSink& sink,
+                                         ServiceConfig config)
+    : network_(network),
+      clock_(clock),
+      sink_(sink),
+      latency_(config.latency),
+      faults_(config.faults),
+      engine_(network, std::move(config.engine)) {
+  latency_.validate();
+  faults_.validate();
+  if (faults_.enabled()) {
+    plan_ = buildFaultPlan(faults_, network, config.faultHorizon);
+    if (config.validateFaultPlan) plan_.checkInvariants(network);
+    policy_.emplace(faults_, network);
+  }
+}
+
+void DistributionService::handleFault(const FaultEvent& event) {
+  PSCD_CHECK(policy_.has_value())
+      << "DistributionService: fault event with the failure layer off";
+  policy_->apply(event, engine_);
+}
+
+void DistributionService::handleChurn(ProxyId proxy, PageId fromPage,
+                                      PageId toPage) {
+  engine_.broker().unsubscribeAggregated(proxy, fromPage, 1);
+  engine_.broker().subscribeAggregated(proxy, toPage, 1);
+}
+
+void DistributionService::handlePublish(const PublishEvent& event) {
+  PushDelivery d;
+  d.time = clock_.now();
+  if (!policy_) {
+    const PublishSummary s = engine_.publish(event);
+    d.pages = s.pagesTransferred;
+    d.bytes = s.bytesTransferred;
+  } else {
+    PushFaults pf = policy_->pushFaults();
+    const PublishSummary s = engine_.publish(event, &pf);
+    d.pages = s.pagesTransferred;
+    d.bytes = s.bytesTransferred;
+    d.pagesLost = s.pagesLost;
+    d.bytesLost = s.bytesLost;
+  }
+  sink_.onPush(d);
+}
+
+void DistributionService::handleRequest(ProxyId proxy, PageId page) {
+  RequestDelivery d;
+  d.proxy = proxy;
+  d.time = clock_.now();
+  if (!policy_) {
+    const RequestSummary s = engine_.request(proxy, page, d.time);
+    d.hit = s.hit;
+    d.stale = s.stale;
+    d.bytesTransferred = s.bytesTransferred;
+    d.responseTimeMs = s.hit ? latency_.localMs()
+                             : latency_.fetchMs(network_.fetchCost(proxy));
+  } else {
+    RequestFaults rf = policy_->requestFaults(proxy);
+    const RequestSummary s = engine_.request(proxy, page, d.time, &rf);
+    d.hit = s.hit;
+    d.stale = s.stale;
+    d.bytesTransferred = s.bytesTransferred;
+    d.retries = s.retries;
+    d.servedStale = s.servedStale;
+    d.failover = s.failover;
+    d.unavailable = s.unavailable;
+    // Served requests pay the local hop, the residual-path publisher
+    // round trip when fresh bytes were fetched (miss or failover), and
+    // the backoff of every failed attempt. An unavailable request has
+    // no response time.
+    if (!s.unavailable) {
+      d.responseTimeMs =
+          latency_.localMs() + faults_.retry.totalBackoffMs(s.retries);
+      if (!s.hit && !s.servedStale) {
+        d.responseTimeMs += latency_.remoteLatencyMsPerUnit *
+                            policy_->fetchCost(proxy);
+      }
+    }
+  }
+  sink_.onRequest(d);
+}
+
+void DistributionService::checkInvariants() const {
+  engine_.checkInvariants();
+  if (policy_) policy_->checkInvariants();
+}
+
+}  // namespace pscd

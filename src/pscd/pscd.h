@@ -7,6 +7,9 @@
 //   * pscd::buildWorkload              — MSNBC-style synthetic workload
 //   * pscd::Simulator                  — trace-driven evaluation
 //   * pscd::ExperimentContext          — canonical paper experiments
+//
+// pscd-lint: allow-file(unused-include) umbrella header: every include
+// is a deliberate re-export for downstream convenience, not a use site
 #pragma once
 
 #include "pscd/cache/dual_cache.h"
@@ -19,7 +22,11 @@
 #include "pscd/cache/sub_strategy.h"
 #include "pscd/cache/value_cache.h"
 #include "pscd/core/engine.h"
-#include "pscd/core/hierarchy.h"
+#include "pscd/core/fault_plan.h"
+#include "pscd/core/fault_policy.h"
+#include "pscd/core/latency.h"
+#include "pscd/core/runtime.h"
+#include "pscd/core/service.h"
 #include "pscd/pubsub/attributes.h"
 #include "pscd/pubsub/broker.h"
 #include "pscd/pubsub/covering.h"
@@ -27,7 +34,7 @@
 #include "pscd/pubsub/routing.h"
 #include "pscd/pubsub/subscription.h"
 #include "pscd/sim/experiment.h"
-#include "pscd/sim/fault_plan.h"
+#include "pscd/sim/hierarchy.h"
 #include "pscd/sim/metrics.h"
 #include "pscd/sim/parallel_runner.h"
 #include "pscd/sim/simulator.h"

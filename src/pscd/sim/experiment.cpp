@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pscd/sim/simulator.h"
 #include "pscd/util/check.h"
 #include "pscd/util/rng.h"
 

@@ -9,7 +9,10 @@
 #include <string>
 #include <tuple>
 
-#include "pscd/sim/simulator.h"
+#include "pscd/cache/strategy_factory.h"
+#include "pscd/core/engine.h"
+#include "pscd/core/fault_plan.h"
+#include "pscd/sim/metrics.h"
 #include "pscd/topology/network.h"
 #include "pscd/util/mutex.h"
 #include "pscd/workload/workload.h"

@@ -1,4 +1,4 @@
-#include "pscd/core/hierarchy.h"
+#include "pscd/sim/hierarchy.h"
 
 #include <cmath>
 #include <limits>

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "pscd/cache/strategy_factory.h"
-#include "pscd/sim/metrics.h"
 #include "pscd/topology/network.h"
 #include "pscd/workload/workload.h"
 

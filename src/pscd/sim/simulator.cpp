@@ -2,14 +2,54 @@
 
 #include <cmath>
 #include <limits>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "pscd/topology/link_state.h"
+#include "pscd/core/latency.h"
+#include "pscd/core/runtime.h"
+#include "pscd/core/service.h"
 #include "pscd/util/check.h"
-#include "pscd/util/rng.h"
 
 namespace pscd {
+
+namespace {
+
+// The simulator's half of the core/runtime.h seam: virtual time owned
+// by the merge loop below, and delivery records folded into SimMetrics.
+// Core code only ever sees the Clock/EventSink interfaces — the
+// layering manifest forbids core from reaching back into sim.
+class SimClock final : public Clock {
+ public:
+  SimTime now() const override { return now_; }
+  void advance(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+class MetricsSink final : public EventSink {
+ public:
+  explicit MetricsSink(SimMetrics& metrics) : metrics_(metrics) {}
+
+  void onPush(const PushDelivery& d) override {
+    metrics_.recordPush(d.time, d.pages, d.bytes, d.pagesLost, d.bytesLost);
+  }
+
+  void onRequest(const RequestDelivery& d) override {
+    RequestFaultStats fs;
+    fs.retries = d.retries;
+    fs.servedStale = d.servedStale;
+    fs.failover = d.failover;
+    fs.unavailable = d.unavailable;
+    metrics_.recordRequest(d.proxy, d.time, d.hit, d.stale,
+                           d.bytesTransferred, d.responseTimeMs, fs);
+  }
+
+ private:
+  SimMetrics& metrics_;
+};
+
+}  // namespace
 
 Simulator::Simulator(const Workload& workload, const Network& network,
                      const SimConfig& config)
@@ -23,14 +63,8 @@ Simulator::Simulator(const Workload& workload, const Network& network,
   // NaN slips through both comparisons above; reject it explicitly.
   PSCD_CHECK(std::isfinite(config.capacityFraction))
       << "Simulator: capacityFraction must be finite";
-  PSCD_CHECK(std::isfinite(config.localLatencyMs) &&
-             config.localLatencyMs >= 0.0)
-      << "Simulator: localLatencyMs must be finite and >= 0, got "
-      << config.localLatencyMs;
-  PSCD_CHECK(std::isfinite(config.remoteLatencyMsPerUnit) &&
-             config.remoteLatencyMsPerUnit >= 0.0)
-      << "Simulator: remoteLatencyMsPerUnit must be finite and >= 0, got "
-      << config.remoteLatencyMsPerUnit;
+  LatencyModel{config.localLatencyMs, config.remoteLatencyMsPerUnit}
+      .validate();
   PSCD_CHECK(std::isfinite(config.beta))
       << "Simulator: beta must be finite, got " << config.beta;
   const auto checkFraction = [](double value, const char* name) {
@@ -56,25 +90,29 @@ Bytes Simulator::proxyCapacity(ProxyId proxy) const {
 }
 
 SimMetrics Simulator::run() {
-  EngineConfig ec;
-  ec.strategy = config_.strategy;
-  ec.beta = config_.beta;
-  ec.pushScheme = config_.pushScheme;
-  ec.dcInitialPcFraction = config_.dcInitialPcFraction;
-  ec.dcMinPcFraction = config_.dcMinPcFraction;
-  ec.dcMaxPcFraction = config_.dcMaxPcFraction;
-  ec.proxyCapacities.reserve(workload_.numProxies());
-  for (ProxyId p = 0; p < workload_.numProxies(); ++p) {
-    ec.proxyCapacities.push_back(proxyCapacity(p));
-  }
-  ContentDistributionEngine engine(network_, std::move(ec));
+#ifdef NDEBUG
+  const bool selfCheck = config_.selfCheckHourly;
+#else
+  const bool selfCheck = true;  // debug builds always self-check
+#endif
+  if (selfCheck) network_.checkInvariants();
 
-  // Register the aggregated subscriptions (static for the whole run).
-  for (PageId page = 0; page < workload_.numPages(); ++page) {
-    for (const Notification& n : workload_.subscriptions(page)) {
-      engine.broker().subscribeAggregated(n.proxy, page, n.matchCount);
-    }
+  ServiceConfig sc;
+  sc.engine.strategy = config_.strategy;
+  sc.engine.beta = config_.beta;
+  sc.engine.pushScheme = config_.pushScheme;
+  sc.engine.dcInitialPcFraction = config_.dcInitialPcFraction;
+  sc.engine.dcMinPcFraction = config_.dcMinPcFraction;
+  sc.engine.dcMaxPcFraction = config_.dcMaxPcFraction;
+  sc.engine.proxyCapacities.reserve(workload_.numProxies());
+  for (ProxyId p = 0; p < workload_.numProxies(); ++p) {
+    sc.engine.proxyCapacities.push_back(proxyCapacity(p));
   }
+  sc.latency.localLatencyMs = config_.localLatencyMs;
+  sc.latency.remoteLatencyMsPerUnit = config_.remoteLatencyMsPerUnit;
+  sc.faults = config_.faults;
+  sc.faultHorizon = workload_.params.publishing.horizon;
+  sc.validateFaultPlan = selfCheck;
 
   const std::size_t hours =
       config_.collectHourly
@@ -83,31 +121,20 @@ SimMetrics Simulator::run() {
           : 0;
   SimMetrics metrics(workload_.numProxies(), hours);
 
-#ifdef NDEBUG
-  const bool selfCheck = config_.selfCheckHourly;
-#else
-  const bool selfCheck = true;  // debug builds always self-check
-#endif
-  if (selfCheck) network_.checkInvariants();
+  SimClock clock;
+  MetricsSink sink(metrics);
+  DistributionService service(network_, clock, sink, std::move(sc));
 
-  // Failure layer. When no failure process is enabled the plan is empty,
-  // no link-state overlay or fault RNG is even constructed, and every
-  // event below takes the exact pre-failure-layer code path.
-  const bool faultsOn = config_.faults.enabled();
-  FaultPlan plan;
-  std::optional<LinkState> linkState;
-  std::optional<Rng> faultRng;
-  if (faultsOn) {
-    plan = buildFaultPlan(config_.faults, network_,
-                          workload_.params.publishing.horizon);
-    if (selfCheck) plan.checkInvariants(network_);
-    linkState.emplace(network_);
-    // Per-operation loss draws use their own stream (stream 2 of the
-    // fault seed; streams 0/1 feed the proxy/link schedules).
-    std::uint64_t s = config_.faults.seed + 3 * 0x9e3779b97f4a7c15ull;
-    splitmix64(s);
-    faultRng.emplace(splitmix64(s));
+  // Register the aggregated subscriptions (static modulo churn).
+  for (PageId page = 0; page < workload_.numPages(); ++page) {
+    for (const Notification& n : workload_.subscriptions(page)) {
+      service.broker().subscribeAggregated(n.proxy, page, n.matchCount);
+    }
   }
+
+  // The scheduled fault timeline (empty when the failure layer is off);
+  // each event is handed back to the service at its due time.
+  const FaultPlan& plan = service.faultPlan();
 
   // Merge the time-sorted streams (publishes, requests, optional
   // subscription churn, and the fault schedule); publishes win ties so a
@@ -121,14 +148,12 @@ SimMetrics Simulator::run() {
   const auto maybeCheck = [&](SimTime now) {
     if (config_.invariantCheckInterval > 0 &&
         ++eventCount % config_.invariantCheckInterval == 0) {
-      engine.checkInvariants();
-      if (linkState) linkState->checkInvariants();
+      service.checkInvariants();
     }
     if (selfCheck && now >= checkedUpTo + kHour) {
       // Validate once per simulated hour, however far the clock jumped.
       checkedUpTo += kHour * std::floor((now - checkedUpTo) / kHour);
-      engine.checkInvariants();
-      if (linkState) linkState->checkInvariants();
+      service.checkInvariants();
     }
   };
   while (pi < workload_.publishes.size() || ri < workload_.requests.size() ||
@@ -148,107 +173,32 @@ SimMetrics Simulator::run() {
     if (nextFault <= nextChurn && nextFault <= nextPublish &&
         nextFault <= nextRequest) {
       const FaultEvent& ev = plan.events[fi++];
-      switch (ev.kind) {
-        case FaultEventKind::kProxyDown:
-          linkState->setProxyDown(ev.proxy);
-          break;
-        case FaultEventKind::kProxyUp:
-          linkState->setProxyUp(ev.proxy);
-          engine.restartProxy(ev.proxy, config_.faults.warmRestart);
-          break;
-        case FaultEventKind::kLinkDown:
-          linkState->setLinkDown(ev.linkA, ev.linkB);
-          break;
-        case FaultEventKind::kLinkUp:
-          linkState->setLinkUp(ev.linkA, ev.linkB);
-          break;
-      }
+      clock.advance(ev.time);
+      service.handleFault(ev);
       maybeCheck(ev.time);
       continue;
     }
     if (nextChurn <= nextPublish && nextChurn <= nextRequest) {
       const SubscriptionChurnEvent& ev = workload_.churn[ci++];
-      engine.broker().unsubscribeAggregated(ev.proxy, ev.fromPage, 1);
-      engine.broker().subscribeAggregated(ev.proxy, ev.toPage, 1);
+      clock.advance(ev.time);
+      service.handleChurn(ev.proxy, ev.fromPage, ev.toPage);
       maybeCheck(ev.time);
       continue;
     }
-    const bool takePublish = nextPublish <= nextRequest;
-    SimTime now = 0.0;
-    if (takePublish) {
+    if (nextPublish <= nextRequest) {
       const PublishEvent& ev = workload_.publishes[pi++];
-      if (!faultsOn) {
-        const PublishSummary s = engine.publish(ev);
-        metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred);
-      } else {
-        // Pushes to a crashed or partitioned proxy are always lost; a
-        // reachable proxy additionally loses pushes with the configured
-        // in-flight probability (one draw per notified push-capable
-        // proxy, in ascending proxy order).
-        const double lossP = config_.faults.pushLossProbability;
-        PushFaults pf;
-        pf.lost = [&](ProxyId p) {
-          if (linkState->proxyDown(p) || !linkState->pathToPublisher(p)) {
-            return true;
-          }
-          return lossP > 0.0 && faultRng->bernoulli(lossP);
-        };
-        const PublishSummary s = engine.publish(ev, &pf);
-        metrics.recordPush(ev.time, s.pagesTransferred, s.bytesTransferred,
-                           s.pagesLost, s.bytesLost);
-      }
-      now = ev.time;
+      clock.advance(ev.time);
+      service.handlePublish(ev);
+      maybeCheck(ev.time);
     } else {
       const RequestEvent& ev = workload_.requests[ri++];
-      if (!faultsOn) {
-        const RequestSummary s = engine.request(ev.proxy, ev.page, ev.time);
-        const double responseTime =
-            config_.localLatencyMs +
-            (s.hit ? 0.0
-                   : config_.remoteLatencyMsPerUnit *
-                         network_.fetchCost(ev.proxy));
-        metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
-                              s.bytesTransferred, responseTime);
-      } else {
-        RequestFaults rf;
-        rf.proxyDown = linkState->proxyDown(ev.proxy);
-        rf.pathToPublisher = linkState->pathToPublisher(ev.proxy);
-        rf.publisherFailover = config_.faults.publisherFailover;
-        rf.maxRetries = config_.faults.retry.maxRetries;
-        const double failP = config_.faults.fetchFailureProbability;
-        if (failP > 0.0) {
-          rf.fetchAttemptFails = [&]() { return faultRng->bernoulli(failP); };
-        }
-        const RequestSummary s =
-            engine.request(ev.proxy, ev.page, ev.time, &rf);
-        // Served requests pay the local hop, the residual-path publisher
-        // round trip when fresh bytes were fetched (miss or failover),
-        // and the backoff of every failed attempt. An unavailable
-        // request has no response time.
-        double responseTime = 0.0;
-        if (!s.unavailable) {
-          responseTime = config_.localLatencyMs +
-                         config_.faults.retry.totalBackoffMs(s.retries);
-          if (!s.hit && !s.servedStale) {
-            responseTime += config_.remoteLatencyMsPerUnit *
-                            linkState->fetchCost(ev.proxy);
-          }
-        }
-        RequestFaultStats fs;
-        fs.retries = s.retries;
-        fs.servedStale = s.servedStale;
-        fs.failover = s.failover;
-        fs.unavailable = s.unavailable;
-        metrics.recordRequest(ev.proxy, ev.time, s.hit, s.stale,
-                              s.bytesTransferred, responseTime, fs);
-      }
-      now = ev.time;
+      clock.advance(ev.time);
+      service.handleRequest(ev.proxy, ev.page);
+      maybeCheck(ev.time);
     }
-    maybeCheck(now);
   }
   if (config_.invariantCheckInterval > 0 || selfCheck) {
-    engine.checkInvariants();
-    if (linkState) linkState->checkInvariants();
+    service.checkInvariants();
   }
   return metrics;
 }

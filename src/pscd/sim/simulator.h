@@ -6,7 +6,7 @@
 #pragma once
 
 #include "pscd/core/engine.h"
-#include "pscd/sim/fault_plan.h"
+#include "pscd/core/fault_plan.h"
 #include "pscd/sim/metrics.h"
 #include "pscd/topology/network.h"
 #include "pscd/workload/workload.h"

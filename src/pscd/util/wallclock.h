@@ -13,8 +13,9 @@
 #pragma once
 
 // (This file is the allowlisted home of the `wall-clock` rule, so the
-// steady_clock use below needs no suppression comment.)
+// clock uses below need no suppression comment.)
 #include <chrono>
+#include <cstdint>
 
 namespace pscd {
 
@@ -23,6 +24,15 @@ namespace pscd {
 inline double monotonicSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Whole seconds since the Unix epoch. For timestamping persisted
+/// diagnostics (the BENCH_micro.json trajectory entries); never for
+/// anything that is diffed for determinism.
+inline std::int64_t unixTimeSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
 

@@ -1,4 +1,4 @@
-#include "pscd/sim/fault_plan.h"
+#include "pscd/core/fault_plan.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,14 @@
+// Fixture: mutual include cycle between two headers. Each side really
+// references the other's type, so unused-include stays quiet and the
+// only finding is the cycle itself — reported once, anchored at the
+// lexicographically smallest member (this file). Requires --manifest.
+// pscd-lint: as-path(src/pscd/util/cycle_a_fixture.h)
+#include "pscd/util/cycle_b_fixture.h"  // pscd-lint: expect(include-cycle)
+
+namespace fixture {
+
+struct CycleA {
+  CycleB* peer;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the second half of the include_cycle_a.h cycle. The cycle
+// finding is anchored at the smaller path (cycle_a_fixture.h), so this
+// file itself must stay silent.
+// pscd-lint: as-path(src/pscd/util/cycle_b_fixture.h)
+#include "pscd/util/cycle_a_fixture.h"
+
+namespace fixture {
+
+struct CycleB {
+  CycleA* owner;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a cache-layer file reaching up into the sim layer. The
+// layering manifest (tools/pscd_lint/layers.txt) has no cache -> sim
+// edge — caching strategies must never know about the event loop. The
+// rule only runs when the corpus is linted with --manifest.
+// pscd-lint: as-path(src/pscd/cache/layer_violation_fixture.cpp)
+#include "pscd/sim/simulator.h"  // pscd-lint: expect(layer-violation)
+
+namespace fixture {
+
+int touchesTheSimulator() { return 0; }
+
+}  // namespace fixture

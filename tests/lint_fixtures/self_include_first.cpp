@@ -1,0 +1,12 @@
+// Fixture: a .cpp whose own header is in the scan set but is not its
+// first include — the self-include-first rule fires on the offending
+// first include. Requires --manifest.
+// pscd-lint: as-path(src/pscd/util/self_first_fixture.cpp)
+#include <cstdint>  // pscd-lint: expect(self-include-first)
+#include "pscd/util/self_first_fixture.h"
+
+namespace fixture {
+
+int declaredInHeader() { return static_cast<int>(sizeof(std::uint64_t)); }
+
+}  // namespace fixture

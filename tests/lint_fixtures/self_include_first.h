@@ -1,0 +1,10 @@
+// Fixture: sibling header of self_include_first.cpp; exists so the
+// scan set contains the .cpp's own header and the self-include-first
+// rule has something to demand. Clean on its own.
+// pscd-lint: as-path(src/pscd/util/self_first_fixture.h)
+
+namespace fixture {
+
+int declaredInHeader();
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a dependency header whose only declaration is never
+// referenced by unused_include.cpp — the bait for the unused-include
+// rule. This file itself is clean.
+// pscd-lint: as-path(src/pscd/util/unused_dep_fixture.h)
+
+namespace fixture {
+
+struct UnusedDep {
+  int id;
+};
+
+}  // namespace fixture

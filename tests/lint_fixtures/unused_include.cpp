@@ -1,0 +1,12 @@
+// Fixture: includes a project header (unused_dep.h, masquerading as
+// src/pscd/util/unused_dep_fixture.h) and never references any symbol
+// it declares — the IWYU-lite unused-include rule must fire on the
+// include line. Requires --manifest.
+// pscd-lint: as-path(src/pscd/util/unused_include_fixture.cpp)
+#include "pscd/util/unused_dep_fixture.h"  // pscd-lint: expect(unused-include)
+
+namespace fixture {
+
+int answerWithoutTheDep() { return 42; }
+
+}  // namespace fixture

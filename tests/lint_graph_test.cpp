@@ -1,0 +1,356 @@
+// Unit tests for pscd_lint's whole-repo architecture pass (graph.h):
+// Tarjan SCC on crafted graphs, witness-path minimality, layering
+// manifest parsing (named diagnostics, driver exit 2), include
+// resolution/normalization, and the unused-include exemptions —
+// notably the macro-only headers (check.h, hot.h, thread_annotations.h)
+// whose use is invisible to the token stream.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph.h"
+#include "lint.h"
+
+namespace pscd_lint {
+namespace {
+
+std::string writeTemp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+// A minimal manifest shared by the in-memory repo tests.
+const char kManifest[] =
+    "root src\n"
+    "layer util src/pscd/util/\n"
+    "layer sim  src/pscd/sim/\n"
+    "allow sim -> util\n";
+
+std::vector<Finding> lintMemoryRepo(const std::vector<MemoryFile>& files,
+                                    bool strict = false) {
+  std::string manifestError;
+  std::vector<Finding> findings =
+      lintRepo(files, kManifest, {}, strict, &manifestError);
+  EXPECT_EQ(manifestError, "");
+  return findings;
+}
+
+int countRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+// --- Tarjan SCC -------------------------------------------------------
+
+TEST(Tarjan, AcyclicChainHasOnlySingletons) {
+  // 0 -> 1 -> 2 -> 3, no back edges.
+  const std::vector<std::vector<int>> adj = {{1}, {2}, {3}, {}};
+  for (const std::vector<int>& scc : tarjanScc(adj)) {
+    EXPECT_EQ(scc.size(), 1u);
+  }
+}
+
+TEST(Tarjan, AcyclicDiamondHasOnlySingletons) {
+  // Shared sink reached two ways is still acyclic.
+  const std::vector<std::vector<int>> adj = {{1, 2}, {3}, {3}, {}};
+  for (const std::vector<int>& scc : tarjanScc(adj)) {
+    EXPECT_EQ(scc.size(), 1u);
+  }
+}
+
+TEST(Tarjan, FindsTheCycleMembersExactly) {
+  // 0 -> 1 -> 2 -> 0 is a cycle; 3 hangs off it; 4 is isolated.
+  const std::vector<std::vector<int>> adj = {{1}, {2}, {0, 3}, {}, {}};
+  std::vector<std::vector<int>> sccs = tarjanScc(adj);
+  std::set<int> cycle;
+  for (const std::vector<int>& scc : sccs) {
+    if (scc.size() > 1) {
+      EXPECT_TRUE(cycle.empty()) << "exactly one multi-node SCC expected";
+      cycle.insert(scc.begin(), scc.end());
+    }
+  }
+  EXPECT_EQ(cycle, (std::set<int>{0, 1, 2}));
+}
+
+TEST(Tarjan, TwoDisjointCyclesAreSeparateComponents) {
+  const std::vector<std::vector<int>> adj = {{1}, {0}, {3}, {2}};
+  int multi = 0;
+  for (const std::vector<int>& scc : tarjanScc(adj)) {
+    multi += scc.size() > 1 ? 1 : 0;
+  }
+  EXPECT_EQ(multi, 2);
+}
+
+// --- Witness minimality -----------------------------------------------
+
+TEST(Witness, PicksTheShortestCycleThroughStart) {
+  // Two cycles through node 0: 0->1->0 (length 2) and 0->2->3->0
+  // (length 3). The witness must be the short one.
+  const std::vector<std::vector<int>> adj = {{1, 2}, {0}, {3}, {0}};
+  const std::set<int> members = {0, 1, 2, 3};
+  const std::vector<int> witness = minimalCycleWitness(adj, members, 0);
+  ASSERT_EQ(witness.size(), 3u) << "expected start -> 1 -> start";
+  EXPECT_EQ(witness.front(), 0);
+  EXPECT_EQ(witness[1], 1);
+  EXPECT_EQ(witness.back(), 0);
+}
+
+TEST(Witness, EmptyWhenNoCycleThroughStart) {
+  const std::vector<std::vector<int>> adj = {{1}, {}};
+  EXPECT_TRUE(minimalCycleWitness(adj, {0, 1}, 0).empty());
+}
+
+TEST(Witness, RespectsTheMemberRestriction) {
+  // The only cycle through 0 leaves the member set, so no witness.
+  const std::vector<std::vector<int>> adj = {{1}, {2}, {0}};
+  EXPECT_TRUE(minimalCycleWitness(adj, {0, 1}, 0).empty());
+}
+
+// --- Manifest parsing --------------------------------------------------
+
+TEST(Manifest, ParsesLayersEdgesAndRoots) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(parseManifest(kManifest, &m, &error)) << error;
+  EXPECT_EQ(m.roots, std::vector<std::string>{"src"});
+  EXPECT_EQ(m.layerOf("src/pscd/util/rng.h"), "util");
+  EXPECT_EQ(m.layerOf("src/pscd/sim/simulator.h"), "sim");
+  EXPECT_EQ(m.layerOf("bench/bench_micro.cpp"), "");
+  EXPECT_EQ(m.allowedEdges.count({"sim", "util"}), 1u);
+}
+
+TEST(Manifest, LongestPrefixWins) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(parseManifest("layer api src/pscd/\n"
+                            "layer util src/pscd/util/\n",
+                            &m, &error))
+      << error;
+  EXPECT_EQ(m.layerOf("src/pscd/util/rng.h"), "util");
+  EXPECT_EQ(m.layerOf("src/pscd/pscd.h"), "api");
+}
+
+TEST(Manifest, UnknownLayerInAllowIsNamed) {
+  Manifest m;
+  std::string error;
+  EXPECT_FALSE(parseManifest("layer util src/pscd/util/\n"
+                             "allow util -> nosuch\n",
+                             &m, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown layer 'nosuch'"), std::string::npos) << error;
+}
+
+TEST(Manifest, DuplicateAllowEdgeIsNamed) {
+  Manifest m;
+  std::string error;
+  EXPECT_FALSE(parseManifest("layer a x/\nlayer b y/\n"
+                             "allow a -> b\nallow a -> b\n",
+                             &m, &error));
+  EXPECT_NE(error.find("duplicate allow edge 'a -> b'"), std::string::npos)
+      << error;
+}
+
+TEST(Manifest, DuplicateLayerIsNamed) {
+  Manifest m;
+  std::string error;
+  EXPECT_FALSE(parseManifest("layer a x/\nlayer a y/\n", &m, &error));
+  EXPECT_NE(error.find("duplicate layer 'a'"), std::string::npos) << error;
+}
+
+TEST(Manifest, MalformedLineIsNamed) {
+  Manifest m;
+  std::string error;
+  EXPECT_FALSE(parseManifest("layer\n", &m, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(Manifest, DriverExitsTwoOnBadManifest) {
+  const std::string manifest =
+      writeTemp("pscd_lint_bad_manifest.txt",
+                "layer util src/pscd/util/\nallow util -> nosuch\n");
+  const std::string file =
+      writeTemp("pscd_lint_manifest_victim.cpp", "int x = 0;\n");
+  std::ostringstream out, err;
+  const int code = runLint({"--manifest", manifest, file}, out, err);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.str().find("unknown layer 'nosuch'"), std::string::npos)
+      << err.str();
+}
+
+TEST(Manifest, DriverExitsTwoOnMissingManifestFile) {
+  const std::string file =
+      writeTemp("pscd_lint_manifest_victim2.cpp", "int x = 0;\n");
+  std::ostringstream out, err;
+  const int code =
+      runLint({"--manifest", "/nonexistent/layers.txt", file}, out, err);
+  EXPECT_EQ(code, 2);
+}
+
+// --- Include resolution / normalization -------------------------------
+
+TEST(Resolve, QuoteAndAngleFormsOfPscdPathsAreOneNode) {
+  const std::set<std::string> known = {"src/pscd/util/rng.h"};
+  const std::vector<std::string> roots = {"src"};
+  EXPECT_EQ(resolveInclude("src/pscd/sim/simulator.cpp", "pscd/util/rng.h",
+                           /*angle=*/false, roots, known),
+            "src/pscd/util/rng.h");
+  EXPECT_EQ(resolveInclude("src/pscd/sim/simulator.cpp", "pscd/util/rng.h",
+                           /*angle=*/true, roots, known),
+            "src/pscd/util/rng.h");
+}
+
+TEST(Resolve, SystemHeadersResolveToNothing) {
+  EXPECT_EQ(resolveInclude("src/pscd/util/rng.cpp", "vector", /*angle=*/true,
+                           {"src"}, {}),
+            "");
+}
+
+TEST(Resolve, NormalizeDotsCollapsesSegments) {
+  EXPECT_EQ(normalizeDots("a/./b/../c.h"), "a/c.h");
+  EXPECT_EQ(normalizeDots("./x.h"), "x.h");
+}
+
+// --- The arch rules end-to-end through lintRepo -----------------------
+
+TEST(ArchRules, LayerViolationFiresAndAllowSuppresses) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/clock_user.cpp",
+       "#include \"pscd/sim/simulator.h\"\nint x = 0;\n"},
+  };
+  std::vector<Finding> findings = lintMemoryRepo(repo);
+  EXPECT_EQ(countRule(findings, "layer-violation"), 1);
+
+  const std::vector<MemoryFile> suppressed = {
+      {"src/pscd/util/clock_user.cpp",
+       "#include \"pscd/sim/simulator.h\"  // pscd-lint: allow("
+       "layer-violation) justified back-edge\nint x = 0;\n"},
+  };
+  // Strict mode also proves the allow() is counted as used.
+  std::vector<Finding> clean = lintMemoryRepo(suppressed, /*strict=*/true);
+  EXPECT_EQ(countRule(clean, "layer-violation"), 0);
+  EXPECT_EQ(countRule(clean, "lint-directive"), 0);
+}
+
+TEST(ArchRules, ForbidReachReportsTransitiveChains) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/a.h", "#include \"pscd/util/b.h\"\nusing B2 = B;\n"},
+      {"src/pscd/util/b.h",
+       "#include \"pscd/sim/ev.h\"  // pscd-lint: allow(layer-violation) test\n"
+       "using B = Ev;\n"},
+      {"src/pscd/sim/ev.h", "struct Ev {};\n"},
+  };
+  std::string manifestError;
+  std::vector<Finding> findings =
+      lintRepo(repo, kManifest, {{"util", "sim"}}, false, &manifestError);
+  ASSERT_EQ(manifestError, "");
+  // a.h reaches sim through b.h (reported), and b.h's own direct edge
+  // was suppressed with a rationale — exactly the policy for
+  // intentional back-edges.
+  ASSERT_GE(countRule(findings, "layer-violation"), 1);
+  bool sawChain = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "layer-violation" && f.path == "src/pscd/util/a.h") {
+      sawChain = f.message.find("transitively includes") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(sawChain);
+}
+
+TEST(ArchRules, IncludeCycleReportedOnceAtSmallestMember) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/a.h", "#include \"pscd/util/b.h\"\nstruct A { B* b; };\n"},
+      {"src/pscd/util/b.h", "#include \"pscd/util/a.h\"\nstruct B { A* a; };\n"},
+  };
+  std::vector<Finding> findings = lintMemoryRepo(repo);
+  ASSERT_EQ(countRule(findings, "include-cycle"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "include-cycle") {
+      EXPECT_EQ(f.path, "src/pscd/util/a.h");
+      EXPECT_NE(f.message.find("2 files"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(ArchRules, UnusedIncludeFiresOnUnreferencedHeader) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/consumer.cpp",
+       "#include \"pscd/util/dep.h\"\nint unrelated() { return 1; }\n"},
+      {"src/pscd/util/dep.h", "struct Dep {};\n"},
+  };
+  EXPECT_EQ(countRule(lintMemoryRepo(repo), "unused-include"), 1);
+}
+
+TEST(ArchRules, UnusedIncludeStaysQuietWhenAnySymbolIsUsed) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/consumer.cpp",
+       "#include \"pscd/util/dep.h\"\nDep makeDep() { return Dep{}; }\n"},
+      {"src/pscd/util/dep.h", "struct Dep {};\n"},
+  };
+  EXPECT_EQ(countRule(lintMemoryRepo(repo), "unused-include"), 0);
+}
+
+TEST(ArchRules, UnusedIncludeNoFireOnMacroOnlyHeaders) {
+  // check.h / hot.h / thread_annotations.h define macros the token
+  // stream cannot witness; including them "unused" must stay silent.
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/check.h",
+       "#define PSCD_CHECK(cond) assertImpl(cond)\n"
+       "inline void assertImpl(bool) {}\n"},
+      {"src/pscd/util/hot.h", "#define PSCD_HOT __attribute__((hot))\n"},
+      {"src/pscd/util/thread_annotations.h",
+       "#define PSCD_GUARDED_BY(x) __attribute__((guarded_by(x)))\n"},
+      {"src/pscd/util/consumer.cpp",
+       "#include \"pscd/util/check.h\"\n"
+       "#include \"pscd/util/hot.h\"\n"
+       "#include \"pscd/util/thread_annotations.h\"\n"
+       "int f() { PSCD_CHECK(true); return 0; }\n"},
+  };
+  EXPECT_EQ(countRule(lintMemoryRepo(repo), "unused-include"), 0);
+}
+
+TEST(ArchRules, SelfIncludeFirstFiresWhenOwnHeaderIsLate) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/widget.h", "int widgetSize();\n"},
+      {"src/pscd/util/widget.cpp",
+       "#include \"pscd/util/other.h\"\n"
+       "#include \"pscd/util/widget.h\"\n"
+       "int widgetSize() { return kOther; }\n"},
+      {"src/pscd/util/other.h", "inline constexpr int kOther = 3;\n"},
+  };
+  EXPECT_EQ(countRule(lintMemoryRepo(repo), "self-include-first"), 1);
+}
+
+TEST(ArchRules, SelfIncludeFirstQuietWhenOwnHeaderLeads) {
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/widget.h", "int widgetSize();\n"},
+      {"src/pscd/util/widget.cpp",
+       "#include \"pscd/util/widget.h\"\nint widgetSize() { return 4; }\n"},
+  };
+  EXPECT_EQ(countRule(lintMemoryRepo(repo), "self-include-first"), 0);
+}
+
+TEST(ArchRules, DirectiveOnIncludeLineTargetsThatLine) {
+  // The lexer historically dropped preprocessor lines from the token
+  // stream; suppression directives must nevertheless bind to include
+  // lines, or none of the architecture rules would be suppressible.
+  const std::vector<MemoryFile> repo = {
+      {"src/pscd/util/consumer.cpp",
+       "#include \"pscd/util/dep.h\"  // pscd-lint: allow(unused-include) "
+       "re-export\nint unrelated() { return 1; }\n"},
+      {"src/pscd/util/dep.h", "struct Dep {};\n"},
+  };
+  std::vector<Finding> findings = lintMemoryRepo(repo, /*strict=*/true);
+  EXPECT_EQ(countRule(findings, "unused-include"), 0);
+  EXPECT_EQ(countRule(findings, "lint-directive"), 0);
+}
+
+}  // namespace
+}  // namespace pscd_lint

@@ -1,0 +1,974 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <sstream>
+
+namespace pscd_lint {
+namespace {
+
+bool isIdentStartCh(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool isIdentCh(char c) {
+  return isIdentStartCh(c) || (c >= '0' && c <= '9');
+}
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string dirnameOf(const std::string& path) {
+  std::size_t pos = path.rfind('/');
+  return pos == std::string::npos ? std::string() : path.substr(0, pos);
+}
+
+/// Path with the extension removed ("src/a/b.cpp" -> "src/a/b").
+std::string stemOf(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return path;
+  if (slash != std::string::npos && dot < slash) return path;
+  return path.substr(0, dot);
+}
+
+bool hasSourceExtension(const std::string& path) {
+  for (const char* ext : {".cpp", ".cc", ".cxx"}) {
+    const std::string e(ext);
+    if (path.size() >= e.size() &&
+        path.compare(path.size() - e.size(), e.size(), e) == 0)
+      return true;
+  }
+  return false;
+}
+
+/// Keywords and ubiquitous library identifiers that must never witness
+/// "this file uses that header" — they appear in nearly every file.
+const std::set<std::string>& symbolBlocklist() {
+  static const std::set<std::string> kBlocked = {
+      "alignas",   "alignof",  "assert",   "auto",      "bool",
+      "break",     "case",     "catch",    "char",      "class",
+      "const",     "constexpr", "continue", "decltype",  "default",
+      "delete",    "do",       "double",   "else",      "enum",
+      "explicit",  "extern",   "false",    "final",     "float",
+      "for",       "friend",   "if",       "inline",    "int",
+      "long",      "main",     "mutable",  "namespace", "new",
+      "noexcept",  "nullptr",  "operator", "override",  "private",
+      "protected", "public",   "return",   "short",     "signed",
+      "sizeof",    "static",   "static_assert",         "static_cast",
+      "std",       "struct",   "switch",   "template",  "this",
+      "throw",     "true",     "try",      "typedef",   "typename",
+      "union",     "unsigned", "using",    "virtual",   "void",
+      "volatile",  "while"};
+  return kBlocked;
+}
+
+}  // namespace
+
+RawScan scanRaw(const std::string& source) {
+  RawScan out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  bool atLineStart = true;  // only whitespace/comments since the newline
+  int line = 1;
+
+  // Skips the remainder of a preprocessor logical line, honoring
+  // backslash continuations, comments and string literals.
+  auto skipDirectiveTail = [&]() {
+    while (i < n) {
+      char p = source[i];
+      if (p == '\\' && i + 1 < n && source[i + 1] == '\n') {
+        ++line;
+        i += 2;
+        continue;
+      }
+      if (p == '\n') return;  // main loop counts it
+      if (p == '/' && i + 1 < n && source[i + 1] == '/') {
+        while (i < n && source[i] != '\n') ++i;
+        return;
+      }
+      if (p == '/' && i + 1 < n && source[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+          if (source[i] == '\n') ++line;
+          ++i;
+        }
+        i = i + 1 < n ? i + 2 : n;
+        continue;
+      }
+      if (p == '"') {
+        ++i;
+        while (i < n && source[i] != '"' && source[i] != '\n') {
+          if (source[i] == '\\' && i + 1 < n) ++i;
+          ++i;
+        }
+        if (i < n && source[i] == '"') ++i;
+        continue;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      atLineStart = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+          atLineStart = true;
+        }
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    if (c == '#' && atLineStart) {
+      const int dirLine = line;
+      ++i;
+      while (i < n && (source[i] == ' ' || source[i] == '\t')) ++i;
+      std::size_t ks = i;
+      while (i < n && isIdentCh(source[i])) ++i;
+      const std::string keyword = source.substr(ks, i - ks);
+      if (keyword == "include" || keyword == "include_next") {
+        while (i < n && (source[i] == ' ' || source[i] == '\t')) ++i;
+        if (i < n && (source[i] == '<' || source[i] == '"')) {
+          const bool angle = source[i] == '<';
+          const char closer = angle ? '>' : '"';
+          ++i;
+          std::string target;
+          while (i < n && source[i] != closer && source[i] != '\n')
+            target += source[i++];
+          if (i < n && source[i] == closer) {
+            ++i;
+            IncludeDirective inc;
+            inc.line = dirLine;
+            inc.text = target;
+            inc.angle = angle;
+            out.includes.push_back(inc);
+          }
+        }
+      } else if (keyword == "define") {
+        while (i < n && (source[i] == ' ' || source[i] == '\t')) ++i;
+        std::size_t ms = i;
+        while (i < n && isIdentCh(source[i])) ++i;
+        if (i > ms) out.macros.insert(source.substr(ms, i - ms));
+      }
+      skipDirectiveTail();
+      continue;
+    }
+    // Ordinary string literal (may span lines via escapes).
+    if (c == '"') {
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      atLineStart = false;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      atLineStart = false;
+      continue;
+    }
+    // Identifier — watch for raw-string prefixes, whose bodies could
+    // contain lines that look like directives.
+    if (isIdentStartCh(c)) {
+      std::size_t s = i;
+      while (i < n && isIdentCh(source[i])) ++i;
+      const std::string ident = source.substr(s, i - s);
+      const bool rawPrefix = ident == "R" || ident == "uR" || ident == "UR" ||
+                             ident == "LR" || ident == "u8R";
+      if (rawPrefix && i < n && source[i] == '"') {
+        ++i;
+        std::string delim;
+        while (i < n && source[i] != '(') delim += source[i++];
+        if (i < n) ++i;
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = source.find(closer, i);
+        std::size_t stop = end == std::string::npos ? n : end;
+        for (std::size_t k = i; k < stop; ++k)
+          if (source[k] == '\n') ++line;
+        i = end == std::string::npos ? n : end + closer.size();
+      }
+      atLineStart = false;
+      continue;
+    }
+    atLineStart = false;
+    ++i;
+  }
+  return out;
+}
+
+std::set<std::string> harvestSymbols(const std::vector<Token>& tokens) {
+  std::set<std::string> out;
+  const std::set<std::string>& blocked = symbolBlocklist();
+  const std::size_t n = tokens.size();
+
+  auto isIdentTok = [&](std::size_t i) {
+    return i < n && tokens[i].kind == Token::Kind::kIdent;
+  };
+  auto isPunctTok = [&](std::size_t i, const char* text) {
+    return i < n && tokens[i].kind == Token::Kind::kPunct &&
+           tokens[i].text == text;
+  };
+  auto insert = [&](const std::string& name) {
+    if (!name.empty() && !blocked.count(name)) out.insert(name);
+  };
+  // Skips a balanced <...> starting at `i` (which must be '<').
+  auto skipAngles = [&](std::size_t i) {
+    int depth = 0;
+    while (i < n) {
+      if (isPunctTok(i, "<")) ++depth;
+      if (isPunctTok(i, ">")) {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      if (isPunctTok(i, ";")) return i;  // malformed; bail
+      ++i;
+    }
+    return i;
+  };
+
+  // Brace stack: `true` entries are transparent (namespace / extern "C"
+  // blocks), everything else is opaque — declarations inside classes and
+  // function bodies are not harvested.
+  std::vector<bool> braces;
+  int opaqueDepth = 0;
+  bool nextBraceTransparent = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "{") {
+        braces.push_back(nextBraceTransparent);
+        if (!nextBraceTransparent) ++opaqueDepth;
+        nextBraceTransparent = false;
+      } else if (t.text == "}") {
+        if (!braces.empty()) {
+          if (!braces.back()) --opaqueDepth;
+          braces.pop_back();
+        }
+      } else if (t.text == ";") {
+        nextBraceTransparent = false;
+      }
+      continue;
+    }
+    if (t.kind != Token::Kind::kIdent) continue;
+
+    if (t.text == "namespace") {
+      nextBraceTransparent = true;
+      continue;
+    }
+    if (t.text == "extern" && i + 1 < n &&
+        tokens[i + 1].kind == Token::Kind::kString) {
+      nextBraceTransparent = true;
+      continue;
+    }
+    if (opaqueDepth > 0) continue;
+
+    // Skip template parameter lists so `class T` inside them does not
+    // harvest the parameter name.
+    if (t.text == "template" && isPunctTok(i + 1, "<")) {
+      i = skipAngles(i + 1) - 1;
+      continue;
+    }
+    // Type declarations: class/struct/union/enum [class|struct] Name.
+    // Attribute-like macros may sit between the keyword and the name
+    // (`class PSCD_CAPABILITY("mutex") Mutex`), so walk the idents up
+    // to the first structural punctuator and keep the last one that is
+    // not a keyword ("final" trails the name and is blocklisted).
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < n) {
+        if (tokens[j].kind == Token::Kind::kIdent) {
+          if (isPunctTok(j + 1, "(")) {  // macro with arguments: skip them
+            int d = 0;
+            std::size_t k = j + 1;
+            while (k < n) {
+              if (isPunctTok(k, "(")) ++d;
+              if (isPunctTok(k, ")")) {
+                --d;
+                if (d == 0) break;
+              }
+              ++k;
+            }
+            j = k + 1;
+            continue;
+          }
+          if (!blocked.count(tokens[j].text)) name = tokens[j].text;
+          ++j;
+          continue;
+        }
+        break;  // '{', ':', ';', '<', ... end the name position
+      }
+      insert(name);
+      continue;
+    }
+    // Alias: using Name = ...;  (`using namespace` handled above by the
+    // namespace keyword check firing first on the next token).
+    if (t.text == "using" && isIdentTok(i + 1) && isPunctTok(i + 2, "=")) {
+      insert(tokens[i + 1].text);
+      continue;
+    }
+    // Namespace-scope functions (Name followed by '(') and constants
+    // (Name followed by '='). A qualifier before the name means a use
+    // or an out-of-line definition of something declared elsewhere, so
+    // the preceding token must not be an access punctuator.
+    const bool qualified =
+        i > 0 && tokens[i - 1].kind == Token::Kind::kPunct &&
+        (tokens[i - 1].text == "::" || tokens[i - 1].text == "." ||
+         tokens[i - 1].text == "->");
+    if (!qualified && (isPunctTok(i + 1, "(") || isPunctTok(i + 1, "="))) {
+      insert(t.text);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+std::string Manifest::layerOf(const std::string& path) const {
+  std::string best;
+  std::size_t bestLen = 0;
+  for (const auto& [name, prefixes] : layers) {
+    for (const std::string& prefix : prefixes) {
+      if (prefix.size() >= bestLen && startsWith(path, prefix)) {
+        best = name;
+        bestLen = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+bool parseManifest(const std::string& text, Manifest* manifest,
+                   std::string* error) {
+  *manifest = Manifest();
+  std::vector<std::vector<std::string>> lines;  // tokenized, 1-based index
+  {
+    std::istringstream in(text);
+    std::string raw;
+    while (std::getline(in, raw)) {
+      std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      std::istringstream ls(raw);
+      std::vector<std::string> words;
+      std::string w;
+      while (ls >> w) words.push_back(w);
+      lines.push_back(std::move(words));
+    }
+  }
+  auto fail = [&](std::size_t lineNo, const std::string& what) {
+    *error = "line " + std::to_string(lineNo) + ": " + what;
+    return false;
+  };
+  // First pass: layer and root declarations, so allow edges may appear
+  // anywhere in the file.
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::vector<std::string>& words = lines[li];
+    if (words.empty()) continue;
+    if (words[0] == "layer") {
+      if (words.size() < 3)
+        return fail(li + 1,
+                    "malformed layer line: expected 'layer <name> <prefix>...'");
+      const std::string& name = words[1];
+      if (manifest->layers.count(name))
+        return fail(li + 1, "duplicate layer '" + name + "'");
+      std::vector<std::string> prefixes(words.begin() + 2, words.end());
+      manifest->layers.emplace(name, std::move(prefixes));
+    } else if (words[0] == "root") {
+      if (words.size() != 2)
+        return fail(li + 1, "malformed root line: expected 'root <path>'");
+      manifest->roots.push_back(words[1]);
+    } else if (words[0] != "allow") {
+      return fail(li + 1, "unknown directive '" + words[0] +
+                              "' (expected layer, allow or root)");
+    }
+  }
+  // Second pass: allow edges.
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::vector<std::string>& words = lines[li];
+    if (words.empty() || words[0] != "allow") continue;
+    if (words.size() != 4 || words[2] != "->")
+      return fail(li + 1, "malformed allow line: expected 'allow <a> -> <b>'");
+    const std::string& from = words[1];
+    const std::string& to = words[3];
+    for (const std::string& layer : {from, to}) {
+      if (!manifest->layers.count(layer))
+        return fail(li + 1, "unknown layer '" + layer + "' in allow edge");
+    }
+    if (from == to)
+      return fail(li + 1, "allow edge '" + from + " -> " + to +
+                              "' is same-layer (always allowed; drop it)");
+    if (!manifest->allowedEdges.insert({from, to}).second)
+      return fail(li + 1,
+                  "duplicate allow edge '" + from + " -> " + to + "'");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------------
+
+std::string normalizeDots(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (part == "..") {
+        if (!parts.empty() && parts.back() != "..")
+          parts.pop_back();
+        else
+          parts.push_back(part);
+      } else if (!part.empty() && part != ".") {
+        parts.push_back(part);
+      }
+      part.clear();
+    } else {
+      part += path[i];
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string resolveInclude(const std::string& includerPath,
+                           const std::string& text, bool angle,
+                           const std::vector<std::string>& roots,
+                           const std::set<std::string>& knownPaths) {
+  // <pscd/x.h> and "pscd/x.h" both canonicalize under src/ — this is
+  // what makes the two spellings one graph node.
+  if (startsWith(text, "pscd/")) return normalizeDots("src/" + text);
+  if (angle) return std::string();  // system header
+  const std::string dir = dirnameOf(includerPath);
+  const std::string sibling =
+      normalizeDots(dir.empty() ? text : dir + "/" + text);
+  if (knownPaths.count(sibling)) return sibling;
+  for (const std::string& root : roots) {
+    const std::string viaRoot = normalizeDots(root + "/" + text);
+    if (knownPaths.count(viaRoot)) return viaRoot;
+  }
+  return sibling;  // best textual guess; layer checks still apply
+}
+
+// ---------------------------------------------------------------------------
+// Tarjan SCC + witnesses
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TarjanState {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index;
+  std::vector<int> low;
+  std::vector<bool> onStack;
+  std::vector<int> stack;
+  int next = 0;
+  std::vector<std::vector<int>> sccs;
+
+  explicit TarjanState(const std::vector<std::vector<int>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        low(a.size(), 0),
+        onStack(a.size(), false) {}
+
+  void visit(int v) {
+    index[v] = low[v] = next++;
+    stack.push_back(v);
+    onStack[v] = true;
+    for (int w : adj[v]) {
+      if (index[w] < 0) {
+        visit(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (onStack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<int> scc;
+      int w = -1;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        onStack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      std::sort(scc.begin(), scc.end());
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> tarjanScc(
+    const std::vector<std::vector<int>>& adj) {
+  TarjanState state(adj);
+  for (int v = 0; v < static_cast<int>(adj.size()); ++v) {
+    if (state.index[v] < 0) state.visit(v);
+  }
+  return state.sccs;
+}
+
+std::vector<int> minimalCycleWitness(const std::vector<std::vector<int>>& adj,
+                                     const std::set<int>& members, int start) {
+  std::map<int, int> parent;
+  std::deque<int> queue;
+  for (int w : adj[start]) {
+    if (w == start) return {start, start};  // self-loop
+    if (members.count(w) && !parent.count(w)) {
+      parent[w] = start;
+      queue.push_back(w);
+    }
+  }
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int w : adj[v]) {
+      if (w == start) {
+        std::vector<int> rev;
+        for (int cur = v; cur != start; cur = parent.at(cur))
+          rev.push_back(cur);
+        std::vector<int> path;
+        path.push_back(start);
+        for (auto it = rev.rbegin(); it != rev.rend(); ++it)
+          path.push_back(*it);
+        path.push_back(start);
+        return path;
+      }
+      if (members.count(w) && !parent.count(w)) {
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Architecture pass
+// ---------------------------------------------------------------------------
+
+void resolveIncludes(std::vector<ArchFile>& files, const Manifest& manifest) {
+  std::set<std::string> known;
+  for (const ArchFile& f : files) known.insert(f.effectivePath);
+  for (ArchFile& f : files) {
+    for (IncludeDirective& inc : f.raw.includes) {
+      inc.resolved = resolveInclude(f.effectivePath, inc.text, inc.angle,
+                                    manifest.roots, known);
+    }
+  }
+}
+
+namespace {
+
+/// True when `header` is `file`'s own sibling header (same directory,
+/// same stem, different extension class).
+bool isOwnHeader(const std::string& file, const std::string& header) {
+  return file != header && stemOf(file) == stemOf(header);
+}
+
+bool inUnusedIncludeScope(const std::string& path) {
+  return startsWith(path, "src/") || startsWith(path, "tools/") ||
+         startsWith(path, "bench/") || startsWith(path, "fuzz/") ||
+         startsWith(path, "examples/");
+}
+
+bool inSelfIncludeScope(const std::string& path) {
+  return startsWith(path, "src/") || startsWith(path, "tools/");
+}
+
+std::string joinChain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += chain[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void runArchPass(const std::vector<ArchFile>& files, const Manifest& manifest,
+                 const ArchOptions& options, std::vector<Finding>& out) {
+  std::map<std::string, int> index;  // effectivePath -> first file index
+  for (int i = 0; i < static_cast<int>(files.size()); ++i)
+    index.emplace(files[i].effectivePath, i);
+
+  // --- layer-violation: direct cross-layer edges not in the manifest.
+  for (const ArchFile& f : files) {
+    const std::string from = manifest.layerOf(f.effectivePath);
+    for (const IncludeDirective& inc : f.raw.includes) {
+      if (inc.resolved.empty()) continue;
+      const std::string to = manifest.layerOf(inc.resolved);
+      if (from.empty() || to.empty() || from == to) continue;
+      if (manifest.allowedEdges.count({from, to})) continue;
+      out.push_back(Finding{
+          f.effectivePath, inc.line, "layer-violation",
+          "include of '" + inc.resolved + "' crosses layers '" + from +
+              "' -> '" + to + "', an edge the layering manifest does not "
+              "allow"});
+    }
+  }
+
+  // Adjacency restricted to scanned files, for cycles and reachability.
+  std::vector<std::vector<int>> adj(files.size());
+  for (int i = 0; i < static_cast<int>(files.size()); ++i) {
+    std::set<int> targets;
+    for (const IncludeDirective& inc : files[i].raw.includes) {
+      auto it = index.find(inc.resolved);
+      if (it != index.end()) targets.insert(it->second);
+    }
+    adj[i].assign(targets.begin(), targets.end());
+  }
+
+  // --- include-cycle: one finding per SCC, anchored at the smallest
+  // path in the cycle, with a BFS-minimal witness.
+  for (const std::vector<int>& scc : tarjanScc(adj)) {
+    bool selfLoop = false;
+    if (scc.size() == 1) {
+      for (int w : adj[scc[0]]) selfLoop = selfLoop || w == scc[0];
+      if (!selfLoop) continue;
+    }
+    std::set<int> members(scc.begin(), scc.end());
+    int rep = scc[0];
+    for (int v : scc) {
+      if (files[v].effectivePath < files[rep].effectivePath) rep = v;
+    }
+    std::vector<int> witness = minimalCycleWitness(adj, members, rep);
+    std::vector<std::string> chain;
+    for (int v : witness) chain.push_back(files[v].effectivePath);
+    int line = 1;
+    if (witness.size() >= 2) {
+      for (const IncludeDirective& inc : files[rep].raw.includes) {
+        if (inc.resolved == files[witness[1]].effectivePath) {
+          line = inc.line;
+          break;
+        }
+      }
+    }
+    out.push_back(Finding{
+        files[rep].effectivePath, line, "include-cycle",
+        "include cycle of " + std::to_string(scc.size()) + " file" +
+            (scc.size() == 1 ? "" : "s") + ": " + joinChain(chain)});
+  }
+
+  // --- layer-violation (transitive): --forbid-reach pairs.
+  for (const auto& [fromLayer, toLayer] : options.forbidReach) {
+    for (int i = 0; i < static_cast<int>(files.size()); ++i) {
+      if (manifest.layerOf(files[i].effectivePath) != fromLayer) continue;
+      // BFS for a shortest include chain into `toLayer`.
+      std::map<int, int> parent;
+      parent[i] = -1;
+      std::deque<int> queue;
+      queue.push_back(i);
+      int hitVia = -1;
+      std::string hitTarget;
+      while (!queue.empty() && hitVia < 0) {
+        int v = queue.front();
+        queue.pop_front();
+        for (const IncludeDirective& inc : files[v].raw.includes) {
+          if (inc.resolved.empty()) continue;
+          if (manifest.layerOf(inc.resolved) == toLayer) {
+            hitVia = v;
+            hitTarget = inc.resolved;
+            break;
+          }
+          auto it = index.find(inc.resolved);
+          if (it != index.end() && !parent.count(it->second)) {
+            parent[it->second] = v;
+            queue.push_back(it->second);
+          }
+        }
+      }
+      if (hitVia < 0) continue;
+      std::vector<int> nodes;
+      for (int cur = hitVia; cur != -1; cur = parent.at(cur))
+        nodes.push_back(cur);
+      std::reverse(nodes.begin(), nodes.end());
+      std::vector<std::string> chain;
+      for (int v : nodes) chain.push_back(files[v].effectivePath);
+      chain.push_back(hitTarget);
+      // Anchor at the first include edge of the chain.
+      int line = 1;
+      const std::string& next = chain[1];
+      for (const IncludeDirective& inc : files[i].raw.includes) {
+        if (inc.resolved == next) {
+          line = inc.line;
+          break;
+        }
+      }
+      out.push_back(Finding{
+          files[i].effectivePath, line, "layer-violation",
+          "layer '" + fromLayer + "' must not reach layer '" + toLayer +
+              "', but this file transitively includes '" + hitTarget +
+              "': " + joinChain(chain)});
+    }
+  }
+
+  // --- unused-include: IWYU-lite over directly included project
+  // headers whose harvest is visible and non-empty.
+  for (const ArchFile& f : files) {
+    if (!inUnusedIncludeScope(f.effectivePath)) continue;
+    if (f.tokens == nullptr) continue;
+    std::set<std::string> used;
+    for (const Token& t : *f.tokens) {
+      if (t.kind == Token::Kind::kIdent) used.insert(t.text);
+    }
+    for (const IncludeDirective& inc : f.raw.includes) {
+      auto it = index.find(inc.resolved);
+      if (it == index.end()) continue;
+      const ArchFile& header = files[it->second];
+      if (&header == &f) continue;
+      if (isOwnHeader(f.effectivePath, header.effectivePath)) continue;
+      // A header that defines macros may be used invisibly (the token
+      // stream never sees preprocessor context), so stay quiet.
+      if (!header.raw.macros.empty()) continue;
+      if (header.symbols.empty()) continue;
+      bool anyUsed = false;
+      for (const std::string& sym : header.symbols) {
+        if (used.count(sym)) {
+          anyUsed = true;
+          break;
+        }
+      }
+      if (anyUsed) continue;
+      out.push_back(Finding{
+          f.effectivePath, inc.line, "unused-include",
+          "no declared symbol of '" + inc.resolved +
+              "' is referenced in this file"});
+    }
+  }
+
+  // --- self-include-first: a .cpp with a sibling header in the scan
+  // set must include it before anything else.
+  for (const ArchFile& f : files) {
+    if (!inSelfIncludeScope(f.effectivePath)) continue;
+    if (!hasSourceExtension(f.effectivePath)) continue;
+    std::string sibling;
+    for (const char* ext : {".h", ".hpp"}) {
+      const std::string cand = stemOf(f.effectivePath) + ext;
+      if (index.count(cand)) {
+        sibling = cand;
+        break;
+      }
+    }
+    if (sibling.empty()) continue;
+    if (f.raw.includes.empty()) {
+      out.push_back(Finding{f.effectivePath, 1, "self-include-first",
+                            "this file never includes its own header '" +
+                                sibling + "'"});
+      continue;
+    }
+    const IncludeDirective& first = f.raw.includes.front();
+    if (first.resolved != sibling) {
+      out.push_back(Finding{
+          f.effectivePath, first.line, "self-include-first",
+          "own header '" + sibling + "' must be the first include (found '" +
+              first.text + "')"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------------
+
+std::string renderGraphDot(const std::vector<ArchFile>& files,
+                           const Manifest& manifest) {
+  std::map<std::string, std::vector<std::string>> byLayer;
+  for (const ArchFile& f : files) {
+    std::string layer = manifest.layerOf(f.effectivePath);
+    if (layer.empty()) layer = "(unlayered)";
+    byLayer[layer].push_back(f.effectivePath);
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const ArchFile& f : files) {
+    for (const IncludeDirective& inc : f.raw.includes) {
+      if (!inc.resolved.empty())
+        edges.insert({f.effectivePath, inc.resolved});
+    }
+  }
+  std::ostringstream o;
+  o << "// Generated by `pscd_lint --graph-dot`; do not edit.\n"
+    << "digraph pscd_includes {\n"
+    << "  rankdir=LR;\n"
+    << "  node [shape=box, fontsize=9];\n";
+  int clusterId = 0;
+  for (auto& [layer, paths] : byLayer) {
+    std::sort(paths.begin(), paths.end());
+    o << "  subgraph cluster_" << clusterId++ << " {\n"
+      << "    label=\"" << layer << "\";\n";
+    for (const std::string& p : paths) o << "    \"" << p << "\";\n";
+    o << "  }\n";
+  }
+  for (const auto& [from, to] : edges) {
+    o << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  o << "}\n";
+  return o.str();
+}
+
+std::string renderLayerEdges(const std::vector<ArchFile>& files,
+                             const Manifest& manifest) {
+  std::set<std::string> lines;
+  for (const ArchFile& f : files) {
+    const std::string from = manifest.layerOf(f.effectivePath);
+    if (from.empty()) continue;
+    for (const IncludeDirective& inc : f.raw.includes) {
+      if (inc.resolved.empty()) continue;
+      const std::string to = manifest.layerOf(inc.resolved);
+      if (to.empty() || to == from) continue;
+      lines.insert(from + " -> " + to);
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string renderLayerSvg(const std::vector<ArchFile>& files,
+                           const Manifest& manifest) {
+  // Depth = longest allowed-edge path to a leaf layer (util sits at
+  // depth 0 and is drawn at the bottom).
+  std::map<std::string, int> depth;
+  std::map<std::string, int> visiting;
+  // Iterative-friendly memoized recursion over a tiny DAG.
+  std::function<int(const std::string&)> depthOf =
+      [&](const std::string& layer) -> int {
+    auto it = depth.find(layer);
+    if (it != depth.end()) return it->second;
+    if (visiting.count(layer)) return 0;  // manifest cycle guard
+    visiting[layer] = 1;
+    int d = 0;
+    for (const auto& [from, to] : manifest.allowedEdges) {
+      if (from == layer) d = std::max(d, 1 + depthOf(to));
+    }
+    visiting.erase(layer);
+    depth[layer] = d;
+    return d;
+  };
+  int maxDepth = 0;
+  for (const auto& [name, prefixes] : manifest.layers)
+    maxDepth = std::max(maxDepth, depthOf(name));
+
+  std::map<int, std::vector<std::string>> rows;  // depth -> layer names
+  for (const auto& [name, prefixes] : manifest.layers)
+    rows[depth[name]].push_back(name);  // map iteration: already sorted
+
+  std::map<std::string, int> fileCount;
+  for (const ArchFile& f : files) {
+    const std::string layer = manifest.layerOf(f.effectivePath);
+    if (!layer.empty()) ++fileCount[layer];
+  }
+  std::set<std::pair<std::string, std::string>> actual;
+  for (const ArchFile& f : files) {
+    const std::string from = manifest.layerOf(f.effectivePath);
+    for (const IncludeDirective& inc : f.raw.includes) {
+      if (inc.resolved.empty() || from.empty()) continue;
+      const std::string to = manifest.layerOf(inc.resolved);
+      if (!to.empty() && to != from) actual.insert({from, to});
+    }
+  }
+
+  const int width = 980;
+  const int rowH = 104;
+  const int nodeW = 150;
+  const int nodeH = 46;
+  const int marginTop = 56;
+  const int height = marginTop + (maxDepth + 1) * rowH + 28;
+
+  // Node centers, laid out deterministically per row.
+  std::map<std::string, std::pair<int, int>> center;
+  for (const auto& [d, names] : rows) {
+    const int k = static_cast<int>(names.size());
+    for (int i = 0; i < k; ++i) {
+      const int cx = (i + 1) * width / (k + 1);
+      const int cy = marginTop + (maxDepth - d) * rowH + nodeH / 2;
+      center[names[i]] = {cx, cy};
+    }
+  }
+
+  std::ostringstream o;
+  o << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+    << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+    << height << "\" font-family=\"Helvetica, Arial, sans-serif\">\n"
+    << "  <!-- Generated by `pscd_lint --graph-svg`; do not edit. -->\n"
+    << "  <defs>\n"
+    << "    <marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" "
+       "refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" "
+       "orient=\"auto-start-reverse\">\n"
+    << "      <path d=\"M 0 0 L 10 5 L 0 10 z\" fill=\"#556\"/>\n"
+    << "    </marker>\n"
+    << "  </defs>\n"
+    << "  <text x=\"" << width / 2
+    << "\" y=\"24\" text-anchor=\"middle\" font-size=\"15\" "
+       "fill=\"#223\">pscd layer DAG (arrows point at dependencies; "
+       "dashed = allowed but currently unused)</text>\n";
+  for (const auto& [from, to] : manifest.allowedEdges) {
+    auto fit = center.find(from);
+    auto tit = center.find(to);
+    if (fit == center.end() || tit == center.end()) continue;
+    const auto [x1, y1] = fit->second;
+    const auto [x2, y2] = tit->second;
+    const bool used = actual.count({from, to}) > 0;
+    o << "  <line x1=\"" << x1 << "\" y1=\"" << y1 + nodeH / 2 << "\" x2=\""
+      << x2 << "\" y2=\"" << y2 - nodeH / 2 << "\" stroke=\""
+      << (used ? "#556" : "#aab") << "\" stroke-width=\"1.3\""
+      << (used ? "" : " stroke-dasharray=\"5,4\"")
+      << " marker-end=\"url(#arrow)\"/>\n";
+  }
+  for (const auto& [name, c] : center) {
+    const auto [cx, cy] = c;
+    o << "  <rect x=\"" << cx - nodeW / 2 << "\" y=\"" << cy - nodeH / 2
+      << "\" width=\"" << nodeW << "\" height=\"" << nodeH
+      << "\" rx=\"8\" fill=\"#eef2fb\" stroke=\"#445\"/>\n"
+      << "  <text x=\"" << cx << "\" y=\"" << cy - 2
+      << "\" text-anchor=\"middle\" font-size=\"14\" fill=\"#112\">" << name
+      << "</text>\n"
+      << "  <text x=\"" << cx << "\" y=\"" << cy + 15
+      << "\" text-anchor=\"middle\" font-size=\"10\" fill=\"#667\">"
+      << fileCount[name] << " files</text>\n";
+  }
+  o << "</svg>\n";
+  return o.str();
+}
+
+}  // namespace pscd_lint

@@ -1,0 +1,162 @@
+// Whole-repo architecture analysis for pscd_lint: the #include graph,
+// a per-header declared-symbol harvest, Tarjan SCC cycle detection with
+// minimal witness cycles, and a checked-in layering manifest
+// (tools/pscd_lint/layers.txt) that turns the graph into enforceable
+// rules:
+//
+//   layer-violation    a direct include crosses layers along an edge the
+//                      manifest does not allow, or (--forbid-reach) a
+//                      file in one layer transitively reaches another
+//   include-cycle      a strongly connected component in the include
+//                      graph, reported with a minimal witness cycle
+//   unused-include     IWYU-lite: a directly included project header
+//                      none of whose harvested symbols appear in the
+//                      including file's token stream
+//   self-include-first a .cpp whose sibling header exists but is not its
+//                      first include
+//
+// Everything here keys files by their *effective* path (after any
+// as-path directive), so the fixture corpus can exercise the rules
+// against the live manifest without leaving tests/lint_fixtures/.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace pscd_lint {
+
+/// One #include directive, scanned from the raw source (the lexer drops
+/// preprocessor lines, so the graph pass re-scans them comment-aware).
+struct IncludeDirective {
+  int line = 0;
+  std::string text;    // the path between the quotes / angle brackets
+  bool angle = false;  // <...> vs "..."
+  /// Canonical repo-relative target ("src/pscd/util/rng.h"), or "" when
+  /// the include is a system/unresolvable header the graph ignores.
+  std::string resolved;
+};
+
+/// Raw-scan result of one file: its include directives plus the names
+/// of every object-like/function-like macro it #defines. Macro names
+/// feed the unused-include exemption — a header that defines macros may
+/// be "used" purely inside preprocessor context the token stream cannot
+/// see, so the rule must stay quiet about it.
+struct RawScan {
+  std::vector<IncludeDirective> includes;
+  std::set<std::string> macros;
+};
+
+/// Scans `source` for #include directives and #define'd macro names,
+/// skipping comments and string literals. Does not resolve paths (see
+/// resolveInclude).
+RawScan scanRaw(const std::string& source);
+
+/// Declared symbols harvested from a header's token stream: type names
+/// (class/struct/enum/union, including forward declarations), using
+/// aliases and typedefs, and namespace-scope function/variable names.
+/// Class members and function locals are deliberately excluded — their
+/// names are too generic to witness "this file uses that header".
+std::set<std::string> harvestSymbols(const std::vector<Token>& tokens);
+
+// ---------------------------------------------------------------------------
+// Layering manifest
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+  /// Layer name -> path prefixes, matched longest-prefix-first.
+  std::map<std::string, std::vector<std::string>> layers;
+  /// Allowed cross-layer include edges (from, to). Same-layer includes
+  /// are always allowed and never listed.
+  std::set<std::pair<std::string, std::string>> allowedEdges;
+  /// Include roots tried (in order) when resolving quoted includes that
+  /// are not relative to the including file's directory.
+  std::vector<std::string> roots;
+
+  /// Layer of a canonical path by longest prefix match; "" if unmapped.
+  std::string layerOf(const std::string& path) const;
+};
+
+/// Parses a layering manifest. On failure returns false and sets
+/// `error` to a named diagnostic ("line N: <what>"). Duplicate layers,
+/// duplicate allow edges, unknown layers in allow/root lines and
+/// malformed lines are all hard errors (the driver exits 2).
+bool parseManifest(const std::string& text, Manifest* manifest,
+                   std::string* error);
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+/// Per-file input to the architecture pass.
+struct ArchFile {
+  std::string displayPath;    // as given on the command line
+  std::string effectivePath;  // after any as-path directive
+  RawScan raw;
+  std::set<std::string> symbols;  // harvested declarations (headers)
+  const std::vector<Token>* tokens = nullptr;  // lexed token stream
+};
+
+/// Canonicalizes an include directive against the including file's
+/// effective path and the manifest's include roots: "pscd/x.h" maps to
+/// "src/pscd/x.h", a quoted sibling include joins the includer's
+/// directory, and remaining quoted forms try each root in order. A
+/// target that matches a scanned file wins; otherwise the best textual
+/// guess is returned so layer checks still apply to unscanned-but-
+/// prefixed paths. Returns "" for system headers.
+std::string resolveInclude(const std::string& includerPath,
+                           const std::string& text, bool angle,
+                           const std::vector<std::string>& roots,
+                           const std::set<std::string>& knownPaths);
+
+/// Collapses "./" and "a/../" segments; keeps the path relative.
+std::string normalizeDots(const std::string& path);
+
+/// Tarjan strongly connected components over adjacency lists (indexes
+/// into `adj`). Returns components in reverse topological order; only
+/// components with >= 2 nodes or a self-loop represent cycles.
+std::vector<std::vector<int>> tarjanScc(
+    const std::vector<std::vector<int>>& adj);
+
+/// Shortest cycle through `start` (BFS over `adj` restricted to
+/// `members`), returned as a node sequence start -> ... -> start.
+/// Empty when no cycle through `start` exists within `members`.
+std::vector<int> minimalCycleWitness(const std::vector<std::vector<int>>& adj,
+                                     const std::set<int>& members, int start);
+
+/// Fills every include's `resolved` field against the scan set and the
+/// manifest's include roots. Must run before runArchPass / renders.
+void resolveIncludes(std::vector<ArchFile>& files, const Manifest& manifest);
+
+/// Options of the architecture pass.
+struct ArchOptions {
+  /// Layer pairs (from, to): report a layer-violation for every file in
+  /// `from` that transitively includes a file in `to`.
+  std::vector<std::pair<std::string, std::string>> forbidReach;
+};
+
+/// Runs the whole-repo pass and appends findings (attributed to
+/// effective paths; the driver rewrites them to display paths).
+void runArchPass(const std::vector<ArchFile>& files, const Manifest& manifest,
+                 const ArchOptions& options, std::vector<Finding>& out);
+
+/// DOT export of the file-level include graph, clustered by layer.
+std::string renderGraphDot(const std::vector<ArchFile>& files,
+                           const Manifest& manifest);
+
+/// Deterministic one-line-per-edge dump of the *actual* cross-layer
+/// edges in the graph ("from -> to"), for the CI graph-diff gate.
+std::string renderLayerEdges(const std::vector<ArchFile>& files,
+                             const Manifest& manifest);
+
+/// Self-contained SVG of the layer DAG (nodes = layers on rows by
+/// topological depth, edges = manifest-allowed edges), committed as
+/// docs/layers.svg.
+std::string renderLayerSvg(const std::vector<ArchFile>& files,
+                           const Manifest& manifest);
+
+}  // namespace pscd_lint

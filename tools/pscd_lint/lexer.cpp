@@ -159,6 +159,11 @@ LexResult lex(const std::string& source) {
     // the end of the logical line, honoring backslash continuations and
     // comments (which may still carry pscd-lint directives).
     if (c == '#' && !lineHasToken) {
+      // Preprocessor lines emit no tokens, but they are suppression
+      // targets (the architecture rules anchor findings on #include
+      // lines), so they count as token lines for directive resolution.
+      tokenLines.insert(line);
+      lineHasToken = true;
       ++i;
       while (i < n) {
         char p = source[i];

@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "graph.h"
+
 namespace pscd_lint {
 namespace {
 
@@ -24,12 +26,6 @@ bool hasLintableExtension(const fs::path& p) {
          ext == ".hpp";
 }
 
-struct Analysis {
-  std::vector<Finding> findings;  // post-suppression, sorted, deduped
-  Directives directives;
-  bool ioError = false;
-};
-
 bool readFile(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -39,47 +35,106 @@ bool readFile(const std::string& path, std::string* out) {
   return true;
 }
 
-/// Core per-file pipeline: lex, harvest declarations (file + sibling
-/// header), run in-scope rules, apply suppressions, and in strict mode
-/// add suppression-hygiene findings.
-Analysis analyzeSource(const std::string& displayPath,
-                       const std::string& source, const DeclInfo& headerDecls,
-                       bool strict) {
-  Analysis a;
-  LexResult lexed = lex(source);
-  a.directives = lexed.directives;
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return bool(out);
+}
 
-  const std::string effectivePath = lexed.directives.asPath.empty()
-                                        ? normalize(displayPath)
-                                        : lexed.directives.asPath;
-  DeclInfo decls = collectDecls(lexed.tokens);
-  mergeDecls(decls, headerDecls);
+/// One file flowing through the lint pipeline: lexed once, linted by
+/// the per-file rules, optionally annotated by the whole-repo
+/// architecture pass, then filtered through its own suppressions.
+struct PerFile {
+  std::string displayPath;
+  std::string effectivePath;
+  std::string source;
+  LexResult lexed;
+  DeclInfo decls;
+  std::vector<HotRegion> hotRegions;
+  std::vector<Finding> raw;  // pre-suppression, display-path attributed
+};
 
-  std::vector<HotRegion> hotRegions = collectHotRegions(lexed.tokens);
+PerFile makePerFile(const std::string& displayPath, std::string source,
+                    const DeclInfo& headerDecls) {
+  PerFile pf;
+  pf.displayPath = displayPath;
+  pf.source = std::move(source);
+  pf.lexed = lex(pf.source);
+  pf.effectivePath = pf.lexed.directives.asPath.empty()
+                         ? normalize(displayPath)
+                         : pf.lexed.directives.asPath;
+  pf.decls = collectDecls(pf.lexed.tokens);
+  mergeDecls(pf.decls, headerDecls);
+  pf.hotRegions = collectHotRegions(pf.lexed.tokens);
+  return pf;
+}
 
+void runFileRules(PerFile& pf) {
   FileContext ctx;
-  ctx.effectivePath = effectivePath;
-  ctx.tokens = &lexed.tokens;
-  ctx.decls = &decls;
-  ctx.hotRegions = &hotRegions;
-
+  ctx.effectivePath = pf.effectivePath;
+  ctx.tokens = &pf.lexed.tokens;
+  ctx.decls = &pf.decls;
+  ctx.hotRegions = &pf.hotRegions;
   std::vector<Finding> raw;
   for (const Rule& rule : ruleRegistry()) {
-    if (rule.inScope(effectivePath)) rule.check(ctx, raw);
+    if (rule.inScope(pf.effectivePath)) rule.check(ctx, raw);
   }
-  for (Finding& f : raw) f.path = displayPath;
+  for (Finding& f : raw) f.path = pf.displayPath;
+  pf.raw.insert(pf.raw.end(), raw.begin(), raw.end());
+}
+
+/// Runs the whole-repo architecture pass over the already-lexed files
+/// and distributes its findings back onto the per-file records
+/// (attributed to display paths, so suppressions and output see the
+/// path the user passed in). The built graph is returned through
+/// *graphOut for the export flags.
+void runArchitecture(std::vector<PerFile>& pfs, const Manifest& manifest,
+                     const ArchOptions& options,
+                     std::vector<ArchFile>* graphOut) {
+  std::vector<ArchFile> arch;
+  arch.reserve(pfs.size());
+  std::map<std::string, std::size_t> byEffective;  // first claim wins
+  for (std::size_t i = 0; i < pfs.size(); ++i) {
+    ArchFile af;
+    af.displayPath = pfs[i].displayPath;
+    af.effectivePath = pfs[i].effectivePath;
+    af.raw = scanRaw(pfs[i].source);
+    af.symbols = harvestSymbols(pfs[i].lexed.tokens);
+    af.tokens = &pfs[i].lexed.tokens;
+    arch.push_back(std::move(af));
+    byEffective.emplace(pfs[i].effectivePath, i);
+  }
+  resolveIncludes(arch, manifest);
+  std::vector<Finding> findings;
+  runArchPass(arch, manifest, options, findings);
+  for (Finding& f : findings) {
+    auto it = byEffective.find(f.path);
+    if (it == byEffective.end()) continue;
+    PerFile& pf = pfs[it->second];
+    f.path = pf.displayPath;
+    pf.raw.push_back(std::move(f));
+  }
+  if (graphOut != nullptr) *graphOut = std::move(arch);
+}
+
+/// Applies the file's suppressions to its raw findings and, in strict
+/// mode, adds suppression-hygiene findings under the meta-rule
+/// "lint-directive". Must run after the architecture pass so allow()
+/// directives naming architecture rules count as used.
+std::vector<Finding> applySuppressions(const PerFile& pf, bool strict) {
+  const Directives& d = pf.lexed.directives;
 
   // Pre-suppression index for unused-allow detection.
   std::set<std::pair<int, std::string>> rawIndex;
   std::set<std::string> rawRules;
-  for (const Finding& f : raw) {
+  for (const Finding& f : pf.raw) {
     rawIndex.insert({f.line, f.rule});
     rawRules.insert(f.rule);
   }
 
   std::set<Finding> kept;
-  const Directives& d = a.directives;
-  for (const Finding& f : raw) {
+  for (const Finding& f : pf.raw) {
     if (d.allowFile.count(f.rule)) continue;
     auto it = d.allow.find(f.line);
     if (it != d.allow.end() && it->second.count(f.rule)) continue;
@@ -98,7 +153,7 @@ Analysis analyzeSource(const std::string& displayPath,
       if (metaAllowed) return;
       auto it = d.allow.find(line);
       if (it != d.allow.end() && it->second.count("lint-directive")) return;
-      kept.insert(Finding{displayPath, line, "lint-directive", message});
+      kept.insert(Finding{pf.displayPath, line, "lint-directive", message});
     };
     for (const auto& [line, message] : d.errors) addMeta(line, message);
     for (const Directives::AllowSite& site : d.allowSites) {
@@ -128,8 +183,7 @@ Analysis analyzeSource(const std::string& displayPath,
     }
   }
 
-  a.findings.assign(kept.begin(), kept.end());
-  return a;
+  return std::vector<Finding>(kept.begin(), kept.end());
 }
 
 DeclInfo siblingHeaderDecls(const std::string& path) {
@@ -155,6 +209,11 @@ struct Options {
   bool fixHints = false;
   bool checkFixtures = false;
   bool github = false;
+  bool printLayerEdges = false;
+  std::string manifestPath;
+  std::string graphDotPath;
+  std::string graphSvgPath;
+  std::vector<std::pair<std::string, std::string>> forbidReach;
   std::vector<std::string> excludes;
   std::vector<std::string> paths;
 };
@@ -162,6 +221,9 @@ struct Options {
 int usage(std::ostream& err, const std::string& message) {
   if (!message.empty()) err << "pscd_lint: error: " << message << "\n";
   err << "usage: pscd_lint [--strict] [--fix-hints] [--exclude PREFIX]...\n"
+         "                 [--manifest FILE] [--forbid-reach FROM:TO]...\n"
+         "                 [--graph-dot FILE] [--graph-svg FILE]\n"
+         "                 [--print-layer-edges]\n"
          "                 [--check-fixtures] [--list-rules] PATH...\n"
          "\n"
          "Lints C++ sources (files or directories, recursed) against the\n"
@@ -175,6 +237,23 @@ int usage(std::ostream& err, const std::string& message) {
          "                    workflow commands so findings annotate the\n"
          "                    PR diff inline\n"
          "  --exclude PREFIX  skip files whose path starts with PREFIX\n"
+         "  --manifest FILE   load a layering manifest and run the whole-\n"
+         "                    repo architecture pass (layer-violation,\n"
+         "                    include-cycle, unused-include,\n"
+         "                    self-include-first)\n"
+         "  --forbid-reach FROM:TO\n"
+         "                    with --manifest: report a layer-violation\n"
+         "                    when any file in layer FROM transitively\n"
+         "                    includes layer TO (repeatable)\n"
+         "  --graph-dot FILE  with --manifest: write the file-level\n"
+         "                    include graph as Graphviz DOT\n"
+         "  --graph-svg FILE  with --manifest: write the layer DAG as a\n"
+         "                    self-contained SVG\n"
+         "  --print-layer-edges\n"
+         "                    with --manifest: print the actual cross-\n"
+         "                    layer edges (one 'from -> to' per line) and\n"
+         "                    exit 0; CI diffs this against the committed\n"
+         "                    baseline\n"
          "  --check-fixtures  fixture mode: every '// pscd-lint: expect(r)'\n"
          "                    must fire, nothing else may, and every\n"
          "                    registered rule needs at least one firing\n"
@@ -187,6 +266,15 @@ int usage(std::ostream& err, const std::string& message) {
 
 bool parseArgs(const std::vector<std::string>& args, Options* opts,
                std::ostream& err, int* exitCode) {
+  auto value = [&](std::size_t& i, const char* flag,
+                   std::string* out) -> bool {
+    if (i + 1 >= args.size()) {
+      *exitCode = usage(err, std::string(flag) + " needs a value");
+      return false;
+    }
+    *out = args[++i];
+    return true;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--strict") {
@@ -199,12 +287,30 @@ bool parseArgs(const std::vector<std::string>& args, Options* opts,
       opts->checkFixtures = true;
     } else if (a == "--github") {
       opts->github = true;
-    } else if (a == "--exclude") {
-      if (i + 1 >= args.size()) {
-        *exitCode = usage(err, "--exclude needs a path prefix");
+    } else if (a == "--print-layer-edges") {
+      opts->printLayerEdges = true;
+    } else if (a == "--manifest") {
+      if (!value(i, "--manifest", &opts->manifestPath)) return false;
+    } else if (a == "--graph-dot") {
+      if (!value(i, "--graph-dot", &opts->graphDotPath)) return false;
+    } else if (a == "--graph-svg") {
+      if (!value(i, "--graph-svg", &opts->graphSvgPath)) return false;
+    } else if (a == "--forbid-reach") {
+      std::string pair;
+      if (!value(i, "--forbid-reach", &pair)) return false;
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= pair.size()) {
+        *exitCode = usage(err, "--forbid-reach wants FROM:TO, got '" + pair +
+                                   "'");
         return false;
       }
-      opts->excludes.push_back(normalize(args[++i]));
+      opts->forbidReach.emplace_back(pair.substr(0, colon),
+                                     pair.substr(colon + 1));
+    } else if (a == "--exclude") {
+      std::string prefix;
+      if (!value(i, "--exclude", &prefix)) return false;
+      opts->excludes.push_back(normalize(prefix));
     } else if (a == "--help" || a == "-h") {
       *exitCode = usage(err, "");
       *exitCode = 0;
@@ -214,6 +320,18 @@ bool parseArgs(const std::vector<std::string>& args, Options* opts,
       return false;
     } else {
       opts->paths.push_back(a);
+    }
+  }
+  if (opts->manifestPath.empty()) {
+    const char* needManifest = nullptr;
+    if (!opts->graphDotPath.empty()) needManifest = "--graph-dot";
+    if (!opts->graphSvgPath.empty()) needManifest = "--graph-svg";
+    if (opts->printLayerEdges) needManifest = "--print-layer-edges";
+    if (!opts->forbidReach.empty()) needManifest = "--forbid-reach";
+    if (needManifest != nullptr) {
+      *exitCode =
+          usage(err, std::string(needManifest) + " requires --manifest");
+      return false;
     }
   }
   if (!opts->listRules && opts->paths.empty()) {
@@ -326,34 +444,31 @@ int runListRules(std::ostream& out) {
 }
 
 /// Fixture mode: expectations in the corpus must match findings exactly,
-/// and every registered rule must fire somewhere.
-int runCheckFixtures(const std::vector<std::string>& files, bool fixHints,
-                     std::ostream& out, std::ostream& err) {
+/// and every registered rule must fire somewhere. Architecture findings
+/// are already distributed onto the per-file records, so fixtures can
+/// expect() them like any token rule.
+int runCheckFixtures(const std::vector<PerFile>& pfs, bool fixHints,
+                     std::ostream& out) {
   int mismatches = 0;
   std::set<std::string> firedRules;
-  for (const std::string& file : files) {
-    std::string source;
-    if (!readFile(file, &source)) {
-      err << "pscd_lint: error: cannot read " << file << "\n";
-      return 2;
-    }
-    Analysis a =
-        analyzeSource(file, source, siblingHeaderDecls(file), /*strict=*/true);
+  for (const PerFile& pf : pfs) {
+    const std::vector<Finding> findings =
+        applySuppressions(pf, /*strict=*/true);
     std::set<std::pair<int, std::string>> actual;
-    for (const Finding& f : a.findings) actual.insert({f.line, f.rule});
+    for (const Finding& f : findings) actual.insert({f.line, f.rule});
     std::set<std::pair<int, std::string>> expected;
-    for (const auto& [line, rules] : a.directives.expect) {
+    for (const auto& [line, rules] : pf.lexed.directives.expect) {
       for (const std::string& rule : rules) expected.insert({line, rule});
     }
     for (const auto& [line, rule] : expected) {
       firedRules.insert(rule);
       if (!actual.count({line, rule})) {
-        out << file << ':' << line << ':' << rule
+        out << pf.displayPath << ':' << line << ':' << rule
             << ": FIXTURE DID NOT FIRE (expected a finding here)\n";
         ++mismatches;
       }
     }
-    for (const Finding& f : a.findings) {
+    for (const Finding& f : findings) {
       if (!expected.count({f.line, f.rule})) {
         out << f.path << ':' << f.line << ':' << f.rule
             << ": unexpected finding in fixture: " << f.message << "\n";
@@ -377,7 +492,7 @@ int runCheckFixtures(const std::vector<std::string>& files, bool fixHints,
         << " mismatch" << (mismatches == 1 ? "" : "es") << ")\n";
     return 1;
   }
-  out << "pscd_lint: fixture self-test ok (" << files.size() << " fixtures, "
+  out << "pscd_lint: fixture self-test ok (" << pfs.size() << " fixtures, "
       << ruleRegistry().size() << " rules fired)\n";
   return 0;
 }
@@ -387,7 +502,57 @@ int runCheckFixtures(const std::vector<std::string>& files, bool fixHints,
 std::vector<Finding> lintSource(const std::string& path,
                                 const std::string& source,
                                 const DeclInfo& headerDecls, bool strict) {
-  return analyzeSource(path, source, headerDecls, strict).findings;
+  PerFile pf = makePerFile(path, source, headerDecls);
+  runFileRules(pf);
+  return applySuppressions(pf, strict);
+}
+
+std::vector<Finding> lintRepo(
+    const std::vector<MemoryFile>& files, const std::string& manifestText,
+    const std::vector<std::pair<std::string, std::string>>& forbidReach,
+    bool strict, std::string* manifestError) {
+  Manifest manifest;
+  std::string parseError;
+  if (!parseManifest(manifestText, &manifest, &parseError)) {
+    if (manifestError != nullptr) *manifestError = parseError;
+    return {};
+  }
+  if (manifestError != nullptr) manifestError->clear();
+
+  std::vector<PerFile> pfs;
+  pfs.reserve(files.size());
+  for (const MemoryFile& mf : files) {
+    DeclInfo headerDecls;
+    fs::path p(mf.path);
+    const std::string ext = p.extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") {
+      for (const char* hext : {".h", ".hpp"}) {
+        fs::path header = p;
+        header.replace_extension(hext);
+        const std::string headerPath = header.generic_string();
+        for (const MemoryFile& other : files) {
+          if (other.path == headerPath) {
+            mergeDecls(headerDecls, collectDecls(lex(other.source).tokens));
+            break;
+          }
+        }
+      }
+    }
+    pfs.push_back(makePerFile(mf.path, mf.source, headerDecls));
+  }
+  for (PerFile& pf : pfs) runFileRules(pf);
+
+  ArchOptions archOptions;
+  archOptions.forbidReach = forbidReach;
+  runArchitecture(pfs, manifest, archOptions, nullptr);
+
+  std::vector<Finding> all;
+  for (const PerFile& pf : pfs) {
+    const std::vector<Finding> kept = applySuppressions(pf, strict);
+    all.insert(all.end(), kept.begin(), kept.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
 }
 
 int runLint(const std::vector<std::string>& args, std::ostream& out,
@@ -399,29 +564,83 @@ int runLint(const std::vector<std::string>& args, std::ostream& out,
 
   std::vector<std::string> files;
   if (!collectFiles(opts, &files, err)) return 2;
-  if (opts.checkFixtures)
-    return runCheckFixtures(files, opts.fixHints, out, err);
 
-  std::vector<Finding> all;
+  Manifest manifest;
+  const bool haveManifest = !opts.manifestPath.empty();
+  if (haveManifest) {
+    std::string text;
+    if (!readFile(opts.manifestPath, &text)) {
+      err << "pscd_lint: error: cannot read manifest " << opts.manifestPath
+          << "\n";
+      return 2;
+    }
+    std::string parseError;
+    if (!parseManifest(text, &manifest, &parseError)) {
+      err << "pscd_lint: error: manifest " << opts.manifestPath << ": "
+          << parseError << "\n";
+      return 2;
+    }
+    for (const auto& [from, to] : opts.forbidReach) {
+      for (const std::string& layer : {from, to}) {
+        if (!manifest.layers.count(layer)) {
+          err << "pscd_lint: error: --forbid-reach names unknown layer '"
+              << layer << "'\n";
+          return 2;
+        }
+      }
+    }
+  }
+
+  std::vector<PerFile> pfs;
+  pfs.reserve(files.size());
   for (const std::string& file : files) {
     std::string source;
     if (!readFile(file, &source)) {
       err << "pscd_lint: error: cannot read " << file << "\n";
       return 2;
     }
-    Analysis a =
-        analyzeSource(file, source, siblingHeaderDecls(file), opts.strict);
-    all.insert(all.end(), a.findings.begin(), a.findings.end());
+    pfs.push_back(makePerFile(file, std::move(source),
+                              siblingHeaderDecls(file)));
+  }
+  for (PerFile& pf : pfs) runFileRules(pf);
+
+  if (haveManifest) {
+    ArchOptions archOptions;
+    archOptions.forbidReach = opts.forbidReach;
+    std::vector<ArchFile> graph;
+    runArchitecture(pfs, manifest, archOptions, &graph);
+    if (!opts.graphDotPath.empty() &&
+        !writeFile(opts.graphDotPath, renderGraphDot(graph, manifest))) {
+      err << "pscd_lint: error: cannot write " << opts.graphDotPath << "\n";
+      return 2;
+    }
+    if (!opts.graphSvgPath.empty() &&
+        !writeFile(opts.graphSvgPath, renderLayerSvg(graph, manifest))) {
+      err << "pscd_lint: error: cannot write " << opts.graphSvgPath << "\n";
+      return 2;
+    }
+    if (opts.printLayerEdges) {
+      out << renderLayerEdges(graph, manifest);
+      return 0;
+    }
+  }
+
+  if (opts.checkFixtures) return runCheckFixtures(pfs, opts.fixHints, out);
+
+  std::vector<Finding> all;
+  for (const PerFile& pf : pfs) {
+    const std::vector<Finding> kept = applySuppressions(pf, opts.strict);
+    all.insert(all.end(), kept.begin(), kept.end());
   }
   std::sort(all.begin(), all.end());
   printFindings(all, opts.fixHints, opts.github, out);
   if (!all.empty()) {
     out << "pscd_lint: " << all.size() << " finding"
-        << (all.size() == 1 ? "" : "s") << " in " << files.size()
+        << (all.size() == 1 ? "" : "s") << " in " << pfs.size()
         << " files\n";
     return 1;
   }
-  out << "pscd_lint: clean (" << files.size() << " files)\n";
+  out << "pscd_lint: clean (" << pfs.size() << " files)\n";
   return 0;
 }
 

@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rules.h"
@@ -23,6 +24,24 @@ namespace pscd_lint {
 std::vector<Finding> lintSource(const std::string& path,
                                 const std::string& source,
                                 const DeclInfo& headerDecls, bool strict);
+
+/// An in-memory file for lintRepo (tests build whole synthetic repos
+/// without touching the filesystem).
+struct MemoryFile {
+  std::string path;
+  std::string source;
+};
+
+/// Full pipeline — per-file rules plus the whole-repo architecture
+/// pass — over in-memory sources. `manifestText` is a layering
+/// manifest (see tools/pscd_lint/layers.txt); a parse failure reports
+/// the named diagnostic through *manifestError and returns no
+/// findings. `forbidReach` lists (fromLayer, toLayer) pairs whose
+/// transitive reachability is itself a layer-violation.
+std::vector<Finding> lintRepo(
+    const std::vector<MemoryFile>& files, const std::string& manifestText,
+    const std::vector<std::pair<std::string, std::string>>& forbidReach,
+    bool strict, std::string* manifestError);
 
 /// Full command-line entry point (everything after argv[0]).
 int runLint(const std::vector<std::string>& args, std::ostream& out,

@@ -874,6 +874,17 @@ void checkSharedPtrCopyInHot(const FileContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Architecture rules (whole-repo)
+// ---------------------------------------------------------------------------
+
+// The architecture rules' findings come from the include/symbol graph
+// pass in lint.cpp — they need every scanned file at once, so the
+// per-file hook is a no-op. They are registered here anyway so the
+// registry owns their names, groups, summaries, and fix hints (and so
+// allow()/expect() directives naming them validate).
+void checkWholeRepo(const FileContext&, std::vector<Finding>&) {}
+
 }  // namespace
 
 const std::vector<Rule>& ruleRegistry() {
@@ -963,6 +974,35 @@ const std::vector<Rule>& ruleRegistry() {
        "take T* or T& for non-owning access inside the hot path; "
        "transfer ownership with std::move",
        anywhere, checkSharedPtrCopyInHot},
+      {"layer-violation", "architecture",
+       "an #include crossing layers along an edge the layering manifest "
+       "(tools/pscd_lint/layers.txt) does not allow, or a --forbid-reach "
+       "layer transitively reaching a forbidden one",
+       "depend downward only: move the shared type into the lower layer, "
+       "take a narrow interface (core/runtime.h Clock/EventSink) instead "
+       "of the concrete upper type, or add the edge to layers.txt under "
+       "review; an intentional back-edge takes allow(layer-violation) "
+       "with the rationale",
+       anywhere, checkWholeRepo},
+      {"include-cycle", "architecture",
+       "a strongly connected component in the #include graph (reported "
+       "once per cycle with a minimal witness path)",
+       "break the cycle: forward-declare instead of including, split the "
+       "shared piece into its own header, or invert the dependency",
+       anywhere, checkWholeRepo},
+      {"unused-include", "architecture",
+       "a directly included project header none of whose declared "
+       "symbols appear in this file (headers that #define macros are "
+       "exempt — macro use is invisible to the token stream)",
+       "drop the include (or include what you use where the symbol "
+       "really comes from); an include kept for re-export takes "
+       "allow(unused-include) with the rationale",
+       anywhere, checkWholeRepo},
+      {"self-include-first", "architecture",
+       "a .cpp whose sibling header exists but is not its first #include "
+       "(first-include position proves the header is self-sufficient)",
+       "move the own-header #include above every other include",
+       anywhere, checkWholeRepo},
   };
   return kRules;
 }
