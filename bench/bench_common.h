@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -59,6 +60,18 @@ struct BenchEnv {
 /// message holds the fully formatted diagnostic).
 enum class BenchEnvStatus { kOk, kHelp, kError };
 
+/// A driver-specific option registered alongside the shared --jobs /
+/// --scale / --csv set, so drivers with extra knobs (bench_serve's
+/// --qps, --mode, ...) extend the one parser instead of growing a
+/// second ad-hoc one. Precedence matches the shared options: explicit
+/// flag > `envVar` (when non-empty and set) > `defaultValue`.
+struct BenchOption {
+  std::string name;          // long option name, without the "--"
+  std::string help;          // one-line --help description
+  std::string defaultValue;  // builtin default
+  std::string envVar;        // optional env var overriding the default
+};
+
 /// Testable core of parseBenchEnv. Environment variables provide
 /// *defaults* that explicit flags always override:
 ///
@@ -74,11 +87,13 @@ inline BenchEnvStatus tryParseBenchEnv(
     int argc, const char* const* argv, const std::string& program,
     const std::string& description,
     const std::function<const char*(const char*)>& envLookup, BenchEnv* out,
-    std::string* message) {
-  const auto envDefault = [&](const char* name, const char* fallback) {
-    const char* v = envLookup ? envLookup(name) : nullptr;
-    return v != nullptr && *v != '\0' ? std::string(v)
-                                      : std::string(fallback);
+    std::string* message, const std::vector<BenchOption>& extraOptions = {},
+    std::map<std::string, std::string>* extraValues = nullptr) {
+  const auto envDefault = [&](const char* name, const std::string& fallback) {
+    const char* v =
+        envLookup && name != nullptr && *name != '\0' ? envLookup(name)
+                                                      : nullptr;
+    return v != nullptr && *v != '\0' ? std::string(v) : fallback;
   };
   ArgParser parser(program, description);
   parser.addOption("jobs",
@@ -90,6 +105,10 @@ inline BenchEnvStatus tryParseBenchEnv(
                    envDefault("PSCD_BENCH_SCALE", "1"));
   parser.addOption("csv", "also write every table to this CSV file",
                    envDefault("PSCD_BENCH_CSV", ""));
+  for (const BenchOption& option : extraOptions) {
+    parser.addOption(option.name, option.help,
+                     envDefault(option.envVar.c_str(), option.defaultValue));
+  }
   if (!parser.parse(argc, argv)) {
     if (parser.error().empty()) {
       *message = parser.help();
@@ -116,19 +135,28 @@ inline BenchEnvStatus tryParseBenchEnv(
     return BenchEnvStatus::kError;
   }
   out->csvPath = parser.option("csv");
+  if (extraValues != nullptr) {
+    for (const BenchOption& option : extraOptions) {
+      (*extraValues)[option.name] = parser.option(option.name);
+    }
+  }
   return BenchEnvStatus::kOk;
 }
 
-/// Parses the shared bench options. Exits on --help (0) or bad usage
-/// (2), so drivers can use the result unconditionally.
-inline BenchEnv parseBenchEnv(int argc, const char* const* argv,
-                              const std::string& program,
-                              const std::string& description) {
+/// Parses the shared bench options (plus any driver-specific extras).
+/// Exits on --help (0) or bad usage (2), so drivers can use the result
+/// unconditionally.
+inline BenchEnv parseBenchEnv(
+    int argc, const char* const* argv, const std::string& program,
+    const std::string& description,
+    const std::vector<BenchOption>& extraOptions = {},
+    std::map<std::string, std::string>* extraValues = nullptr) {
   BenchEnv env;
   std::string message;
   const BenchEnvStatus status = tryParseBenchEnv(
       argc, argv, program, description,
-      [](const char* name) { return std::getenv(name); }, &env, &message);
+      [](const char* name) { return std::getenv(name); }, &env, &message,
+      extraOptions, extraValues);
   if (status == BenchEnvStatus::kHelp) {
     std::printf("%s", message.c_str());
     std::exit(0);
@@ -221,13 +249,14 @@ class CsvSink {
   std::ostringstream buffer_ PSCD_GUARDED_BY(mu_);
 };
 
-// --- BENCH_micro.json trajectory (schema pscd-bench-micro-v2) --------
+// --- BENCH_*.json trajectory histories -------------------------------
 //
-// The micro-bench history is an append-only array of timestamped run
-// entries, capped at kMicroHistoryLimit. The repo has a JSON *writer*
-// only, so the helpers below splice raw entry objects textually: they
-// scan with a string-literal-aware depth counter, never interpret
-// numbers, and round-trip unknown fields untouched.
+// Persisted bench histories (BENCH_micro.json, BENCH_serve.json) are
+// append-only arrays of timestamped run entries, capped at
+// kMicroHistoryLimit, under a top-level schema tag. The repo has a JSON
+// *writer* only, so the helpers below splice raw entry objects
+// textually: they scan with a string-literal-aware depth counter, never
+// interpret numbers, and round-trip unknown fields untouched.
 
 inline constexpr std::size_t kMicroHistoryLimit = 50;
 
@@ -241,12 +270,13 @@ inline std::string readTextFileOrEmpty(const std::string& path) {
   return buffer.str();
 }
 
-/// Splits the top-level `"entries":[...]` array of a v2 history
-/// document into one raw JSON string per entry object. Returns empty
-/// for anything that is not a v2 history (including v1 snapshots).
-inline std::vector<std::string> extractMicroEntries(const std::string& doc) {
+/// Splits the top-level `"entries":[...]` array of a history document
+/// with the given schema tag into one raw JSON string per entry object.
+/// Returns empty for anything that does not carry the tag.
+inline std::vector<std::string> extractTrajectoryEntries(
+    const std::string& doc, const std::string& schema) {
   std::vector<std::string> entries;
-  if (doc.find("\"pscd-bench-micro-v2\"") == std::string::npos) return entries;
+  if (doc.find("\"" + schema + "\"") == std::string::npos) return entries;
   const std::size_t tag = doc.find("\"entries\":[");
   if (tag == std::string::npos) return entries;
   std::size_t i = tag + std::string("\"entries\":[").size();
@@ -281,6 +311,11 @@ inline std::vector<std::string> extractMicroEntries(const std::string& doc) {
   return std::vector<std::string>();  // truncated document: start fresh
 }
 
+/// The micro-bench history (schema pscd-bench-micro-v2).
+inline std::vector<std::string> extractMicroEntries(const std::string& doc) {
+  return extractTrajectoryEntries(doc, "pscd-bench-micro-v2");
+}
+
 /// Migrates a v1 single-snapshot document into one v2 entry. The v1
 /// run predates timestamping, so it gets timestamp 0 ("unknown, before
 /// the history began"). Returns "" when doc is not a v1 snapshot.
@@ -290,20 +325,28 @@ inline std::string migrateMicroV1(const std::string& doc) {
   return "{\"timestamp\":0," + doc.substr(v1Prefix.size());
 }
 
-/// Renders the full v2 history document from raw entry objects,
-/// keeping only the newest `limit` entries (the tail of the vector).
-inline std::string renderMicroHistory(
-    const std::vector<std::string>& entries,
+/// Renders a full history document under `schema` from raw entry
+/// objects, keeping only the newest `limit` entries (the tail of the
+/// vector).
+inline std::string renderTrajectoryHistory(
+    const std::string& schema, const std::vector<std::string>& entries,
     std::size_t limit = kMicroHistoryLimit) {
   const std::size_t begin =
       entries.size() > limit ? entries.size() - limit : 0;
-  std::string out = "{\"schema\":\"pscd-bench-micro-v2\",\"entries\":[";
+  std::string out = "{\"schema\":\"" + schema + "\",\"entries\":[";
   for (std::size_t i = begin; i < entries.size(); ++i) {
     if (i > begin) out += ',';
     out += entries[i];
   }
   out += "]}";
   return out;
+}
+
+/// The micro-bench history document (schema pscd-bench-micro-v2).
+inline std::string renderMicroHistory(
+    const std::vector<std::string>& entries,
+    std::size_t limit = kMicroHistoryLimit) {
+  return renderTrajectoryHistory("pscd-bench-micro-v2", entries, limit);
 }
 
 }  // namespace pscd::bench

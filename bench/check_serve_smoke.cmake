@@ -1,0 +1,65 @@
+# serve.loopback_smoke: run bench_serve in spawn mode (in-process daemon
+# over loopback) and validate the BENCH_serve.json entry it appends —
+# the run must complete, report a nonzero throughput, and have monotone
+# latency percentiles (p50 <= p99 <= p999).
+#
+# Inputs: -DBENCH=<bench_serve binary> -DWORKDIR=<dir holding the json>
+
+execute_process(
+  COMMAND ${BENCH} --mode closed --seconds 1 --warmup 0.2 --concurrency 2
+          --pages 128 --proxies 4
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_serve exited with ${rc}\nstdout:\n${out}\n"
+                      "stderr:\n${err}")
+endif()
+
+set(json "${WORKDIR}/BENCH_serve.json")
+if(NOT EXISTS "${json}")
+  message(FATAL_ERROR "bench_serve did not write ${json}")
+endif()
+file(READ "${json}" doc)
+if(NOT doc MATCHES "\"schema\":\"pscd-bench-serve-v1\"")
+  message(FATAL_ERROR "${json} is missing the pscd-bench-serve-v1 schema tag")
+endif()
+
+# Pull a numeric field out of the *last* (newest) history entry.
+function(last_field name outvar)
+  string(REGEX MATCHALL "\"${name}\":[0-9.eE+-]+" hits "${doc}")
+  if(hits STREQUAL "")
+    message(FATAL_ERROR "${json} has no ${name} field")
+  endif()
+  list(GET hits -1 hit)
+  string(REGEX REPLACE "\"${name}\":" "" value "${hit}")
+  set(${outvar} "${value}" PARENT_SCOPE)
+endfunction()
+
+last_field(ops_per_sec ops_per_sec)
+last_field(ops ops)
+last_field(errors errors)
+last_field(p50_ms p50)
+last_field(p99_ms p99)
+last_field(p999_ms p999)
+
+if(NOT ops_per_sec GREATER 0)
+  message(FATAL_ERROR "ops_per_sec is ${ops_per_sec}, expected > 0")
+endif()
+if(NOT ops GREATER 0)
+  message(FATAL_ERROR "ops is ${ops}, expected > 0")
+endif()
+if(NOT errors EQUAL 0)
+  message(FATAL_ERROR "bench_serve recorded ${errors} error responses")
+endif()
+if(p50 GREATER p99)
+  message(FATAL_ERROR "p50 (${p50}) > p99 (${p99}): percentiles not monotone")
+endif()
+if(p99 GREATER p999)
+  message(FATAL_ERROR
+          "p99 (${p99}) > p999 (${p999}): percentiles not monotone")
+endif()
+
+message(STATUS "serve smoke ok: ${ops} ops at ${ops_per_sec}/s, "
+               "p50=${p50}ms p99=${p99}ms p999=${p999}ms")

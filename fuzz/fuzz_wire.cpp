@@ -1,0 +1,150 @@
+// Fuzz target for the wire-protocol codec. Two modes, selected by the
+// first input byte:
+//
+//   raw-decode  — the remaining bytes are fed straight to decodeFrame,
+//                 which must never crash, never consume more than it was
+//                 given, report kOk only with consumed == header + body,
+//                 and attach a field-named error exactly on kError. Any
+//                 accepted frame must survive re-encode → re-decode as
+//                 an identical value (codec round-trip oracle).
+//
+//   structured  — a FuzzDecoder builds a valid frame of an arbitrary
+//                 type, encodes it, and checks decode identity both for
+//                 the clean bytes and after a single byte mutation
+//                 (which may still be valid — but whatever decodes must
+//                 re-encode stably; kOk/kError are both acceptable,
+//                 kNeedMore is not for a complete mutated buffer unless
+//                 the mutation enlarged the claimed body length).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "fuzz_check.h"
+#include "fuzz_decoder.h"
+#include "pscd/net/wire.h"
+
+namespace {
+
+using pscd::net::DecodeResult;
+using pscd::net::DecodeStatus;
+using pscd::net::FrameType;
+using pscd::net::WireFrame;
+
+/// Invariants every decodeFrame call must uphold, regardless of input.
+void checkDecodeInvariants(const std::uint8_t* data, std::size_t size,
+                           const DecodeResult& result) {
+  FUZZ_ASSERT(result.consumed <= size);
+  switch (result.status) {
+    case DecodeStatus::kOk: {
+      FUZZ_ASSERT(result.consumed >= pscd::net::kWireHeaderBytes);
+      FUZZ_ASSERT(result.error.empty());
+      // An accepted frame re-encodes to exactly the bytes consumed and
+      // decodes back to the same value.
+      const std::string bytes = pscd::net::encodeFrame(result.frame);
+      FUZZ_ASSERT(bytes.size() == result.consumed);
+      FUZZ_ASSERT(std::memcmp(bytes.data(), data, bytes.size()) == 0);
+      const DecodeResult again = pscd::net::decodeFrame(bytes);
+      FUZZ_ASSERT(again.status == DecodeStatus::kOk);
+      FUZZ_ASSERT(again.frame == result.frame);
+      break;
+    }
+    case DecodeStatus::kNeedMore:
+      FUZZ_ASSERT(result.consumed == 0);
+      FUZZ_ASSERT(result.error.empty());
+      break;
+    case DecodeStatus::kError:
+      FUZZ_ASSERT(result.consumed == 0);
+      FUZZ_ASSERT(!result.error.empty());
+      break;
+  }
+}
+
+/// Builds a structurally valid frame of a decoder-chosen type.
+WireFrame buildFrame(pscd::fuzz::FuzzDecoder& in) {
+  WireFrame frame;
+  frame.seq = in.u32();
+  switch (in.u8() % 5) {
+    case 0:
+      frame.body = pscd::net::SubscribeBody{in.u32(), in.u32(), in.u32()};
+      break;
+    case 1:
+      frame.body = pscd::net::UnsubscribeBody{in.u32(), in.u32(), in.u32()};
+      break;
+    case 2:
+      frame.body = pscd::net::PublishBody{in.u32(), in.u32(), in.u64()};
+      break;
+    case 3:
+      frame.body = pscd::net::RequestBody{in.u32(), in.u32()};
+      break;
+    default: {
+      pscd::net::ResponseBody r;
+      r.status = in.u8() % 2;
+      r.op = static_cast<std::uint8_t>(1 + in.u8() % 4);
+      r.hit = in.u8() % 2;
+      r.stale = in.u8() % 2;
+      r.pages = in.u64();
+      r.bytes = in.u64();
+      r.responseTimeMs = in.finiteDouble(0.0, 1e6);
+      frame.body = r;
+      break;
+    }
+  }
+  return frame;
+}
+
+void structuredCase(pscd::fuzz::FuzzDecoder& in) {
+  const WireFrame frame = buildFrame(in);
+  const std::string bytes = pscd::net::encodeFrame(frame);
+
+  // Clean bytes: exact identity through the streaming decoder and the
+  // closed-buffer wrapper.
+  const DecodeResult result = pscd::net::decodeFrame(bytes);
+  FUZZ_ASSERT(result.status == DecodeStatus::kOk);
+  FUZZ_ASSERT(result.consumed == bytes.size());
+  FUZZ_ASSERT(result.frame == frame);
+  FUZZ_ASSERT(pscd::net::decodeClosedFrame(bytes) == frame);
+
+  // Every proper prefix of a valid frame is kNeedMore, never kError:
+  // a stream must keep reading, not drop the connection.
+  const std::size_t cut = static_cast<std::size_t>(
+      in.intInRange(0, bytes.size() - 1));
+  const DecodeResult prefix = pscd::net::decodeFrame(
+      std::string_view(bytes).substr(0, cut));
+  FUZZ_ASSERT(prefix.status == DecodeStatus::kNeedMore);
+
+  // Single-byte mutation: the decoder may accept (mutation hit a
+  // don't-care bit pattern like seq) or reject with a named error, but
+  // it must not crash, and anything accepted must round-trip.
+  std::string mutated = bytes;
+  const std::size_t at = static_cast<std::size_t>(
+      in.intInRange(0, mutated.size() - 1));
+  mutated[at] = static_cast<char>(mutated[at] ^ static_cast<char>(
+      in.intInRange(1, 255)));
+  const DecodeResult after = pscd::net::decodeFrame(mutated);
+  checkDecodeInvariants(
+      reinterpret_cast<const std::uint8_t*>(mutated.data()),
+      mutated.size(), after);
+  if (after.status == DecodeStatus::kNeedMore) {
+    // Only a bodyLen-enlarging mutation may legitimately leave a
+    // complete buffer hungry; anything else would stall the stream.
+    FUZZ_ASSERT(at >= 12 && at < 16);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pscd::fuzz::FuzzDecoder in(data, size);
+  if (in.boolean()) {
+    structuredCase(in);
+  } else {
+    // Raw mode: whatever bytes remain go straight into the decoder.
+    const std::uint8_t* raw = size > 0 ? data + 1 : data;
+    const std::size_t rawSize = size > 0 ? size - 1 : 0;
+    checkDecodeInvariants(raw, rawSize,
+                          pscd::net::decodeFrame(raw, rawSize));
+  }
+  return 0;
+}

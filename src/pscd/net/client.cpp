@@ -1,0 +1,154 @@
+#include "pscd/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pscd::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WireClient::WireClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throwErrno("WireClient: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("WireClient: bad IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int err = errno;
+    close();
+    errno = err;
+    throwErrno("WireClient: connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+WireClient::~WireClient() { close(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), nextSeq_(other.nextSeq_), in_(std::move(other.in_)) {
+  other.fd_ = -1;
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WireClient::sendAll(const std::string& bytes) {
+  if (fd_ < 0) throw std::runtime_error("WireClient: send on closed client");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      errno = err;
+      throwErrno("WireClient: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void WireClient::sendRaw(const std::string& bytes) { sendAll(bytes); }
+
+ResponseBody WireClient::call(const WireFrame& frame) {
+  WireFrame out = frame;
+  out.seq = nextSeq_++;
+  sendAll(encodeFrame(out));
+  // Read until the matching RESPONSE is decodable. The daemon answers
+  // in order on one connection, so the first RESPONSE must match.
+  char buf[4096];
+  while (true) {
+    const DecodeResult result = decodeFrame(in_);
+    if (result.status == DecodeStatus::kError) {
+      close();
+      throw std::runtime_error("WireClient: undecodable response: " +
+                               result.error);
+    }
+    if (result.status == DecodeStatus::kOk) {
+      in_.erase(0, result.consumed);
+      if (result.frame.type() != FrameType::kResponse) {
+        close();
+        throw std::runtime_error(
+            std::string("WireClient: unexpected ") +
+            std::string(frameTypeName(result.frame.type())) +
+            " frame from server");
+      }
+      if (result.frame.seq != out.seq) {
+        close();
+        throw std::runtime_error(
+            "WireClient: response seq " + std::to_string(result.frame.seq) +
+            " does not match request seq " + std::to_string(out.seq));
+      }
+      return std::get<ResponseBody>(result.frame.body);
+    }
+    if (fd_ < 0) throw std::runtime_error("WireClient: connection closed");
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      errno = err;
+      throwErrno("WireClient: recv");
+    }
+    if (n == 0) {
+      close();
+      throw std::runtime_error(
+          "WireClient: connection closed by server mid-response");
+    }
+    in_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ResponseBody WireClient::subscribe(ProxyId proxy, PageId page,
+                                   std::uint32_t count) {
+  WireFrame frame;
+  frame.body = SubscribeBody{proxy, page, count};
+  return call(frame);
+}
+
+ResponseBody WireClient::unsubscribe(ProxyId proxy, PageId page,
+                                     std::uint32_t count) {
+  WireFrame frame;
+  frame.body = UnsubscribeBody{proxy, page, count};
+  return call(frame);
+}
+
+ResponseBody WireClient::publish(PageId page, Version version, Bytes size) {
+  WireFrame frame;
+  frame.body = PublishBody{page, version, size};
+  return call(frame);
+}
+
+ResponseBody WireClient::request(ProxyId proxy, PageId page) {
+  WireFrame frame;
+  frame.body = RequestBody{proxy, page};
+  return call(frame);
+}
+
+}  // namespace pscd::net

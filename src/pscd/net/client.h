@@ -1,0 +1,64 @@
+// Blocking wire-protocol client for the pscd serving tier.
+//
+// WireClient is deliberately simple: one TCP connection, synchronous
+// call() that writes a frame and reads until the matching-seq RESPONSE
+// arrives. The load harness gets concurrency by giving each worker its
+// own WireClient (the daemon multiplexes them on one epoll loop); the
+// loopback tests get determinism by issuing one call at a time. Any
+// wire-level surprise — EOF, undecodable bytes, a RESPONSE for a seq we
+// never sent — is a thrown std::runtime_error, never a silent retry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pscd/net/wire.h"
+#include "pscd/util/types.h"
+
+namespace pscd::net {
+
+class WireClient {
+ public:
+  /// Connects to host:port (host must be a dotted-quad IPv4 literal,
+  /// e.g. "127.0.0.1"); throws std::runtime_error with the errno string
+  /// on failure. Sets TCP_NODELAY — the protocol is request/response,
+  /// so Nagle only adds latency.
+  WireClient(const std::string& host, std::uint16_t port);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&&) = delete;
+
+  /// Sends `frame` (seq assigned internally, overriding frame.seq) and
+  /// blocks until the RESPONSE with that seq arrives. Throws
+  /// std::runtime_error on connection loss, decode failure, or a
+  /// mismatched/unexpected response.
+  ResponseBody call(const WireFrame& frame);
+
+  // Typed conveniences over call().
+  ResponseBody subscribe(ProxyId proxy, PageId page, std::uint32_t count = 1);
+  ResponseBody unsubscribe(ProxyId proxy, PageId page,
+                           std::uint32_t count = 1);
+  ResponseBody publish(PageId page, Version version, Bytes size);
+  ResponseBody request(ProxyId proxy, PageId page);
+
+  /// Sends raw bytes as-is (tests use this to poke the daemon's error
+  /// paths with malformed input).
+  void sendRaw(const std::string& bytes);
+
+  /// True until the peer closes or an error poisons the connection.
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  void sendAll(const std::string& bytes);
+  void close();
+
+  int fd_ = -1;
+  std::uint32_t nextSeq_ = 1;
+  std::string in_;  // bytes received but not yet consumed by a decode
+};
+
+}  // namespace pscd::net

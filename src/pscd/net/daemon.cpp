@@ -1,0 +1,389 @@
+#include "pscd/net/daemon.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "pscd/util/log.h"
+#include "pscd/util/rng.h"
+
+namespace pscd::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error("Daemon: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void setNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throwErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+Daemon::Daemon(DistributionService& service, const Clock& clock,
+               WireSink& sink, const DaemonConfig& config)
+    : service_(service), clock_(clock), sink_(sink), config_(config) {
+  listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0) throwErrno("socket");
+  const int one = 1;
+  if (setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    throwErrno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("Daemon: bad bind address " +
+                             config_.bindAddress);
+  }
+  if (bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throwErrno("bind");
+  }
+  if (listen(listenFd_, config_.backlog) < 0) throwErrno("listen");
+  setNonBlocking(listenFd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throwErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) throwErrno("epoll_create1");
+  wakeFd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakeFd_ < 0) throwErrno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listenFd_;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) < 0) {
+    throwErrno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wakeFd_;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) < 0) {
+    throwErrno("epoll_ctl(wake)");
+  }
+}
+
+Daemon::~Daemon() { closeAll(); }
+
+void Daemon::closeAll() {
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    ++stats_.closed;
+  }
+  conns_.clear();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (wakeFd_ >= 0) {
+    ::close(wakeFd_);
+    wakeFd_ = -1;
+  }
+  if (epollFd_ >= 0) {
+    ::close(epollFd_);
+    epollFd_ = -1;
+  }
+}
+
+void Daemon::stop() {
+  stopRequested_.store(true, std::memory_order_release);
+  const int fd = wakeFd_;
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    // Best-effort: the loop also rechecks the flag on every wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
+
+void Daemon::run() {
+  if (ran_) throw std::logic_error("Daemon::run called twice");
+  ran_ = true;
+  std::vector<epoll_event> events(64);
+  while (!stopRequested_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epollFd_, events.data(),
+                             static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      logError() << "pscd_daemon: epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wakeFd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wakeFd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listenFd_) {
+        acceptConnections();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection& conn = it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        closeConnection(fd);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0 && !flushWrites(conn)) continue;
+      if ((mask & EPOLLIN) != 0) handleReadable(conn);
+    }
+  }
+  closeAll();
+}
+
+void Daemon::acceptConnections() {
+  while (true) {
+    const int fd = accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      logWarn() << "pscd_daemon: accept: " << std::strerror(errno);
+      return;
+    }
+    if (conns_.size() >= config_.maxConnections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    // Best-effort: latency optimization, not correctness.
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    ++stats_.accepted;
+  }
+}
+
+void Daemon::handleReadable(Connection& conn) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn.in.append(buffer, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n == 0) {  // orderly EOF from the client
+      closeConnection(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    closeConnection(conn.fd);
+    return;
+  }
+  if (!processInput(conn)) return;
+  flushWrites(conn);
+}
+
+bool Daemon::processInput(Connection& conn) {
+  std::size_t offset = 0;
+  while (offset < conn.in.size()) {
+    const DecodeResult r = decodeFrame(
+        reinterpret_cast<const std::uint8_t*>(conn.in.data()) + offset,
+        conn.in.size() - offset);
+    if (r.status == DecodeStatus::kNeedMore) break;
+    if (r.status == DecodeStatus::kError) {
+      ++stats_.decodeErrors;
+      logWarn() << "pscd_daemon: closing fd " << conn.fd << ": " << r.error;
+      closeConnection(conn.fd);
+      return false;
+    }
+    offset += r.consumed;
+    if (r.frame.type() == FrameType::kResponse) {
+      ++stats_.protocolErrors;
+      logWarn() << "pscd_daemon: closing fd " << conn.fd
+                << ": client sent RESPONSE";
+      closeConnection(conn.fd);
+      return false;
+    }
+    ++stats_.framesHandled;
+    WireFrame reply;
+    reply.seq = r.frame.seq;
+    reply.body = dispatch(r.frame);
+    encodeFrame(reply, &conn.out);
+    if (conn.out.size() - conn.outFlushed > config_.maxOutBufferBytes) {
+      logWarn() << "pscd_daemon: closing fd " << conn.fd
+                << ": response backlog over "
+                << config_.maxOutBufferBytes << " bytes";
+      closeConnection(conn.fd);
+      return false;
+    }
+  }
+  conn.in.erase(0, offset);
+  return true;
+}
+
+ResponseBody Daemon::dispatch(const WireFrame& frame) {
+  ResponseBody response;
+  response.op = static_cast<std::uint8_t>(frame.type());
+  try {
+    switch (frame.type()) {
+      case FrameType::kSubscribe: {
+        const auto& b = std::get<SubscribeBody>(frame.body);
+        if (b.proxy >= service_.engine().numProxies()) {
+          throw std::out_of_range("SUBSCRIBE: proxy out of range");
+        }
+        service_.broker().subscribeAggregated(b.proxy, b.page, b.count);
+        break;
+      }
+      case FrameType::kUnsubscribe: {
+        const auto& b = std::get<UnsubscribeBody>(frame.body);
+        if (b.proxy >= service_.engine().numProxies()) {
+          throw std::out_of_range("UNSUBSCRIBE: proxy out of range");
+        }
+        response.pages =
+            service_.broker().unsubscribeAggregated(b.proxy, b.page, b.count);
+        break;
+      }
+      case FrameType::kPublish: {
+        const auto& b = std::get<PublishBody>(frame.body);
+        if (b.size == 0) {
+          throw std::invalid_argument("PUBLISH: size must be positive");
+        }
+        PublishEvent event;
+        event.time = clock_.now();
+        event.page = b.page;
+        event.version = b.version;
+        event.size = b.size;
+        service_.handlePublish(event);
+        const PushDelivery& d = sink_.lastPush();
+        response.pages = d.pages;
+        response.bytes = d.bytes;
+        break;
+      }
+      case FrameType::kRequest: {
+        const auto& b = std::get<RequestBody>(frame.body);
+        if (b.proxy >= service_.engine().numProxies()) {
+          throw std::out_of_range("REQUEST: proxy out of range");
+        }
+        service_.handleRequest(b.proxy, b.page);
+        const RequestDelivery& d = sink_.lastRequest();
+        response.hit = d.hit ? 1 : 0;
+        response.stale = d.stale ? 1 : 0;
+        response.bytes = d.bytesTransferred;
+        response.responseTimeMs = d.responseTimeMs;
+        break;
+      }
+      case FrameType::kResponse:
+        break;  // rejected by processInput before dispatch
+    }
+  } catch (const std::exception& e) {
+    // A failed operation answers with status=kError and zeroed payload;
+    // the connection (and the service's consistent state) live on.
+    response = ResponseBody{};
+    response.op = static_cast<std::uint8_t>(frame.type());
+    response.status = static_cast<std::uint8_t>(ResponseStatus::kError);
+    ++stats_.errorResponses;
+    logDebug() << "pscd_daemon: " << frameTypeName(frame.type())
+               << " failed: " << e.what();
+  }
+  return response;
+}
+
+bool Daemon::flushWrites(Connection& conn) {
+  while (conn.outFlushed < conn.out.size()) {
+    const ssize_t n =
+        send(conn.fd, conn.out.data() + conn.outFlushed,
+             conn.out.size() - conn.outFlushed, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.outFlushed += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.wantWrite) {
+        conn.wantWrite = true;
+        return updateInterest(conn);
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    closeConnection(conn.fd);
+    return false;
+  }
+  conn.out.clear();
+  conn.outFlushed = 0;
+  if (conn.wantWrite) {
+    conn.wantWrite = false;
+    return updateInterest(conn);
+  }
+  return true;
+}
+
+bool Daemon::updateInterest(Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.wantWrite ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev) < 0) {
+    closeConnection(conn.fd);
+    return false;
+  }
+  return true;
+}
+
+void Daemon::closeConnection(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  ++stats_.closed;
+}
+
+Network ServeHost::buildNetwork(const ServeHostConfig& config) {
+  NetworkParams params;
+  params.numProxies = config.numProxies;
+  params.numTransitNodes = config.numTransitNodes;
+  Rng rng(config.networkSeed);
+  return Network(params, rng);
+}
+
+ServiceConfig ServeHost::buildServiceConfig(const ServeHostConfig& config) {
+  ServiceConfig service;
+  service.engine.strategy = config.strategy;
+  service.engine.beta = config.beta;
+  service.engine.pushScheme = config.pushScheme;
+  service.engine.proxyCapacities.assign(config.numProxies,
+                                        config.capacityPerProxy);
+  service.latency = config.latency;
+  return service;
+}
+
+ServeHost::ServeHost(const ServeHostConfig& config,
+                     const DaemonConfig& daemonConfig)
+    : network_(buildNetwork(config)),
+      service_(network_, clock_, sink_, buildServiceConfig(config)),
+      daemon_(service_, clock_, sink_, daemonConfig) {}
+
+}  // namespace pscd::net

@@ -1,0 +1,174 @@
+// The networked pscd serving tier: a single-threaded, non-blocking
+// epoll event loop that accepts TCP connections, runs a per-connection
+// frame state machine (read -> decode -> dispatch -> write-back), and
+// hosts a DistributionService behind the WireClock/WireSink runtime
+// seam — the engine/strategy/cache decision layer runs unchanged from
+// the simulator (see core/runtime.h and DESIGN.md §13).
+//
+// Connection state machine (per fd):
+//
+//        +--------- read bytes ----------+
+//        v                               |
+//   [READING] --frame complete--> [DISPATCH] --response--> [WRITING]
+//        |                               |                     |
+//        | decode error /                | handler error       | flushed
+//        | EOF / overflow                v                     v
+//        +------> [CLOSED] <---- error RESPONSE is        [READING]
+//                                 still written first
+//
+// Malformed bytes (bad magic/version/type/flags/length) can never
+// resynchronize, so the connection is closed; a well-formed frame whose
+// *operation* fails (unknown page, out-of-range proxy) gets a RESPONSE
+// with status=kError and the connection lives on.
+//
+// Threading: the loop runs entirely on the thread that calls run().
+// stop() is the one cross-thread entry point — it flips an atomic and
+// wakes the loop through an eventfd. All fds are closed by the time
+// run() returns, so a joined daemon holds no kernel resources (the
+// loopback test counts /proc/self/fd entries to prove it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pscd/cache/strategy_factory.h"
+#include "pscd/core/service.h"
+#include "pscd/net/wire.h"
+#include "pscd/net/wire_runtime.h"
+#include "pscd/topology/network.h"
+#include "pscd/util/types.h"
+
+namespace pscd::net {
+
+struct DaemonConfig {
+  std::string bindAddress = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available via Daemon::port().
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t maxConnections = 1024;
+  /// A connection whose unflushed response backlog exceeds this is a
+  /// slow reader and is closed rather than buffering without bound.
+  std::size_t maxOutBufferBytes = 4u << 20;
+};
+
+struct DaemonStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t framesHandled = 0;
+  /// Connections dropped for undecodable input.
+  std::uint64_t decodeErrors = 0;
+  /// Well-formed frames the protocol forbids here (a client sending
+  /// RESPONSE); also close their connection.
+  std::uint64_t protocolErrors = 0;
+  /// Operations answered with status=kError (connection kept).
+  std::uint64_t errorResponses = 0;
+};
+
+class Daemon {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error with the
+  /// errno string on any socket failure), but serves only once run() is
+  /// called. `service` must have been built against `clock` and `sink`.
+  Daemon(DistributionService& service, const Clock& clock, WireSink& sink,
+         const DaemonConfig& config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// The locally bound port (resolves port 0 to the kernel's choice).
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until stop(); callable once. Closes every fd before
+  /// returning.
+  void run();
+
+  /// Thread-safe shutdown request; run() returns promptly.
+  void stop();
+
+  /// Stable to read after run() returns (or between frames from the
+  /// loop thread itself).
+  const DaemonStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t outFlushed = 0;  // prefix of `out` already sent
+    bool wantWrite = false;
+  };
+
+  void acceptConnections();
+  void handleReadable(Connection& conn);
+  /// Returns false when the connection was closed.
+  bool flushWrites(Connection& conn);
+  /// Returns false when re-arming failed and the connection was closed.
+  bool updateInterest(Connection& conn);
+  void closeConnection(int fd);
+  void closeAll();
+  /// Decodes and dispatches every complete frame in conn.in; returns
+  /// false when the connection was closed (decode/protocol error).
+  bool processInput(Connection& conn);
+  ResponseBody dispatch(const WireFrame& frame);
+
+  DistributionService& service_;
+  const Clock& clock_;
+  WireSink& sink_;
+  DaemonConfig config_;
+  DaemonStats stats_;
+  std::uint16_t port_ = 0;
+  int listenFd_ = -1;
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+  bool ran_ = false;
+  /// Ordered by fd so any diagnostic iteration is deterministic.
+  std::map<int, Connection> conns_;
+  std::atomic<bool> stopRequested_{false};
+};
+
+/// Everything a serving process needs, built in dependency order from
+/// one plain config: overlay network, wall clock, stats sink, the
+/// DistributionService decision layer, and the Daemon that serves it.
+/// Used by the pscd_daemon binary, bench_serve --spawn mode, and the
+/// loopback tests (which also build an identically configured oracle
+/// service via the static helpers).
+struct ServeHostConfig {
+  std::uint32_t numProxies = 16;
+  std::uint32_t numTransitNodes = 8;
+  std::uint64_t networkSeed = 42;
+  StrategyKind strategy = StrategyKind::kGDStar;
+  double beta = 1.0;
+  PushScheme pushScheme = PushScheme::kAlwaysPushing;
+  Bytes capacityPerProxy = 1u << 20;
+  LatencyModel latency{};
+};
+
+class ServeHost {
+ public:
+  ServeHost(const ServeHostConfig& config, const DaemonConfig& daemonConfig);
+
+  Daemon& daemon() { return daemon_; }
+  DistributionService& service() { return service_; }
+  const WireSink& sink() const { return sink_; }
+  const Network& network() const { return network_; }
+
+  /// The exact Network a host with `config` builds — deterministic in
+  /// config.networkSeed, so a test oracle gets an identical overlay.
+  static Network buildNetwork(const ServeHostConfig& config);
+
+  /// The exact ServiceConfig a host with `config` uses.
+  static ServiceConfig buildServiceConfig(const ServeHostConfig& config);
+
+ private:
+  Network network_;
+  WireClock clock_;
+  WireSink sink_;
+  DistributionService service_;
+  Daemon daemon_;
+};
+
+}  // namespace pscd::net

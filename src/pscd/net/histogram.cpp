@@ -1,0 +1,108 @@
+#include "pscd/net/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd::net {
+
+namespace {
+
+/// Values at or above 2^62 ns (~146 years) clamp to the top bucket; the
+/// headroom keeps sumNanos_ from overflowing under any realistic load.
+constexpr std::uint64_t kMaxNanos = 1ull << 62;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(unsigned subBucketBits)
+    : subBucketBits_(subBucketBits),
+      subBucketCount_(1ull << subBucketBits) {
+  if (subBucketBits < 1 || subBucketBits > 10) {
+    throw std::invalid_argument(
+        "LatencyHistogram: subBucketBits must be in [1, 10]");
+  }
+  // One linear range of S unit buckets plus one S-wide group per octave
+  // from 2^B up to 2^63.
+  const std::size_t octaves = 64 - subBucketBits;
+  counts_.assign((octaves + 1) * subBucketCount_, 0);
+}
+
+std::uint64_t LatencyHistogram::toNanos(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // negatives and NaN clamp to zero
+  const double nanos = seconds * 1e9;
+  if (nanos >= static_cast<double>(kMaxNanos)) return kMaxNanos;
+  return static_cast<std::uint64_t>(nanos);
+}
+
+std::size_t LatencyHistogram::bucketIndex(std::uint64_t nanos) const {
+  if (nanos >= kMaxNanos) nanos = kMaxNanos - 1;
+  if (nanos < subBucketCount_) return static_cast<std::size_t>(nanos);
+  // 2^k <= nanos < 2^(k+1) with k >= B: shift the value down so its top
+  // B+1 bits select one of S equal-width sub-buckets in the octave.
+  const unsigned k = std::bit_width(nanos) - 1;
+  const unsigned shift = k - subBucketBits_;
+  const std::uint64_t sub = (nanos >> shift) - subBucketCount_;
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(k - subBucketBits_ + 1)) * subBucketCount_ +
+      sub);
+}
+
+void LatencyHistogram::recordNanos(std::uint64_t nanos) {
+  if (nanos > kMaxNanos) nanos = kMaxNanos;
+  ++counts_[bucketIndex(nanos)];
+  ++count_;
+  sumNanos_ += nanos;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.subBucketBits_ != subBucketBits_) {
+    throw std::invalid_argument(
+        "LatencyHistogram::merge: mismatched subBucketBits");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sumNanos_ += other.sumNanos_;
+}
+
+std::uint64_t LatencyHistogram::bucketUpperBoundNanos(
+    std::size_t index) const {
+  if (index < subBucketCount_) return index;  // unit buckets are exact
+  const std::uint64_t group = index / subBucketCount_;  // octave + 1
+  const std::uint64_t sub = index % subBucketCount_;
+  const unsigned shift = static_cast<unsigned>(group - 1);
+  const std::uint64_t lower = (subBucketCount_ + sub) << shift;
+  return lower + ((1ull << shift) - 1);
+}
+
+double LatencyHistogram::maxSeconds() const {
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] != 0) {
+      return static_cast<double>(bucketUpperBoundNanos(i)) * 1e-9;
+    }
+  }
+  return 0.0;
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 100.0) q = 100.0;
+  // Rank of the q-th percentile sample, 1-based, at least 1 so p0 is
+  // the minimum and p100 the maximum.
+  const double exact = q / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return static_cast<double>(bucketUpperBoundNanos(i)) * 1e-9;
+    }
+  }
+  return maxSeconds();  // unreachable when count_ matches counts_
+}
+
+}  // namespace pscd::net

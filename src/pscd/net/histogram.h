@@ -1,0 +1,81 @@
+// HDR-style log-bucketed latency histogram for the serving tier's load
+// harness: constant-time record, lossless elementwise merge, and
+// quantile queries with a bounded relative error.
+//
+// Values are recorded in nanoseconds (the record() entry point takes
+// seconds and converts). The bucket layout is the classic
+// logarithmic-with-linear-sub-buckets scheme: with S = 2^subBucketBits
+// sub-buckets, values below S nanoseconds get exact unit buckets, and
+// every octave [2^k, 2^(k+1)) above that is split into S equal-width
+// sub-buckets — so the relative quantization error is at most 2^-B
+// (~3% at the default B = 5), and percentile() is within one bucket
+// width of the exact order statistic, which the unit tests check
+// against a sorted-vector oracle.
+//
+// merge() is a per-bucket addition, so it is associative and
+// commutative: per-worker histograms recorded concurrently can be
+// folded in any order and yield identical percentiles (bench_serve
+// merges one histogram per load-generator thread).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pscd/util/hot.h"
+
+namespace pscd::net {
+
+class LatencyHistogram {
+ public:
+  /// subBucketBits in [1, 10]: precision/space trade-off. Throws
+  /// std::invalid_argument outside that range.
+  explicit LatencyHistogram(unsigned subBucketBits = 5);
+
+  /// Records one latency sample. Negative values clamp to zero;
+  /// non-finite and absurdly large values clamp to the top bucket.
+  PSCD_HOT void record(double seconds) { recordNanos(toNanos(seconds)); }
+
+  /// Raw-nanosecond entry point (the unit in which buckets are defined).
+  PSCD_HOT void recordNanos(std::uint64_t nanos);
+
+  /// Adds every bucket of `other` into this histogram. Requires the
+  /// same subBucketBits (throws std::invalid_argument otherwise).
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Sum of all recorded values in seconds (for mean latency).
+  double sumSeconds() const { return static_cast<double>(sumNanos_) * 1e-9; }
+
+  /// Largest recorded value, rounded up to its bucket bound, in seconds.
+  double maxSeconds() const;
+
+  /// Upper bound of the bucket holding the q-th percentile (q in
+  /// [0, 100]), in seconds: >= the exact order statistic and at most
+  /// one bucket width above it. Returns 0 when empty.
+  double percentile(double q) const;
+
+  unsigned subBucketBits() const { return subBucketBits_; }
+  std::size_t numBuckets() const { return counts_.size(); }
+
+  /// Inclusive upper bound of bucket `index`, in nanoseconds.
+  std::uint64_t bucketUpperBoundNanos(std::size_t index) const;
+
+  friend bool operator==(const LatencyHistogram& a,
+                         const LatencyHistogram& b) {
+    return a.subBucketBits_ == b.subBucketBits_ && a.count_ == b.count_ &&
+           a.sumNanos_ == b.sumNanos_ && a.counts_ == b.counts_;
+  }
+
+ private:
+  static std::uint64_t toNanos(double seconds);
+  std::size_t bucketIndex(std::uint64_t nanos) const;
+
+  unsigned subBucketBits_;
+  std::uint64_t subBucketCount_;  // 2^subBucketBits_
+  std::uint64_t count_ = 0;
+  std::uint64_t sumNanos_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace pscd::net

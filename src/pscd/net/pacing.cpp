@@ -1,0 +1,44 @@
+#include "pscd/net/pacing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pscd/util/rng.h"
+
+namespace pscd::net {
+
+std::vector<double> buildOpenLoopSchedule(const PacingConfig& config) {
+  if (!(config.targetQps > 0.0) || !std::isfinite(config.targetQps)) {
+    throw std::invalid_argument(
+        "buildOpenLoopSchedule: targetQps must be positive and finite");
+  }
+  if (!(config.durationSeconds > 0.0) ||
+      !std::isfinite(config.durationSeconds)) {
+    throw std::invalid_argument(
+        "buildOpenLoopSchedule: durationSeconds must be positive and finite");
+  }
+  std::vector<double> schedule;
+  schedule.reserve(static_cast<std::size_t>(
+      config.targetQps * config.durationSeconds + 1.0));
+  if (config.kind == PacingKind::kUniform) {
+    // i / qps instead of accumulating gaps: no floating-point drift, so
+    // the last send stays within one gap of the duration at any rate.
+    const double gap = 1.0 / config.targetQps;
+    for (std::uint64_t i = 0;; ++i) {
+      const double t = static_cast<double>(i) * gap;
+      if (t >= config.durationSeconds) break;
+      schedule.push_back(t);
+    }
+  } else {
+    Rng rng(config.seed);
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(config.targetQps);
+      if (t >= config.durationSeconds) break;
+      schedule.push_back(t);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace pscd::net

@@ -1,0 +1,40 @@
+// Open-loop send scheduling for the serving-tier load harness.
+//
+// The defining property of an open-loop (YCSB-style) load generator is
+// that send times are fixed ahead of time by the target arrival rate —
+// they never depend on how fast the server answers. buildOpenLoopSchedule
+// therefore takes only the pacing parameters and a seed and returns the
+// complete, sorted list of send offsets; the dispatcher walks the list
+// against the wall clock, and an arrival that finds every connection
+// busy is *dropped and counted*, never delayed (delaying would silently
+// turn the generator closed-loop — the classic coordinated-omission
+// bug). Unit tests pin both properties: the schedule is a pure function
+// of (config, seed), bit-identical across calls, and contains no trace
+// of service behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pscd::net {
+
+enum class PacingKind : std::uint8_t {
+  kUniform,  // deterministic equal gaps of 1/targetQps
+  kPoisson,  // exponential inter-arrival gaps with mean 1/targetQps
+};
+
+struct PacingConfig {
+  double targetQps = 1000.0;     // > 0
+  double durationSeconds = 1.0;  // > 0
+  PacingKind kind = PacingKind::kUniform;
+  /// Seeds the Poisson gap stream; ignored for kUniform.
+  std::uint64_t seed = 1;
+};
+
+/// Send offsets in seconds from the phase start, strictly inside
+/// [0, durationSeconds), sorted ascending. Deterministic in the config
+/// alone. Throws std::invalid_argument on a non-positive rate or
+/// duration.
+std::vector<double> buildOpenLoopSchedule(const PacingConfig& config);
+
+}  // namespace pscd::net

@@ -1,0 +1,274 @@
+#include "pscd/net/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscd::net {
+
+namespace {
+
+// Explicit little-endian field accessors: the wire format is defined in
+// bytes, not in host struct layout, so the encoding is identical across
+// architectures and never depends on padding.
+
+void putU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void putU16(std::string* out, std::uint16_t v) {
+  putU8(out, static_cast<std::uint8_t>(v & 0xff));
+  putU8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void putU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    putU8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void putU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    putU8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t getU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Exact body size of each frame type on the wire.
+std::uint32_t bodyLengthFor(FrameType type) {
+  switch (type) {
+    case FrameType::kSubscribe:
+    case FrameType::kUnsubscribe:
+      return 12;  // proxy u32, page u32, count u32
+    case FrameType::kPublish:
+      return 16;  // page u32, version u32, size u64
+    case FrameType::kRequest:
+      return 8;  // proxy u32, page u32
+    case FrameType::kResponse:
+      return 28;  // status/op/hit/stale u8 x4, pages u64, bytes u64,
+                  // responseTimeMs f64
+  }
+  return 0;
+}
+
+DecodeResult fail(std::string message) {
+  DecodeResult r;
+  r.status = DecodeStatus::kError;
+  r.error = std::move(message);
+  return r;
+}
+
+DecodeResult needMore() {
+  DecodeResult r;
+  r.status = DecodeStatus::kNeedMore;
+  return r;
+}
+
+}  // namespace
+
+std::string_view frameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kSubscribe:
+      return "SUBSCRIBE";
+    case FrameType::kUnsubscribe:
+      return "UNSUBSCRIBE";
+    case FrameType::kPublish:
+      return "PUBLISH";
+    case FrameType::kRequest:
+      return "REQUEST";
+    case FrameType::kResponse:
+      return "RESPONSE";
+  }
+  return "?";
+}
+
+void encodeFrame(const WireFrame& frame, std::string* out) {
+  const FrameType type = frame.type();
+  putU32(out, kWireMagic);
+  putU8(out, kWireVersion);
+  putU8(out, static_cast<std::uint8_t>(type));
+  putU16(out, 0);  // flags
+  putU32(out, frame.seq);
+  putU32(out, bodyLengthFor(type));
+  switch (type) {
+    case FrameType::kSubscribe: {
+      const auto& b = std::get<SubscribeBody>(frame.body);
+      putU32(out, b.proxy);
+      putU32(out, b.page);
+      putU32(out, b.count);
+      break;
+    }
+    case FrameType::kUnsubscribe: {
+      const auto& b = std::get<UnsubscribeBody>(frame.body);
+      putU32(out, b.proxy);
+      putU32(out, b.page);
+      putU32(out, b.count);
+      break;
+    }
+    case FrameType::kPublish: {
+      const auto& b = std::get<PublishBody>(frame.body);
+      putU32(out, b.page);
+      putU32(out, b.version);
+      putU64(out, b.size);
+      break;
+    }
+    case FrameType::kRequest: {
+      const auto& b = std::get<RequestBody>(frame.body);
+      putU32(out, b.proxy);
+      putU32(out, b.page);
+      break;
+    }
+    case FrameType::kResponse: {
+      const auto& b = std::get<ResponseBody>(frame.body);
+      if (!std::isfinite(b.responseTimeMs)) {
+        throw std::invalid_argument(
+            "encodeFrame: non-finite responseTimeMs in RESPONSE");
+      }
+      putU8(out, b.status);
+      putU8(out, b.op);
+      putU8(out, b.hit);
+      putU8(out, b.stale);
+      putU64(out, b.pages);
+      putU64(out, b.bytes);
+      putU64(out, std::bit_cast<std::uint64_t>(b.responseTimeMs));
+      break;
+    }
+  }
+}
+
+std::string encodeFrame(const WireFrame& frame) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + bodyLengthFor(frame.type()));
+  encodeFrame(frame, &out);
+  return out;
+}
+
+DecodeResult decodeFrame(const std::uint8_t* data, std::size_t size) {
+  if (size < kWireHeaderBytes) return needMore();
+  if (getU32(data) != kWireMagic) return fail("decodeFrame: bad magic");
+  const std::uint8_t version = data[4];
+  if (version != kWireVersion) {
+    return fail("decodeFrame: unsupported version " +
+                std::to_string(static_cast<unsigned>(version)));
+  }
+  const std::uint8_t rawType = data[5];
+  if (rawType < static_cast<std::uint8_t>(FrameType::kSubscribe) ||
+      rawType > static_cast<std::uint8_t>(FrameType::kResponse)) {
+    return fail("decodeFrame: unknown frame type " +
+                std::to_string(static_cast<unsigned>(rawType)));
+  }
+  const auto type = static_cast<FrameType>(rawType);
+  if (getU16(data + 6) != 0) return fail("decodeFrame: nonzero flags");
+  const std::uint32_t seq = getU32(data + 8);
+  const std::uint32_t bodyLen = getU32(data + 12);
+  if (bodyLen > kMaxBodyBytes) {
+    return fail("decodeFrame: oversized body length reading bodyLen");
+  }
+  if (bodyLen != bodyLengthFor(type)) {
+    return fail("decodeFrame: bad body length for " +
+                std::string(frameTypeName(type)));
+  }
+  if (size < kWireHeaderBytes + bodyLen) return needMore();
+
+  const std::uint8_t* body = data + kWireHeaderBytes;
+  DecodeResult r;
+  r.status = DecodeStatus::kOk;
+  r.consumed = kWireHeaderBytes + bodyLen;
+  r.frame.seq = seq;
+  switch (type) {
+    case FrameType::kSubscribe: {
+      SubscribeBody b;
+      b.proxy = getU32(body);
+      b.page = getU32(body + 4);
+      b.count = getU32(body + 8);
+      r.frame.body = b;
+      break;
+    }
+    case FrameType::kUnsubscribe: {
+      UnsubscribeBody b;
+      b.proxy = getU32(body);
+      b.page = getU32(body + 4);
+      b.count = getU32(body + 8);
+      r.frame.body = b;
+      break;
+    }
+    case FrameType::kPublish: {
+      PublishBody b;
+      b.page = getU32(body);
+      b.version = getU32(body + 4);
+      b.size = getU64(body + 8);
+      r.frame.body = b;
+      break;
+    }
+    case FrameType::kRequest: {
+      RequestBody b;
+      b.proxy = getU32(body);
+      b.page = getU32(body + 4);
+      r.frame.body = b;
+      break;
+    }
+    case FrameType::kResponse: {
+      ResponseBody b;
+      b.status = body[0];
+      b.op = body[1];
+      b.hit = body[2];
+      b.stale = body[3];
+      if (b.status > 1) {
+        return fail("decodeFrame: invalid status byte in RESPONSE");
+      }
+      if (b.op < static_cast<std::uint8_t>(FrameType::kSubscribe) ||
+          b.op > static_cast<std::uint8_t>(FrameType::kRequest)) {
+        return fail("decodeFrame: invalid op byte in RESPONSE");
+      }
+      if (b.hit > 1) return fail("decodeFrame: invalid hit byte in RESPONSE");
+      if (b.stale > 1) {
+        return fail("decodeFrame: invalid stale byte in RESPONSE");
+      }
+      b.pages = getU64(body + 4);
+      b.bytes = getU64(body + 12);
+      b.responseTimeMs = std::bit_cast<double>(getU64(body + 20));
+      if (!std::isfinite(b.responseTimeMs)) {
+        return fail("decodeFrame: non-finite responseTimeMs in RESPONSE");
+      }
+      r.frame.body = b;
+      break;
+    }
+  }
+  return r;
+}
+
+DecodeResult decodeFrame(std::string_view bytes) {
+  return decodeFrame(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                     bytes.size());
+}
+
+WireFrame decodeClosedFrame(std::string_view bytes) {
+  const DecodeResult r = decodeFrame(bytes);
+  if (r.status == DecodeStatus::kError) {
+    throw std::runtime_error(r.error);
+  }
+  if (r.status == DecodeStatus::kNeedMore) {
+    throw std::runtime_error("decodeClosedFrame: truncated input");
+  }
+  if (r.consumed != bytes.size()) {
+    throw std::runtime_error("decodeClosedFrame: trailing bytes after frame");
+  }
+  return r.frame;
+}
+
+}  // namespace pscd::net

@@ -1,0 +1,162 @@
+// The pscd wire protocol: small length-prefixed binary frames carrying
+// SUBSCRIBE / UNSUBSCRIBE / PUBLISH / REQUEST operations to a
+// pscd_daemon and RESPONSE outcomes back. The encoding follows the
+// hardened workload/serialize.cpp idioms: explicit little-endian field
+// layout (no struct memcpy, so the format is identical on every
+// platform), field-named decode errors, a hard body-size cap so a
+// corrupt length can never commit memory for data that is not there,
+// and uint8_t mirrors for bools with the byte validated on decode.
+//
+// Framing is a fixed 16-byte header followed by a type-specific body:
+//
+//   offset  size  field
+//        0     4  magic      0x31435350 ("PSC1" on the wire, LE)
+//        4     1  version    kWireVersion
+//        5     1  type       FrameType
+//        6     2  flags      must be 0 (reserved)
+//        8     4  seq        request/response correlation id
+//       12     4  bodyLen    body bytes that follow (<= kMaxBodyBytes)
+//
+// The decoder is incremental: fed the front of a receive buffer it
+// returns kOk + bytes consumed, kNeedMore when the buffer holds only a
+// frame prefix, or kError (with a field-named message) for input that
+// can never become a valid frame. Connection state machines loop it
+// over their input buffers; tests and the fuzz target drive it
+// directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "pscd/util/types.h"
+
+namespace pscd::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x31435350u;  // "PSC1" (LE)
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+/// Bodies are small fixed-size records; anything claiming more is
+/// malformed, not merely large (mirrors serialize.cpp's kMaxVecBytes).
+inline constexpr std::uint32_t kMaxBodyBytes = 4096;
+
+enum class FrameType : std::uint8_t {
+  kSubscribe = 1,
+  kUnsubscribe = 2,
+  kPublish = 3,
+  kRequest = 4,
+  kResponse = 5,
+};
+
+/// Human-readable frame-type name ("SUBSCRIBE", ...); "?" when invalid.
+std::string_view frameTypeName(FrameType type);
+
+/// Registers `count` aggregated subscriptions for `page` at `proxy`.
+struct SubscribeBody {
+  ProxyId proxy = 0;
+  PageId page = kInvalidPage;
+  std::uint32_t count = 1;
+
+  friend bool operator==(const SubscribeBody&, const SubscribeBody&) = default;
+};
+
+/// Drops `count` aggregated subscriptions for `page` at `proxy`.
+struct UnsubscribeBody {
+  ProxyId proxy = 0;
+  PageId page = kInvalidPage;
+  std::uint32_t count = 1;
+
+  friend bool operator==(const UnsubscribeBody&,
+                         const UnsubscribeBody&) = default;
+};
+
+/// Publishes a new version of a page (match + push fan-out at the
+/// daemon).
+struct PublishBody {
+  PageId page = kInvalidPage;
+  Version version = 0;
+  Bytes size = 0;
+
+  friend bool operator==(const PublishBody&, const PublishBody&) = default;
+};
+
+/// A user attached to `proxy` requests `page`.
+struct RequestBody {
+  ProxyId proxy = 0;
+  PageId page = kInvalidPage;
+
+  friend bool operator==(const RequestBody&, const RequestBody&) = default;
+};
+
+enum class ResponseStatus : std::uint8_t { kOk = 0, kError = 1 };
+
+/// Outcome of any operation, correlated by header seq. For PUBLISH,
+/// pages/bytes carry the push fan-out (pages and bytes transferred to
+/// notified proxies); for REQUEST, hit/stale/bytes/responseTimeMs carry
+/// the served result. On kError every payload field is zero.
+struct ResponseBody {
+  std::uint8_t status = 0;  // ResponseStatus
+  std::uint8_t op = 0;      // FrameType of the operation answered
+  std::uint8_t hit = 0;     // 0/1 (REQUEST only)
+  std::uint8_t stale = 0;   // 0/1 (REQUEST only)
+  std::uint64_t pages = 0;
+  Bytes bytes = 0;
+  double responseTimeMs = 0.0;
+
+  bool ok() const { return status == 0; }
+
+  friend bool operator==(const ResponseBody&, const ResponseBody&) = default;
+};
+
+struct WireFrame {
+  std::uint32_t seq = 0;
+  std::variant<SubscribeBody, UnsubscribeBody, PublishBody, RequestBody,
+               ResponseBody>
+      body;
+
+  FrameType type() const {
+    return static_cast<FrameType>(body.index() + 1);
+  }
+
+  friend bool operator==(const WireFrame&, const WireFrame&) = default;
+};
+
+/// Appends the encoded frame to `out`. Throws std::invalid_argument for
+/// a RESPONSE with a non-finite responseTimeMs (the decoder would
+/// reject it, so refusing at the source keeps the wire clean).
+void encodeFrame(const WireFrame& frame, std::string* out);
+
+/// Convenience: the encoded frame as a fresh string.
+std::string encodeFrame(const WireFrame& frame);
+
+enum class DecodeStatus : std::uint8_t { kOk, kNeedMore, kError };
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  /// Bytes consumed from the front of the buffer; nonzero only on kOk.
+  std::size_t consumed = 0;
+  /// The decoded frame; meaningful only on kOk.
+  WireFrame frame;
+  /// Field-named diagnostic; non-empty exactly on kError.
+  std::string error;
+};
+
+/// Decodes one frame from the front of [data, data+size). Never reads
+/// past `size`; kNeedMore means the prefix is valid so far but
+/// incomplete (a stream should read more bytes), kError means no amount
+/// of further input can make the prefix a valid frame.
+DecodeResult decodeFrame(const std::uint8_t* data, std::size_t size);
+
+/// String-view convenience wrapper for tests and buffer-based callers.
+DecodeResult decodeFrame(std::string_view bytes);
+
+/// One-shot decode of a complete, closed buffer (a file or a test
+/// vector): throws std::runtime_error with the decoder's field-named
+/// message on kError, and a "truncated input" error on kNeedMore
+/// (mirroring loadWorkload's truncation semantics) or trailing bytes.
+WireFrame decodeClosedFrame(std::string_view bytes);
+
+}  // namespace pscd::net

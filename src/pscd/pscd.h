@@ -27,6 +27,12 @@
 #include "pscd/core/latency.h"
 #include "pscd/core/runtime.h"
 #include "pscd/core/service.h"
+#include "pscd/net/client.h"
+#include "pscd/net/daemon.h"
+#include "pscd/net/histogram.h"
+#include "pscd/net/pacing.h"
+#include "pscd/net/wire.h"
+#include "pscd/net/wire_runtime.h"
 #include "pscd/pubsub/attributes.h"
 #include "pscd/pubsub/broker.h"
 #include "pscd/pubsub/covering.h"

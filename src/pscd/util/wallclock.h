@@ -16,6 +16,7 @@
 // clock uses below need no suppression comment.)
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace pscd {
 
@@ -25,6 +26,14 @@ inline double monotonicSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Blocks the calling thread for (at least) the given real-time span.
+/// For load-generator pacing and test polling only — simulation code
+/// advances SimTime through the event loop and never sleeps.
+inline void sleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
 /// Whole seconds since the Unix epoch. For timestamping persisted

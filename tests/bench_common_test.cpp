@@ -16,7 +16,9 @@ namespace {
 using EnvMap = std::map<std::string, std::string>;
 
 BenchEnvStatus parse(const std::vector<std::string>& flags, const EnvMap& env,
-                     BenchEnv* out, std::string* message) {
+                     BenchEnv* out, std::string* message,
+                     const std::vector<BenchOption>& extraOptions = {},
+                     std::map<std::string, std::string>* extraValues = nullptr) {
   std::vector<const char*> argv = {"bench_test"};
   for (const std::string& f : flags) argv.push_back(f.c_str());
   const auto lookup = [&env](const char* name) -> const char* {
@@ -24,7 +26,8 @@ BenchEnvStatus parse(const std::vector<std::string>& flags, const EnvMap& env,
     return it == env.end() ? nullptr : it->second.c_str();
   };
   return tryParseBenchEnv(static_cast<int>(argv.size()), argv.data(),
-                          "bench_test", "test driver", lookup, out, message);
+                          "bench_test", "test driver", lookup, out, message,
+                          extraOptions, extraValues);
 }
 
 TEST(BenchEnv, BuiltinDefaults) {
@@ -125,6 +128,79 @@ TEST(BenchEnv, ValidFlagBeatsMalformedEnvironment) {
   ASSERT_EQ(parse({"--scale", "0.75"}, vars, &env, &message),
             BenchEnvStatus::kOk);
   EXPECT_DOUBLE_EQ(env.scale, 0.75);
+}
+
+// ---- bench-specific extra options (the bench_serve machinery) ---------
+
+std::vector<BenchOption> serveLikeOptions() {
+  return {{"mode", "closed or open", "closed", "PSCD_BENCH_SERVE_MODE"},
+          {"qps", "open-loop target rate", "1000", "PSCD_BENCH_SERVE_QPS"}};
+}
+
+TEST(BenchEnv, ExtraOptionBuiltinDefault) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  ASSERT_EQ(parse({}, {}, &env, &message, serveLikeOptions(), &values),
+            BenchEnvStatus::kOk);
+  EXPECT_EQ(values.at("mode"), "closed");
+  EXPECT_EQ(values.at("qps"), "1000");
+}
+
+TEST(BenchEnv, ExtraOptionEnvironmentOverridesBuiltin) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  const EnvMap vars = {{"PSCD_BENCH_SERVE_MODE", "open"}};
+  ASSERT_EQ(parse({}, vars, &env, &message, serveLikeOptions(), &values),
+            BenchEnvStatus::kOk);
+  EXPECT_EQ(values.at("mode"), "open");
+  EXPECT_EQ(values.at("qps"), "1000");  // untouched option keeps builtin
+}
+
+TEST(BenchEnv, ExtraOptionFlagBeatsEnvironment) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  const EnvMap vars = {{"PSCD_BENCH_SERVE_MODE", "open"},
+                       {"PSCD_BENCH_SERVE_QPS", "77"}};
+  ASSERT_EQ(parse({"--mode", "closed"}, vars, &env, &message,
+                  serveLikeOptions(), &values),
+            BenchEnvStatus::kOk);
+  EXPECT_EQ(values.at("mode"), "closed");  // flag wins
+  EXPECT_EQ(values.at("qps"), "77");       // env still beats builtin
+}
+
+TEST(BenchEnv, ExtraOptionEmptyEnvironmentFallsBackToBuiltin) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  const EnvMap vars = {{"PSCD_BENCH_SERVE_QPS", ""}};
+  ASSERT_EQ(parse({}, vars, &env, &message, serveLikeOptions(), &values),
+            BenchEnvStatus::kOk);
+  EXPECT_EQ(values.at("qps"), "1000");
+}
+
+TEST(BenchEnv, ExtraOptionsAppearInHelpText) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  EXPECT_EQ(parse({"--help"}, {}, &env, &message, serveLikeOptions(), &values),
+            BenchEnvStatus::kHelp);
+  EXPECT_NE(message.find("--mode"), std::string::npos);
+  EXPECT_NE(message.find("--qps"), std::string::npos);
+  EXPECT_NE(message.find("--jobs"), std::string::npos);  // shared core kept
+}
+
+TEST(BenchEnv, SharedFlagsStillParseAlongsideExtras) {
+  BenchEnv env;
+  std::string message;
+  std::map<std::string, std::string> values;
+  ASSERT_EQ(parse({"--scale", "0.5", "--mode", "open"}, {}, &env, &message,
+                  serveLikeOptions(), &values),
+            BenchEnvStatus::kOk);
+  EXPECT_DOUBLE_EQ(env.scale, 0.5);
+  EXPECT_EQ(values.at("mode"), "open");
 }
 
 }  // namespace

@@ -1,0 +1,257 @@
+// LatencyHistogram: bucket boundaries, merge algebra, and percentile
+// accuracy against a sorted-vector oracle — plus the open-loop pacing
+// schedule's purity/determinism properties (the coordinated-omission
+// guard rails of bench_serve).
+#include "pscd/net/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "pscd/net/pacing.h"
+#include "pscd/util/rng.h"
+
+namespace pscd::net {
+namespace {
+
+TEST(Histogram, SubBucketBitsValidated) {
+  EXPECT_THROW(LatencyHistogram(0), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(11), std::invalid_argument);
+  EXPECT_NO_THROW(LatencyHistogram(1));
+  EXPECT_NO_THROW(LatencyHistogram(10));
+}
+
+TEST(Histogram, EmptyHistogram) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sumSeconds(), 0.0);
+  EXPECT_EQ(h.maxSeconds(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, UnitBucketsAreExact) {
+  // With B sub-bucket bits, values below 2^B nanoseconds each get their
+  // own bucket: every percentile of a single recorded value is exact.
+  LatencyHistogram h(5);
+  h.recordNanos(13);
+  for (const double q : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 13.0 * 1e-9) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.maxSeconds(), 13.0 * 1e-9);
+}
+
+TEST(Histogram, BucketBoundaryCases) {
+  LatencyHistogram h(5);  // S = 32 sub-buckets
+  // 31 is the last unit bucket; 32 starts the first octave group; 100
+  // lands in a width-2 bucket [100, 101].
+  h.recordNanos(31);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 31.0 * 1e-9);
+  LatencyHistogram h2(5);
+  h2.recordNanos(32);
+  EXPECT_DOUBLE_EQ(h2.percentile(0.0), 32.0 * 1e-9);
+  LatencyHistogram h3(5);
+  h3.recordNanos(100);
+  EXPECT_DOUBLE_EQ(h3.percentile(0.0), 101.0 * 1e-9);
+  h3.recordNanos(101);
+  EXPECT_DOUBLE_EQ(h3.percentile(100.0), 101.0 * 1e-9);  // same bucket
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // For any value, the reported percentile is >= the value and within a
+  // 2^-B relative error above it.
+  for (const unsigned bits : {1u, 5u, 10u}) {
+    const double maxRel = 1.0 / static_cast<double>(1ull << bits);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = 1 + rng.uniformInt(std::uint64_t{1} << 40);
+      LatencyHistogram h(bits);
+      h.recordNanos(v);
+      const double reported = h.percentile(50.0) * 1e9;
+      EXPECT_GE(reported, static_cast<double>(v));
+      EXPECT_LE(reported, static_cast<double>(v) * (1.0 + maxRel));
+    }
+  }
+}
+
+TEST(Histogram, RecordClampsPathologicalInputs) {
+  LatencyHistogram h;
+  h.record(-1.0);                // clamps to zero
+  h.record(std::nan(""));        // NaN fails the > 0 test: zero
+  h.record(1e30);                // far beyond the top bucket: clamps
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GT(h.maxSeconds(), 1e8);  // the clamped top bucket (~146 yr)
+}
+
+TEST(Histogram, SecondsEntryPointMatchesNanos) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(0.25);  // 0.25s and 1e9 are exact doubles: no truncation slop
+  b.recordNanos(250000000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Histogram, MergeMatchesSingleHistogram) {
+  Rng rng(11);
+  LatencyHistogram all;
+  std::vector<LatencyHistogram> parts(4, LatencyHistogram{});
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniformInt(std::uint64_t{1} << 34);
+    all.recordNanos(v);
+    parts[static_cast<std::size_t>(i % 4)].recordNanos(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& part : parts) merged.merge(part);
+  EXPECT_EQ(merged, all);
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  Rng rng(12);
+  std::vector<LatencyHistogram> h(3, LatencyHistogram{});
+  for (int i = 0; i < 3000; ++i) {
+    h[static_cast<std::size_t>(i % 3)].recordNanos(
+        rng.uniformInt(std::uint64_t{1} << 30));
+  }
+  LatencyHistogram left = h[0];  // (a + b) + c
+  left.merge(h[1]);
+  left.merge(h[2]);
+  LatencyHistogram bc = h[1];  // a + (b + c)
+  bc.merge(h[2]);
+  LatencyHistogram right = h[0];
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+}
+
+TEST(Histogram, MergeRejectsMismatchedPrecision) {
+  LatencyHistogram a(5);
+  const LatencyHistogram b(6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, PercentilesWithinOneBucketOfSortedOracle) {
+  // Seeded mixed workload spanning the unit buckets and many octaves.
+  Rng rng(42);
+  LatencyHistogram h(5);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish: pick an octave, then a value inside it.
+    const unsigned octave = static_cast<unsigned>(
+        rng.uniformInt(std::uint64_t{36}));
+    const std::uint64_t v =
+        (std::uint64_t{1} << octave) +
+        rng.uniformInt((std::uint64_t{1} << octave) | 1u);
+    samples.push_back(v);
+    h.recordNanos(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {1.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q / 100.0 * static_cast<double>(samples.size())));
+    if (rank < 1) rank = 1;
+    const double exact =
+        static_cast<double>(samples[static_cast<std::size_t>(rank - 1)]);
+    const double reported = h.percentile(q) * 1e9;
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported, exact * (1.0 + 1.0 / 32.0) + 1.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileMonotoneInQ) {
+  Rng rng(13);
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    h.recordNanos(rng.uniformInt(std::uint64_t{1} << 28));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 100.0; q += 0.5) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+// ---- open-loop pacing schedule ---------------------------------------
+
+TEST(Pacing, UniformScheduleIsExact) {
+  PacingConfig config;
+  config.targetQps = 100.0;
+  config.durationSeconds = 2.0;
+  const std::vector<double> schedule = buildOpenLoopSchedule(config);
+  ASSERT_EQ(schedule.size(), 200u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_DOUBLE_EQ(schedule[i], static_cast<double>(i) / 100.0);
+  }
+}
+
+TEST(Pacing, ScheduleIsSortedAndInRange) {
+  for (const PacingKind kind : {PacingKind::kUniform, PacingKind::kPoisson}) {
+    PacingConfig config;
+    config.kind = kind;
+    config.targetQps = 500.0;
+    config.durationSeconds = 1.5;
+    config.seed = 99;
+    const std::vector<double> schedule = buildOpenLoopSchedule(config);
+    EXPECT_FALSE(schedule.empty());
+    EXPECT_TRUE(std::is_sorted(schedule.begin(), schedule.end()));
+    EXPECT_GE(schedule.front(), 0.0);
+    EXPECT_LT(schedule.back(), config.durationSeconds);
+  }
+}
+
+TEST(Pacing, ScheduleIsAPureFunctionOfConfig) {
+  // The open-loop guarantee: send times depend on (config, seed) alone,
+  // never on anything the service does — two invocations (with
+  // arbitrary other work between them) are bit-identical.
+  PacingConfig config;
+  config.kind = PacingKind::kPoisson;
+  config.targetQps = 2000.0;
+  config.durationSeconds = 0.75;
+  config.seed = 7;
+  const std::vector<double> first = buildOpenLoopSchedule(config);
+  Rng unrelated(1234);  // unrelated RNG traffic cannot perturb it
+  for (int i = 0; i < 1000; ++i) unrelated.next();
+  const std::vector<double> second = buildOpenLoopSchedule(config);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Pacing, DistinctSeedsGiveDistinctPoissonSchedules) {
+  PacingConfig a;
+  a.kind = PacingKind::kPoisson;
+  a.seed = 1;
+  PacingConfig b = a;
+  b.seed = 2;
+  EXPECT_NE(buildOpenLoopSchedule(a), buildOpenLoopSchedule(b));
+}
+
+TEST(Pacing, PoissonMeanRateApproximatesTarget) {
+  PacingConfig config;
+  config.kind = PacingKind::kPoisson;
+  config.targetQps = 10000.0;
+  config.durationSeconds = 1.0;
+  config.seed = 5;
+  const std::vector<double> schedule = buildOpenLoopSchedule(config);
+  // 10k arrivals: the count concentrates within a few percent.
+  EXPECT_GT(schedule.size(), 9500u);
+  EXPECT_LT(schedule.size(), 10500u);
+}
+
+TEST(Pacing, InvalidConfigRejected) {
+  PacingConfig config;
+  config.targetQps = 0.0;
+  EXPECT_THROW(buildOpenLoopSchedule(config), std::invalid_argument);
+  config.targetQps = -5.0;
+  EXPECT_THROW(buildOpenLoopSchedule(config), std::invalid_argument);
+  config.targetQps = 100.0;
+  config.durationSeconds = 0.0;
+  EXPECT_THROW(buildOpenLoopSchedule(config), std::invalid_argument);
+  config.durationSeconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(buildOpenLoopSchedule(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscd::net

@@ -1,0 +1,225 @@
+// Wire-protocol codec tests: encode→decode identity for every frame
+// type, incremental (streaming) decode, and field-named rejection of
+// every malformed-header and malformed-body class the decoder guards.
+#include "pscd/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pscd::net {
+namespace {
+
+std::vector<WireFrame> sampleFrames() {
+  std::vector<WireFrame> frames;
+  WireFrame f;
+  f.seq = 1;
+  f.body = SubscribeBody{3, 17, 5};
+  frames.push_back(f);
+  f.seq = 2;
+  f.body = UnsubscribeBody{0, 0, 1};
+  frames.push_back(f);
+  f.seq = 0xffffffffu;
+  f.body = PublishBody{42, 7, 123456};
+  frames.push_back(f);
+  f.seq = 0;
+  f.body = RequestBody{1, kInvalidPage};
+  frames.push_back(f);
+  f.seq = 99;
+  ResponseBody r;
+  r.status = 0;
+  r.op = static_cast<std::uint8_t>(FrameType::kRequest);
+  r.hit = 1;
+  r.stale = 1;
+  r.pages = 12;
+  r.bytes = 0xdeadbeefcafeull;
+  r.responseTimeMs = 3.25;
+  f.body = r;
+  frames.push_back(f);
+  return frames;
+}
+
+TEST(Wire, EncodeDecodeIdentityForEveryFrameType) {
+  for (const WireFrame& frame : sampleFrames()) {
+    const std::string bytes = encodeFrame(frame);
+    ASSERT_GE(bytes.size(), kWireHeaderBytes);
+    const DecodeResult result = decodeFrame(bytes);
+    ASSERT_EQ(result.status, DecodeStatus::kOk)
+        << frameTypeName(frame.type()) << ": " << result.error;
+    EXPECT_EQ(result.consumed, bytes.size());
+    EXPECT_EQ(result.frame, frame);
+    EXPECT_TRUE(result.error.empty());
+    // The closed-buffer wrapper agrees.
+    EXPECT_EQ(decodeClosedFrame(bytes), frame);
+  }
+}
+
+TEST(Wire, ResponseTimePreservedBitExactly) {
+  WireFrame frame;
+  frame.seq = 7;
+  ResponseBody r;
+  r.op = static_cast<std::uint8_t>(FrameType::kRequest);
+  r.responseTimeMs = 0.1 + 0.2;  // not representable exactly: must
+                                 // survive the round trip bit-for-bit
+  frame.body = r;
+  const WireFrame decoded = decodeClosedFrame(encodeFrame(frame));
+  EXPECT_EQ(std::get<ResponseBody>(decoded.body).responseTimeMs,
+            r.responseTimeMs);
+}
+
+TEST(Wire, BackToBackFramesDecodeInSequence) {
+  std::string stream;
+  const std::vector<WireFrame> frames = sampleFrames();
+  for (const WireFrame& frame : frames) encodeFrame(frame, &stream);
+  std::size_t offset = 0;
+  for (const WireFrame& expected : frames) {
+    const DecodeResult result = decodeFrame(
+        std::string_view(stream).substr(offset));
+    ASSERT_EQ(result.status, DecodeStatus::kOk) << result.error;
+    EXPECT_EQ(result.frame, expected);
+    offset += result.consumed;
+  }
+  EXPECT_EQ(offset, stream.size());
+}
+
+TEST(Wire, EveryProperPrefixNeedsMore) {
+  const std::string bytes = encodeFrame(sampleFrames().back());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const DecodeResult result =
+        decodeFrame(std::string_view(bytes).substr(0, n));
+    EXPECT_EQ(result.status, DecodeStatus::kNeedMore) << "prefix " << n;
+    EXPECT_EQ(result.consumed, 0u);
+  }
+}
+
+TEST(Wire, EmptyInputNeedsMore) {
+  EXPECT_EQ(decodeFrame(std::string_view()).status, DecodeStatus::kNeedMore);
+}
+
+// Returns the decode error for `bytes` after asserting it is kError.
+std::string errorFor(std::string bytes) {
+  const DecodeResult result = decodeFrame(bytes);
+  EXPECT_EQ(result.status, DecodeStatus::kError);
+  EXPECT_FALSE(result.error.empty());
+  return result.error;
+}
+
+TEST(Wire, BadMagicRejectedByName) {
+  std::string bytes = encodeFrame(sampleFrames().front());
+  bytes[0] = 'X';
+  EXPECT_NE(errorFor(bytes).find("magic"), std::string::npos);
+}
+
+TEST(Wire, BadVersionRejectedByName) {
+  std::string bytes = encodeFrame(sampleFrames().front());
+  bytes[4] = static_cast<char>(kWireVersion + 1);
+  EXPECT_NE(errorFor(bytes).find("version"), std::string::npos);
+}
+
+TEST(Wire, BadTypeRejectedByName) {
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{6},
+                                  std::uint8_t{255}}) {
+    std::string bytes = encodeFrame(sampleFrames().front());
+    bytes[5] = static_cast<char>(type);
+    EXPECT_NE(errorFor(bytes).find("type"), std::string::npos);
+  }
+}
+
+TEST(Wire, ReservedFlagsMustBeZero) {
+  std::string bytes = encodeFrame(sampleFrames().front());
+  bytes[6] = 1;
+  EXPECT_NE(errorFor(bytes).find("flags"), std::string::npos);
+}
+
+TEST(Wire, OversizeBodyLengthRejected) {
+  std::string bytes = encodeFrame(sampleFrames().front());
+  // bodyLen lives at offset 12 (LE); claim kMaxBodyBytes + 1.
+  const std::uint32_t big = kMaxBodyBytes + 1;
+  std::memcpy(&bytes[12], &big, sizeof(big));
+  const std::string error = errorFor(bytes);
+  EXPECT_NE(error.find("body length"), std::string::npos);
+}
+
+TEST(Wire, WrongBodyLengthForTypeRejectedByName) {
+  for (const WireFrame& frame : sampleFrames()) {
+    std::string bytes = encodeFrame(frame);
+    const std::uint32_t wrong =
+        static_cast<std::uint32_t>(bytes.size() - kWireHeaderBytes) + 1;
+    std::memcpy(&bytes[12], &wrong, sizeof(wrong));
+    bytes.push_back('\0');  // make the claimed body actually present
+    const std::string error = errorFor(bytes);
+    EXPECT_NE(error.find("body length"), std::string::npos);
+    EXPECT_NE(error.find(frameTypeName(frame.type())), std::string::npos);
+  }
+}
+
+TEST(Wire, ResponseValidationRejectsBadEnumBytes) {
+  const WireFrame frame = sampleFrames().back();
+  const std::string good = encodeFrame(frame);
+  {
+    std::string bytes = good;
+    bytes[kWireHeaderBytes + 0] = 2;  // status must be 0/1
+    EXPECT_NE(errorFor(bytes).find("status"), std::string::npos);
+  }
+  {
+    std::string bytes = good;
+    bytes[kWireHeaderBytes + 1] = 5;  // op must name a request type
+    EXPECT_NE(errorFor(bytes).find("op"), std::string::npos);
+  }
+  {
+    std::string bytes = good;
+    bytes[kWireHeaderBytes + 2] = 2;  // hit is a bool mirror
+    EXPECT_NE(errorFor(bytes).find("hit"), std::string::npos);
+  }
+  {
+    std::string bytes = good;
+    bytes[kWireHeaderBytes + 3] = 7;  // stale is a bool mirror
+    EXPECT_NE(errorFor(bytes).find("stale"), std::string::npos);
+  }
+}
+
+TEST(Wire, NonFiniteResponseTimeRejectedOnDecode) {
+  std::string bytes = encodeFrame(sampleFrames().back());
+  // responseTimeMs occupies the last 8 body bytes; all-ones is a NaN.
+  for (std::size_t i = bytes.size() - 8; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xff);
+  }
+  EXPECT_NE(errorFor(bytes).find("responseTimeMs"), std::string::npos);
+}
+
+TEST(Wire, EncodeRefusesNonFiniteResponseTime) {
+  WireFrame frame;
+  ResponseBody r;
+  r.op = static_cast<std::uint8_t>(FrameType::kRequest);
+  r.responseTimeMs = std::numeric_limits<double>::quiet_NaN();
+  frame.body = r;
+  std::string out;
+  EXPECT_THROW(encodeFrame(frame, &out), std::invalid_argument);
+  r.responseTimeMs = std::numeric_limits<double>::infinity();
+  frame.body = r;
+  EXPECT_THROW(encodeFrame(frame, &out), std::invalid_argument);
+}
+
+TEST(Wire, DecodeClosedFrameThrowsOnTruncationAndTrailingBytes) {
+  const std::string bytes = encodeFrame(sampleFrames().front());
+  EXPECT_THROW(decodeClosedFrame(bytes.substr(0, bytes.size() - 1)),
+               std::runtime_error);
+  EXPECT_THROW(decodeClosedFrame(bytes + "x"), std::runtime_error);
+  EXPECT_THROW(decodeClosedFrame("PSC1 but not a frame"),
+               std::runtime_error);
+}
+
+TEST(Wire, FrameTypeNames) {
+  EXPECT_EQ(frameTypeName(FrameType::kSubscribe), "SUBSCRIBE");
+  EXPECT_EQ(frameTypeName(FrameType::kUnsubscribe), "UNSUBSCRIBE");
+  EXPECT_EQ(frameTypeName(FrameType::kPublish), "PUBLISH");
+  EXPECT_EQ(frameTypeName(FrameType::kRequest), "REQUEST");
+  EXPECT_EQ(frameTypeName(FrameType::kResponse), "RESPONSE");
+  EXPECT_EQ(frameTypeName(static_cast<FrameType>(0)), "?");
+}
+
+}  // namespace
+}  // namespace pscd::net

@@ -1,0 +1,100 @@
+// pscd_daemon: the networked serving tier as a standalone process.
+//
+// Binds a TCP port, builds the overlay network and DistributionService
+// from the given flags, and serves wire-protocol frames until SIGINT /
+// SIGTERM. Prints "listening on <port>" once ready so scripts (the CI
+// serve-smoke job) can scrape the ephemeral port.
+#include <csignal>
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "pscd/cache/strategy_factory.h"
+#include "pscd/net/daemon.h"
+#include "pscd/util/args.h"
+
+namespace {
+
+pscd::net::Daemon* g_daemon = nullptr;
+
+void handleSignal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pscd::ArgParser args("pscd_daemon",
+                       "Networked pscd broker/proxy daemon: serves the "
+                       "wire protocol over TCP in front of a "
+                       "DistributionService.");
+  args.addOption("port", "TCP port to bind (0 = ephemeral)", "0");
+  args.addOption("bind", "IPv4 address to bind", "127.0.0.1");
+  args.addOption("proxies", "number of proxies in the overlay", "16");
+  args.addOption("transit", "number of transit nodes in the overlay", "8");
+  args.addOption("strategy", "cache strategy (GD*, SUB, SG1, ...)", "GD*");
+  args.addOption("beta", "GD* beta balance factor", "1.0");
+  args.addOption("capacity", "cache capacity per proxy in bytes",
+                 std::to_string(1u << 20));
+  args.addOption("seed", "overlay topology seed", "42");
+  args.addOption("max-connections", "concurrent connection cap", "1024");
+  if (!args.parse(argc, argv)) {
+    if (!args.error().empty()) {
+      std::fprintf(stderr, "%s\n%s", args.error().c_str(),
+                   args.help().c_str());
+      return 2;
+    }
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    pscd::net::ServeHostConfig hostConfig;
+    hostConfig.numProxies =
+        static_cast<std::uint32_t>(args.optionInt("proxies"));
+    hostConfig.numTransitNodes =
+        static_cast<std::uint32_t>(args.optionInt("transit"));
+    hostConfig.networkSeed = static_cast<std::uint64_t>(args.optionInt("seed"));
+    hostConfig.strategy = pscd::parseStrategyKind(args.option("strategy"));
+    hostConfig.beta = args.optionDouble("beta");
+    hostConfig.capacityPerProxy =
+        static_cast<pscd::Bytes>(args.optionInt("capacity"));
+
+    pscd::net::DaemonConfig daemonConfig;
+    daemonConfig.bindAddress = args.option("bind");
+    daemonConfig.port = static_cast<std::uint16_t>(args.optionInt("port"));
+    daemonConfig.maxConnections =
+        static_cast<std::size_t>(args.optionInt("max-connections"));
+
+    pscd::net::ServeHost host(hostConfig, daemonConfig);
+    g_daemon = &host.daemon();
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
+    // Line-buffered stdout handshake for scripts that spawn the daemon
+    // and need the resolved ephemeral port.
+    std::printf("listening on %u\n", host.daemon().port());
+    std::fflush(stdout);
+
+    host.daemon().run();
+    g_daemon = nullptr;
+
+    const pscd::net::DaemonStats& stats = host.daemon().stats();
+    const pscd::net::ServeCounters& counters = host.sink().counters();
+    std::printf(
+        "served %llu frames (%llu connections, %llu decode errors, "
+        "%llu error responses); %llu requests, hit ratio %.3f\n",
+        static_cast<unsigned long long>(stats.framesHandled),
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.decodeErrors),
+        static_cast<unsigned long long>(stats.errorResponses),
+        static_cast<unsigned long long>(counters.requests),
+        counters.hitRatio());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pscd_daemon: %s\n", e.what());
+    return 1;
+  }
+}
