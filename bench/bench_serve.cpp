@@ -23,10 +23,21 @@
 // loopback when --connect is empty (the ctest serve.loopback_smoke
 // path). Results go to stdout (ASCII table), optionally --csv, and
 // append a timestamped entry to BENCH_serve.json (schema
-// pscd-bench-serve-v1, same capped-history format as BENCH_micro.json).
+// pscd-bench-serve-v2, same capped-history format as BENCH_micro.json;
+// v1 entries are carried forward unchanged on first write).
 // --scale multiplies the warmup/measure durations for smoke runs;
 // --jobs is accepted for flag uniformity but unused (--concurrency
 // sets the worker count).
+//
+// Fault accounting (DESIGN.md §14): workers use the hardened client
+// call with --deadline-ms / --retries / --backoff-ms, so injected
+// faults become timeout / reset / shed / failed counters in the table,
+// CSV and JSON instead of killing the run. --chaos interposes an
+// in-process ChaosProxy between the workers and the daemon
+// (--chaos-latency-ms, --chaos-jitter-ms, --chaos-bps,
+// --chaos-reset-bytes, --chaos-fault-conns, --chaos-seed); the
+// workload seeder always dials the daemon directly so setup is never
+// subject to injected faults.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -36,6 +47,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "pscd/net/chaos.h"
 #include "pscd/net/client.h"
 #include "pscd/net/daemon.h"
 #include "pscd/net/histogram.h"
@@ -63,6 +75,18 @@ struct ServeOptions {
   std::uint64_t seed = 1;
   net::PacingKind pacing = net::PacingKind::kUniform;
   std::string jsonPath = "BENCH_serve.json";
+  // Hardened-call knobs (0 keeps the legacy wait-forever behavior).
+  double deadlineMs = 0.0;
+  std::uint32_t retries = 0;
+  double backoffMs = 0.0;
+  // Chaos proxy knobs (--chaos interposes the proxy).
+  bool chaos = false;
+  double chaosLatencyMs = 0.0;
+  double chaosJitterMs = 0.0;
+  double chaosBps = 0.0;
+  std::uint64_t chaosResetBytes = 0;
+  std::uint32_t chaosFaultConns = 0;
+  std::uint64_t chaosSeed = 1;
 };
 
 /// One load-generator worker: private connection, RNG stream, and
@@ -73,6 +97,7 @@ struct Worker {
   LatencyHistogram hist;
   std::uint64_t ops = 0;
   std::uint64_t errors = 0;
+  std::uint64_t failed = 0;  // ops that exhausted deadline/retries
   std::uint64_t requests = 0;
   std::uint64_t hits = 0;
   Version nextVersion = 2;
@@ -80,26 +105,47 @@ struct Worker {
 };
 
 /// 10% publishes (fresh versions keep the push path busy), 90%
-/// requests across the full proxy/page grid.
-void doOneOp(Worker& w, const ServeOptions& opt) {
+/// requests across the full proxy/page grid. A degraded op (timeout,
+/// reset, shed past the retry budget) is counted in `failed`, not
+/// thrown; returns false only on a fatal protocol error.
+bool doOneOp(Worker& w, const ServeOptions& opt) {
   const bool publish = w.rng.uniform() < 0.1;
   const auto page = static_cast<PageId>(w.rng.uniformInt(
       static_cast<std::uint64_t>(opt.pages)));
-  const double t0 = monotonicSeconds();
-  ResponseBody resp;
+  net::WireFrame frame;
+  bool isRequest = false;
   if (publish) {
-    resp = w.client->publish(page, w.nextVersion++,
-                             64 + w.rng.uniformInt(std::uint64_t{192}));
+    frame.body = net::PublishBody{
+        page, w.nextVersion++,
+        64 + w.rng.uniformInt(std::uint64_t{192})};
   } else {
     const auto proxy = static_cast<ProxyId>(w.rng.uniformInt(
         static_cast<std::uint64_t>(opt.proxies)));
-    resp = w.client->request(proxy, page);
-    ++w.requests;
-    if (resp.hit != 0) ++w.hits;
+    frame.body = net::RequestBody{proxy, page};
+    isRequest = true;
   }
-  w.hist.record(monotonicSeconds() - t0);
-  ++w.ops;
-  if (!resp.ok()) ++w.errors;
+  net::CallOptions callOptions;
+  callOptions.deadlineSeconds = opt.deadlineMs / 1000.0;
+  callOptions.retries = opt.retries;
+  callOptions.backoffSeconds = opt.backoffMs / 1000.0;
+  const double t0 = monotonicSeconds();
+  const net::CallResult r = w.client->call(frame, callOptions);
+  if (r.ok()) {
+    w.hist.record(monotonicSeconds() - t0);
+    ++w.ops;
+    if (isRequest) {
+      ++w.requests;
+      if (r.response.hit != 0) ++w.hits;
+    }
+    if (!r.response.ok()) ++w.errors;
+    return true;
+  }
+  if (r.error == net::WireError::kProtocol) {
+    if (w.failure.empty()) w.failure = r.message;
+    return false;
+  }
+  ++w.failed;
+  return true;
 }
 
 /// Publishes every page once and lays down a deterministic subscription
@@ -137,7 +183,8 @@ void runClosedPhase(std::vector<Worker>& workers, const ServeOptions& opt,
   for (Worker& w : workers) {
     threads.emplace_back([&w, &opt, deadline] {
       try {
-        while (monotonicSeconds() < deadline) doOneOp(w, opt);
+        while (monotonicSeconds() < deadline && doOneOp(w, opt)) {
+        }
       } catch (const std::exception& e) {
         w.failure = e.what();
       }
@@ -188,7 +235,7 @@ std::uint64_t runOpenPhase(std::vector<Worker>& workers,
           assigned[i] = false;
         }
         try {
-          doOneOp(w, opt);
+          if (w.failure.empty()) doOneOp(w, opt);
         } catch (const std::exception& e) {
           if (w.failure.empty()) w.failure = e.what();
         }
@@ -225,6 +272,12 @@ std::uint64_t runOpenPhase(std::vector<Worker>& workers,
 struct ServeResult {
   std::uint64_t ops = 0;
   std::uint64_t errors = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t connResets = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t retriesUsed = 0;
+  std::uint64_t reconnects = 0;
   std::uint64_t dropped = 0;
   std::uint64_t scheduled = 0;  // open mode: arrivals in the schedule
   double measuredSeconds = 0.0;
@@ -251,6 +304,13 @@ std::string renderEntry(const ServeOptions& opt, const ServeResult& r,
   w.key("measure_seconds").value(r.measuredSeconds);
   w.key("ops").value(r.ops);
   w.key("errors").value(r.errors);
+  w.key("failed").value(r.failed);
+  w.key("timeouts").value(r.timeouts);
+  w.key("conn_resets").value(r.connResets);
+  w.key("overloaded").value(r.overloaded);
+  w.key("retries").value(r.retriesUsed);
+  w.key("reconnects").value(r.reconnects);
+  w.key("chaos").value(opt.chaos ? 1 : 0);
   w.key("dropped").value(r.dropped);
   w.key("ops_per_sec").value(r.opsPerSec);
   w.key("hit_ratio").value(r.hitRatio);
@@ -281,6 +341,24 @@ int run(int argc, char** argv) {
       {"pacing", "open mode arrival process: uniform | poisson", "uniform",
        ""},
       {"json", "trajectory file to append to", "BENCH_serve.json", ""},
+      {"deadline-ms", "per-attempt response deadline; 0 waits forever", "0",
+       ""},
+      {"retries", "extra attempts on timeout/reset/overloaded", "0", ""},
+      {"backoff-ms", "base retry backoff (doubles per retry)", "0", ""},
+      {"chaos",
+       "1 = interpose a fault-injecting proxy between workers and the "
+       "daemon (the seeder always dials the daemon directly)",
+       "0", ""},
+      {"chaos-latency-ms", "proxy: fixed delay per direction", "0", ""},
+      {"chaos-jitter-ms", "proxy: uniform extra delay per chunk", "0", ""},
+      {"chaos-bps", "proxy: 1-byte-dribble throttle rate; 0 = off", "0", ""},
+      {"chaos-reset-bytes",
+       "proxy: RST a faulted connection once the client sent this many "
+       "bytes; 0 = off",
+       "0", ""},
+      {"chaos-fault-conns",
+       "proxy: only the first N connections get faults; 0 = all", "0", ""},
+      {"chaos-seed", "proxy jitter RNG seed", "1", ""},
   };
   std::map<std::string, std::string> values;
   const BenchEnv env = parseBenchEnv(
@@ -315,6 +393,22 @@ int run(int argc, char** argv) {
       throw std::invalid_argument("--pacing must be uniform or poisson");
     }
     opt.jsonPath = values["json"];
+    opt.deadlineMs = std::stod(values["deadline-ms"]);
+    opt.retries = static_cast<std::uint32_t>(std::stoul(values["retries"]));
+    opt.backoffMs = std::stod(values["backoff-ms"]);
+    opt.chaos = std::stoi(values["chaos"]) != 0;
+    opt.chaosLatencyMs = std::stod(values["chaos-latency-ms"]);
+    opt.chaosJitterMs = std::stod(values["chaos-jitter-ms"]);
+    opt.chaosBps = std::stod(values["chaos-bps"]);
+    opt.chaosResetBytes = std::stoull(values["chaos-reset-bytes"]);
+    opt.chaosFaultConns =
+        static_cast<std::uint32_t>(std::stoul(values["chaos-fault-conns"]));
+    opt.chaosSeed = std::stoull(values["chaos-seed"]);
+    if (opt.deadlineMs < 0 || opt.backoffMs < 0 || opt.chaosLatencyMs < 0 ||
+        opt.chaosJitterMs < 0 || opt.chaosBps < 0) {
+      throw std::invalid_argument("deadline/backoff/chaos values must be "
+                                  ">= 0");
+    }
     if (opt.concurrency == 0 || opt.pages == 0 || opt.proxies == 0) {
       throw std::invalid_argument(
           "--concurrency, --pages and --proxies must be positive");
@@ -356,6 +450,44 @@ int run(int argc, char** argv) {
     }
   };
 
+  // The seeder must bypass the chaos proxy: workload setup is plumbing,
+  // not the system under test.
+  const std::string directHost = opt.host;
+  const std::uint16_t directPort = opt.port;
+
+  std::unique_ptr<net::ChaosProxy> chaos;
+  std::thread chaosThread;
+  if (opt.chaos) {
+    net::ChaosConfig chaosConfig;
+    chaosConfig.targetAddress = directHost;
+    chaosConfig.targetPort = directPort;
+    chaosConfig.seed = opt.chaosSeed;
+    chaosConfig.clientToServer.latencySeconds = opt.chaosLatencyMs / 1000.0;
+    chaosConfig.clientToServer.jitterSeconds = opt.chaosJitterMs / 1000.0;
+    chaosConfig.clientToServer.bytesPerSecond = opt.chaosBps;
+    chaosConfig.serverToClient = chaosConfig.clientToServer;
+    chaosConfig.resetAfterClientBytes = opt.chaosResetBytes;
+    chaosConfig.faultConnections = opt.chaosFaultConns;
+    try {
+      chaos = std::make_unique<net::ChaosProxy>(chaosConfig);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_serve: chaos proxy: %s\n", e.what());
+      stopSpawned();
+      return 1;
+    }
+    opt.host = "127.0.0.1";
+    opt.port = chaos->port();
+    chaosThread = std::thread([&chaos] { chaos->run(); });
+  }
+  const auto stopChaos = [&] {
+    if (chaos) {
+      chaos->stop();
+      chaosThread.join();
+      std::printf("chaos %s\n", formatChaosStats(chaos->stats()).c_str());
+      chaos.reset();
+    }
+  };
+
   printHeader("Serving-tier load harness (" + opt.mode + "-loop, " +
                   std::string(strategyName(opt.strategy)) + ")",
               "the serving tier of section 2");
@@ -363,7 +495,7 @@ int run(int argc, char** argv) {
   int exitCode = 0;
   try {
     {
-      WireClient seeder(opt.host, opt.port);
+      WireClient seeder(directHost, directPort);
       seedWorkload(seeder, opt);
     }
     std::vector<Worker> workers = makeWorkers(opt);
@@ -374,7 +506,8 @@ int run(int argc, char** argv) {
     for (Worker& w : workers) {
       if (!w.failure.empty()) throw std::runtime_error(w.failure);
       w = Worker{std::move(w.client), w.rng, LatencyHistogram{},
-                 0,  0, 0, 0, w.nextVersion, std::string()};
+                 0,  0, 0, 0, 0, w.nextVersion, std::string()};
+      w.client->resetStats();
     }
 
     ServeResult result;
@@ -395,8 +528,15 @@ int run(int argc, char** argv) {
       merged.merge(w.hist);
       result.ops += w.ops;
       result.errors += w.errors;
+      result.failed += w.failed;
       requests += w.requests;
       hits += w.hits;
+      const net::ClientStats& cs = w.client->stats();
+      result.timeouts += cs.timeouts;
+      result.connResets += cs.connResets;
+      result.overloaded += cs.overloaded;
+      result.retriesUsed += cs.retries;
+      result.reconnects += cs.reconnects;
     }
     result.scheduled += result.ops;
     result.opsPerSec = result.measuredSeconds > 0.0
@@ -417,6 +557,7 @@ int run(int argc, char** argv) {
     result.maxMs = merged.maxSeconds() * 1e3;
 
     AsciiTable table({"mode", "ops", "ops/sec", "dropped", "errors",
+                      "failed", "timeouts", "resets", "shed", "retries",
                       "hit%", "mean ms", "p50 ms", "p99 ms", "p999 ms",
                       "max ms"});
     table.row()
@@ -425,6 +566,11 @@ int run(int argc, char** argv) {
         .cell(formatFixed(result.opsPerSec, 0))
         .cell(result.dropped)
         .cell(result.errors)
+        .cell(result.failed)
+        .cell(result.timeouts)
+        .cell(result.connResets)
+        .cell(result.overloaded)
+        .cell(result.retriesUsed)
         .cell(pct(result.hitRatio))
         .cell(formatFixed(result.meanMs, 3))
         .cell(formatFixed(result.p50Ms, 3))
@@ -439,12 +585,17 @@ int run(int argc, char** argv) {
 
     const std::string previous = readTextFileOrEmpty(opt.jsonPath);
     std::vector<std::string> entries =
-        extractTrajectoryEntries(previous, "pscd-bench-serve-v1");
+        extractTrajectoryEntries(previous, "pscd-bench-serve-v2");
+    if (entries.empty()) {
+      // First write after the v1 -> v2 schema bump: carry the old
+      // history forward (old entries simply lack the fault fields).
+      entries = extractTrajectoryEntries(previous, "pscd-bench-serve-v1");
+    }
     entries.push_back(renderEntry(opt, result, unixTimeSeconds()));
     std::string error;
     if (!writeTextFileAtomic(
             opt.jsonPath,
-            renderTrajectoryHistory("pscd-bench-serve-v1", entries), &error)) {
+            renderTrajectoryHistory("pscd-bench-serve-v2", entries), &error)) {
       throw std::runtime_error(error);
     }
     std::printf("wrote %s (%zu history entries)\n", opt.jsonPath.c_str(),
@@ -453,6 +604,7 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "bench_serve: %s\n", e.what());
     exitCode = 1;
   }
+  stopChaos();
   stopSpawned();
   return exitCode;
 }

@@ -1,0 +1,73 @@
+# serve.resilience_smoke: run bench_serve against an in-process chaos
+# proxy that resets the first two worker connections mid-stream. The
+# hardened client path must absorb the faults — the run exits 0,
+# completes real ops, and accounts the injected faults as counters
+# (resets or failed/retried ops) instead of dying.
+#
+# Writes its trajectory to a scratch json in WORKDIR so the committed
+# BENCH_serve.json never accumulates chaos-mode entries.
+#
+# Inputs: -DBENCH=<bench_serve binary> -DWORKDIR=<scratch dir>
+
+execute_process(
+  # --warmup 0: the proxy only faults the first two connections, so a
+  # warmup phase would absorb the resets before stats are rearmed for
+  # the measure phase.
+  COMMAND ${BENCH} --mode closed --seconds 1 --warmup 0 --concurrency 2
+          --pages 64 --proxies 4
+          --chaos 1 --chaos-reset-bytes 2000 --chaos-fault-conns 2
+          --deadline-ms 500 --retries 3 --backoff-ms 10
+          --json BENCH_serve_resilience.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_serve exited with ${rc} under chaos\n"
+                      "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+set(json "${WORKDIR}/BENCH_serve_resilience.json")
+if(NOT EXISTS "${json}")
+  message(FATAL_ERROR "bench_serve did not write ${json}")
+endif()
+file(READ "${json}" doc)
+if(NOT doc MATCHES "\"schema\":\"pscd-bench-serve-v2\"")
+  message(FATAL_ERROR "${json} is missing the pscd-bench-serve-v2 schema tag")
+endif()
+
+function(last_field name outvar)
+  string(REGEX MATCHALL "\"${name}\":[0-9.eE+-]+" hits "${doc}")
+  if(hits STREQUAL "")
+    message(FATAL_ERROR "${json} has no ${name} field")
+  endif()
+  list(GET hits -1 hit)
+  string(REGEX REPLACE "\"${name}\":" "" value "${hit}")
+  set(${outvar} "${value}" PARENT_SCOPE)
+endfunction()
+
+last_field(ops ops)
+last_field(failed failed)
+last_field(conn_resets conn_resets)
+last_field(retries retries)
+last_field(chaos chaos)
+
+if(NOT chaos EQUAL 1)
+  message(FATAL_ERROR "entry not tagged as a chaos run (chaos=${chaos})")
+endif()
+if(NOT ops GREATER 0)
+  message(FATAL_ERROR "ops is ${ops}: no work completed through the proxy")
+endif()
+# The proxy resets the first two connections after 2000 client bytes;
+# the harness must have *observed* the faults somewhere: as client-level
+# resets, as retried attempts, or as ops that exhausted the budget.
+math(EXPR observed "${conn_resets} + ${retries} + ${failed}")
+if(NOT observed GREATER 0)
+  message(FATAL_ERROR
+          "chaos run recorded no faults (conn_resets=${conn_resets} "
+          "retries=${retries} failed=${failed}): proxy not in the path?")
+endif()
+
+message(STATUS "resilience smoke ok: ${ops} ops, "
+               "conn_resets=${conn_resets} retries=${retries} "
+               "failed=${failed}")

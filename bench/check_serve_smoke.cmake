@@ -22,8 +22,8 @@ if(NOT EXISTS "${json}")
   message(FATAL_ERROR "bench_serve did not write ${json}")
 endif()
 file(READ "${json}" doc)
-if(NOT doc MATCHES "\"schema\":\"pscd-bench-serve-v1\"")
-  message(FATAL_ERROR "${json} is missing the pscd-bench-serve-v1 schema tag")
+if(NOT doc MATCHES "\"schema\":\"pscd-bench-serve-v2\"")
+  message(FATAL_ERROR "${json} is missing the pscd-bench-serve-v2 schema tag")
 endif()
 
 # Pull a numeric field out of the *last* (newest) history entry.
@@ -40,6 +40,9 @@ endfunction()
 last_field(ops_per_sec ops_per_sec)
 last_field(ops ops)
 last_field(errors errors)
+last_field(failed failed)
+last_field(timeouts timeouts)
+last_field(conn_resets conn_resets)
 last_field(p50_ms p50)
 last_field(p99_ms p99)
 last_field(p999_ms p999)
@@ -52,6 +55,17 @@ if(NOT ops GREATER 0)
 endif()
 if(NOT errors EQUAL 0)
   message(FATAL_ERROR "bench_serve recorded ${errors} error responses")
+endif()
+# The fault-free path must stay fault-free: no degraded ops without an
+# injected fault.
+if(NOT failed EQUAL 0)
+  message(FATAL_ERROR "bench_serve recorded ${failed} failed ops")
+endif()
+if(NOT timeouts EQUAL 0)
+  message(FATAL_ERROR "bench_serve recorded ${timeouts} timeouts")
+endif()
+if(NOT conn_resets EQUAL 0)
+  message(FATAL_ERROR "bench_serve recorded ${conn_resets} resets")
 endif()
 if(p50 GREATER p99)
   message(FATAL_ERROR "p50 (${p50}) > p99 (${p99}): percentiles not monotone")

@@ -79,7 +79,7 @@ WireFrame buildFrame(pscd::fuzz::FuzzDecoder& in) {
       break;
     default: {
       pscd::net::ResponseBody r;
-      r.status = in.u8() % 2;
+      r.status = in.u8() % 3;  // kOk / kError / kOverloaded
       r.op = static_cast<std::uint8_t>(1 + in.u8() % 4);
       r.hit = in.u8() % 2;
       r.stale = in.u8() % 2;

@@ -9,8 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -36,9 +39,40 @@ void setNonBlocking(int fd) {
 
 }  // namespace
 
+std::string formatDaemonStats(const DaemonStats& s) {
+  std::string out = "stats:";
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("accepted", s.accepted);
+  field("accept_rejected", s.acceptRejected);
+  field("closed", s.closed);
+  field("frames", s.framesHandled);
+  field("decode_errors", s.decodeErrors);
+  field("protocol_errors", s.protocolErrors);
+  field("error_responses", s.errorResponses);
+  field("input_overflows", s.inputOverflows);
+  field("idle_timeouts", s.idleTimeouts);
+  field("read_timeouts", s.readTimeouts);
+  field("write_timeouts", s.writeTimeouts);
+  field("overload_shed", s.overloadShed);
+  field("drain_flushed", s.drainFlushed);
+  return out;
+}
+
 Daemon::Daemon(DistributionService& service, const Clock& clock,
                WireSink& sink, const DaemonConfig& config)
     : service_(service), clock_(clock), sink_(sink), config_(config) {
+  if (config_.idleTimeoutSeconds < 0 || config_.readTimeoutSeconds < 0 ||
+      config_.writeTimeoutSeconds < 0 || config_.drainSeconds < 0) {
+    throw std::invalid_argument("Daemon: negative timeout in config");
+  }
+  timersEnabled_ = config_.idleTimeoutSeconds > 0 ||
+                   config_.readTimeoutSeconds > 0 ||
+                   config_.writeTimeoutSeconds > 0;
   listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listenFd_ < 0) throwErrno("socket");
   const int one = 1;
@@ -105,23 +139,73 @@ void Daemon::closeAll() {
   }
 }
 
-void Daemon::stop() {
-  stopRequested_.store(true, std::memory_order_release);
+void Daemon::wakeLoop() {
   const int fd = wakeFd_;
   if (fd >= 0) {
     const std::uint64_t one = 1;
-    // Best-effort: the loop also rechecks the flag on every wakeup.
+    // Best-effort: the loop also rechecks the mode on every wakeup.
     [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
   }
+}
+
+void Daemon::stop() {
+  stopMode_.store(kStopNow, std::memory_order_release);
+  wakeLoop();
+}
+
+void Daemon::stopDrain() {
+  // Only an idle->drain transition: never downgrade a hard stop.
+  int expected = kRunning;
+  stopMode_.compare_exchange_strong(expected, kStopDrain,
+                                    std::memory_order_acq_rel);
+  wakeLoop();
+}
+
+void Daemon::requestStatsDump() {
+  dumpRequested_.store(true, std::memory_order_release);
+  wakeLoop();
+}
+
+void Daemon::beginDrain() {
+  draining_ = true;
+  drainDeadline_ = clock_.now() + config_.drainSeconds;
+  // Stop accepting but keep the fd so the port stays reserved until
+  // run() returns.
+  if (listenFd_ >= 0) {
+    epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+  }
+  logInfo() << "pscd_daemon: draining " << conns_.size()
+            << " connection(s), budget " << config_.drainSeconds << "s";
+}
+
+int Daemon::computeWaitMs() {
+  double wait = std::numeric_limits<double>::infinity();
+  if (!wheel_.empty() || draining_) {
+    const double now = clock_.now();
+    if (!wheel_.empty()) wait = std::min(wait, wheel_.nextWakeSeconds(now));
+    if (draining_) wait = std::min(wait, drainDeadline_ - now);
+  }
+  if (!std::isfinite(wait)) return -1;  // fault-free default: block
+  if (wait <= 0.0) return 0;
+  const double ms = std::ceil(wait * 1000.0);
+  return ms >= 60000.0 ? 60000 : static_cast<int>(ms);
 }
 
 void Daemon::run() {
   if (ran_) throw std::logic_error("Daemon::run called twice");
   ran_ = true;
   std::vector<epoll_event> events(64);
-  while (!stopRequested_.load(std::memory_order_acquire)) {
+  while (true) {
+    const int mode = stopMode_.load(std::memory_order_acquire);
+    if (mode == kStopNow) break;
+    if (mode == kStopDrain && !draining_) beginDrain();
+    if (draining_ &&
+        (conns_.empty() || clock_.now() >= drainDeadline_)) {
+      break;
+    }
     const int n = epoll_wait(epollFd_, events.data(),
-                             static_cast<int>(events.size()), -1);
+                             static_cast<int>(events.size()),
+                             computeWaitMs());
     if (n < 0) {
       if (errno == EINTR) continue;
       logError() << "pscd_daemon: epoll_wait: " << std::strerror(errno);
@@ -150,8 +234,71 @@ void Daemon::run() {
       if ((mask & EPOLLOUT) != 0 && !flushWrites(conn)) continue;
       if ((mask & EPOLLIN) != 0) handleReadable(conn);
     }
+    if (dumpRequested_.exchange(false, std::memory_order_acq_rel)) {
+      logInfo() << "pscd_daemon: " << formatDaemonStats(stats_);
+    }
+    if (!wheel_.empty()) reapExpired(clock_.now());
   }
   closeAll();
+}
+
+void Daemon::armDeadline(Connection& conn) {
+  double d = std::numeric_limits<double>::infinity();
+  if (config_.writeTimeoutSeconds > 0 && conn.writePending) {
+    d = std::min(d, conn.writePendingSince + config_.writeTimeoutSeconds);
+  }
+  if (config_.readTimeoutSeconds > 0 && !conn.in.empty()) {
+    d = std::min(d, conn.lastActivity + config_.readTimeoutSeconds);
+  }
+  if (config_.idleTimeoutSeconds > 0) {
+    d = std::min(d, conn.lastActivity + config_.idleTimeoutSeconds);
+  }
+  conn.deadline = d;
+  // Lazy wheel discipline: schedule only when the deadline moved
+  // earlier than the earliest live entry; extensions ride the old entry,
+  // whose expiry re-validates against conn.deadline and re-arms.
+  if (std::isfinite(d) && (!conn.wheelArmed || d < conn.wheelDeadline)) {
+    wheel_.schedule(conn.fd, d);
+    conn.wheelDeadline = d;
+    conn.wheelArmed = true;
+  }
+}
+
+void Daemon::reapExpired(double now) {
+  expiredScratch_.clear();
+  wheel_.collectExpired(now, &expiredScratch_);
+  for (const int fd : expiredScratch_) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // stale entry for a closed fd
+    Connection& conn = it->second;
+    conn.wheelArmed = false;  // this entry is consumed
+    if (!std::isfinite(conn.deadline)) continue;
+    if (conn.deadline > now) {
+      // Activity pushed the deadline out (or the wheel wrapped a
+      // far-future one): re-arm and move on.
+      wheel_.schedule(fd, conn.deadline);
+      conn.wheelDeadline = conn.deadline;
+      conn.wheelArmed = true;
+      continue;
+    }
+    // Classify the reap, most-specific first: an unflushable response
+    // backlog beats a half-read frame beats plain silence.
+    const char* kind = nullptr;
+    if (config_.writeTimeoutSeconds > 0 && conn.writePending &&
+        now >= conn.writePendingSince + config_.writeTimeoutSeconds) {
+      ++stats_.writeTimeouts;
+      kind = "write deadline";
+    } else if (config_.readTimeoutSeconds > 0 && !conn.in.empty()) {
+      ++stats_.readTimeouts;
+      kind = "read deadline";
+    } else {
+      ++stats_.idleTimeouts;
+      kind = "idle deadline";
+    }
+    logDebug() << "pscd_daemon: closing fd " << fd << ": " << kind
+               << " expired";
+    closeConnection(fd);
+  }
 }
 
 void Daemon::acceptConnections() {
@@ -165,12 +312,19 @@ void Daemon::acceptConnections() {
       return;
     }
     if (conns_.size() >= config_.maxConnections) {
+      ++stats_.acceptRejected;
       ::close(fd);
       continue;
     }
     const int one = 1;
     // Best-effort: latency optimization, not correctness.
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.sendBufferBytes > 0) {
+      // Best-effort: the kernel clamps to its floor, which is exactly
+      // what the write-deadline tests want (a tiny send window).
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sendBufferBytes,
+                 sizeof(config_.sendBufferBytes));
+    }
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -180,16 +334,20 @@ void Daemon::acceptConnections() {
     }
     Connection conn;
     conn.fd = fd;
-    conns_.emplace(fd, std::move(conn));
+    if (timersEnabled_) conn.lastActivity = clock_.now();
+    const auto [it, inserted] = conns_.emplace(fd, std::move(conn));
     ++stats_.accepted;
+    if (timersEnabled_) armDeadline(it->second);
   }
 }
 
 void Daemon::handleReadable(Connection& conn) {
   char buffer[65536];
+  bool gotBytes = false;
   while (true) {
     const ssize_t n = recv(conn.fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
+      gotBytes = true;
       conn.in.append(buffer, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
       continue;
@@ -203,12 +361,15 @@ void Daemon::handleReadable(Connection& conn) {
     closeConnection(conn.fd);
     return;
   }
+  if (timersEnabled_ && gotBytes) conn.lastActivity = clock_.now();
   if (!processInput(conn)) return;
-  flushWrites(conn);
+  if (!flushWrites(conn)) return;
+  if (timersEnabled_) armDeadline(conn);
 }
 
 bool Daemon::processInput(Connection& conn) {
   std::size_t offset = 0;
+  std::size_t framesInBatch = 0;
   while (offset < conn.in.size()) {
     const DecodeResult r = decodeFrame(
         reinterpret_cast<const std::uint8_t*>(conn.in.data()) + offset,
@@ -231,7 +392,22 @@ bool Daemon::processInput(Connection& conn) {
     ++stats_.framesHandled;
     WireFrame reply;
     reply.seq = r.frame.seq;
-    reply.body = dispatch(r.frame);
+    // Load shedding: past the threshold within one input drain, answer
+    // REQUESTs with kOverloaded in constant time instead of executing
+    // them. State-mutating frames always execute — shedding those would
+    // silently fork client and server subscription state.
+    if (config_.shedThreshold > 0 && r.frame.type() == FrameType::kRequest &&
+        framesInBatch >= config_.shedThreshold) {
+      ResponseBody overloaded;
+      overloaded.op = static_cast<std::uint8_t>(FrameType::kRequest);
+      overloaded.status =
+          static_cast<std::uint8_t>(ResponseStatus::kOverloaded);
+      reply.body = overloaded;
+      ++stats_.overloadShed;
+    } else {
+      reply.body = dispatch(r.frame);
+    }
+    ++framesInBatch;
     encodeFrame(reply, &conn.out);
     if (conn.out.size() - conn.outFlushed > config_.maxOutBufferBytes) {
       logWarn() << "pscd_daemon: closing fd " << conn.fd
@@ -242,6 +418,14 @@ bool Daemon::processInput(Connection& conn) {
     }
   }
   conn.in.erase(0, offset);
+  if (conn.in.size() > config_.maxInBufferBytes) {
+    ++stats_.inputOverflows;
+    logWarn() << "pscd_daemon: closing fd " << conn.fd << ": "
+              << conn.in.size() << " undecodable buffered bytes over the "
+              << config_.maxInBufferBytes << "-byte cap";
+    closeConnection(conn.fd);
+    return false;
+  }
   return true;
 }
 
@@ -322,6 +506,11 @@ bool Daemon::flushWrites(Connection& conn) {
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (timersEnabled_ && !conn.writePending) {
+        conn.writePending = true;
+        conn.writePendingSince = clock_.now();
+        armDeadline(conn);
+      }
       if (!conn.wantWrite) {
         conn.wantWrite = true;
         return updateInterest(conn);
@@ -334,6 +523,10 @@ bool Daemon::flushWrites(Connection& conn) {
   }
   conn.out.clear();
   conn.outFlushed = 0;
+  if (conn.writePending) {
+    conn.writePending = false;
+    if (timersEnabled_) armDeadline(conn);
+  }
   if (conn.wantWrite) {
     conn.wantWrite = false;
     return updateInterest(conn);
@@ -355,6 +548,11 @@ bool Daemon::updateInterest(Connection& conn) {
 void Daemon::closeConnection(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  if (draining_ && it->second.outFlushed == it->second.out.size()) {
+    // The drain delivered this connection's in-flight responses before
+    // it closed — the whole point of stopDrain() over stop().
+    ++stats_.drainFlushed;
+  }
   epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   conns_.erase(it);

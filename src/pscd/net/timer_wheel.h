@@ -1,0 +1,112 @@
+// A small single-level timer wheel for the serving tier's connection
+// deadlines (idle / read / write reaping, DESIGN.md §14).
+//
+// Design: fixed-size circular slot array at a coarse tick. schedule()
+// hashes a deadline into its slot in O(1); collectExpired() advances a
+// cursor tick-by-tick to `now` and hands back every fd whose slot came
+// due. There is deliberately no cancel(): the daemon re-validates every
+// expiry against the connection's authoritative deadline and simply
+// re-schedules entries that are not actually due (activity moved the
+// deadline, or a far-future deadline wrapped around the wheel). Lazy
+// revalidation keeps the hot paths allocation-light and makes stale
+// entries — including fd reuse after a close — harmless by
+// construction.
+//
+// The wheel spans slots() * tickSeconds() of future time; deadlines
+// beyond the horizon wrap and fire early at most once per revolution,
+// which the revalidation turns into a cheap re-schedule. nextWake()
+// gives the epoll loop its timeout: the time of the nearest nonempty
+// slot boundary (an upper bound on the nearest real deadline never
+// later than one tick after it).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pscd/util/check.h"
+
+namespace pscd::net {
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(double tickSeconds = 0.01, std::size_t slots = 256)
+      : tick_(tickSeconds), slots_(slots) {
+    PSCD_CHECK_GT(tick_, 0.0);
+    PSCD_CHECK_GT(slots_.size(), std::size_t{1});
+  }
+
+  double tickSeconds() const { return tick_; }
+  std::size_t slots() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Registers `fd` to come due at `deadline` (seconds on the caller's
+  /// clock). Multiple live entries for one fd are fine — expiry
+  /// revalidation collapses them.
+  void schedule(int fd, double deadline) {
+    const std::int64_t tick = tickFor(deadline);
+    // Deadlines at or behind the cursor land in the next tick so they
+    // fire on the very next collect rather than a full revolution out.
+    const std::int64_t effective = tick <= cursor_ ? cursor_ + 1 : tick;
+    slots_[slotFor(effective)].push_back(Entry{fd, deadline});
+    ++size_;
+  }
+
+  /// Advances the cursor to `now`, appending the fd of every entry in
+  /// an elapsed slot to `out` (callers re-validate and re-schedule).
+  void collectExpired(double now, std::vector<int>* out) {
+    const std::int64_t target = tickFor(now);
+    while (cursor_ < target && size_ > 0) {
+      ++cursor_;
+      std::vector<Entry>& slot = slots_[slotFor(cursor_)];
+      for (const Entry& entry : slot) {
+        out->push_back(entry.fd);
+        --size_;
+      }
+      slot.clear();
+    }
+    if (cursor_ < target) cursor_ = target;  // empty wheel: just advance
+  }
+
+  /// Seconds from `now` until the nearest nonempty slot boundary, or
+  /// +infinity when nothing is scheduled. Never negative.
+  double nextWakeSeconds(double now) const {
+    if (size_ == 0) return std::numeric_limits<double>::infinity();
+    for (std::size_t ahead = 1; ahead <= slots_.size(); ++ahead) {
+      const std::int64_t tick = cursor_ + static_cast<std::int64_t>(ahead);
+      if (!slots_[slotFor(tick)].empty()) {
+        const double at = static_cast<double>(tick) * tick_;
+        return at > now ? at - now : 0.0;
+      }
+    }
+    return std::numeric_limits<double>::infinity();  // unreachable: size_>0
+  }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    double deadline = 0.0;
+  };
+
+  std::int64_t tickFor(double seconds) const {
+    return static_cast<std::int64_t>(std::floor(seconds / tick_));
+  }
+
+  std::size_t slotFor(std::int64_t tick) const {
+    const std::int64_t m =
+        tick % static_cast<std::int64_t>(slots_.size());
+    return static_cast<std::size_t>(m < 0 ? m + static_cast<std::int64_t>(
+                                                    slots_.size())
+                                          : m);
+  }
+
+  double tick_;
+  std::vector<std::vector<Entry>> slots_;
+  std::int64_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pscd::net

@@ -228,7 +228,7 @@ DecodeResult decodeFrame(const std::uint8_t* data, std::size_t size) {
       b.op = body[1];
       b.hit = body[2];
       b.stale = body[3];
-      if (b.status > 1) {
+      if (b.status > static_cast<std::uint8_t>(ResponseStatus::kOverloaded)) {
         return fail("decodeFrame: invalid status byte in RESPONSE");
       }
       if (b.op < static_cast<std::uint8_t>(FrameType::kSubscribe) ||

@@ -91,12 +91,19 @@ struct RequestBody {
   friend bool operator==(const RequestBody&, const RequestBody&) = default;
 };
 
-enum class ResponseStatus : std::uint8_t { kOk = 0, kError = 1 };
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  /// The daemon is shedding load: the REQUEST was *not* executed and
+  /// may be retried after a backoff (see DaemonConfig::shedThreshold).
+  kOverloaded = 2,
+};
 
 /// Outcome of any operation, correlated by header seq. For PUBLISH,
 /// pages/bytes carry the push fan-out (pages and bytes transferred to
 /// notified proxies); for REQUEST, hit/stale/bytes/responseTimeMs carry
-/// the served result. On kError every payload field is zero.
+/// the served result. On kError / kOverloaded every payload field is
+/// zero.
 struct ResponseBody {
   std::uint8_t status = 0;  // ResponseStatus
   std::uint8_t op = 0;      // FrameType of the operation answered
@@ -107,6 +114,9 @@ struct ResponseBody {
   double responseTimeMs = 0.0;
 
   bool ok() const { return status == 0; }
+  bool overloaded() const {
+    return status == static_cast<std::uint8_t>(ResponseStatus::kOverloaded);
+  }
 
   friend bool operator==(const ResponseBody&, const ResponseBody&) = default;
 };

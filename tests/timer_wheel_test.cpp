@@ -1,0 +1,120 @@
+// TimerWheel unit tests: slot math, wrap-around, past-deadline
+// promotion, and the nextWake bound the daemon's epoll timeout uses.
+#include "pscd/net/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace pscd::net {
+namespace {
+
+TEST(TimerWheel, StartsEmpty) {
+  TimerWheel wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.nextWakeSeconds(0.0),
+            std::numeric_limits<double>::infinity());
+  std::vector<int> out;
+  wheel.collectExpired(100.0, &out);  // advancing an empty wheel is a no-op
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TimerWheel, SchedulesAndCollectsInDeadlineOrder) {
+  TimerWheel wheel(0.01, 256);
+  wheel.schedule(3, 0.05);
+  wheel.schedule(4, 0.10);
+  EXPECT_EQ(wheel.size(), 2u);
+
+  std::vector<int> out;
+  wheel.collectExpired(0.06, &out);
+  EXPECT_EQ(out, std::vector<int>{3});
+  EXPECT_EQ(wheel.size(), 1u);
+
+  wheel.collectExpired(0.2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], 4);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextCollect) {
+  TimerWheel wheel(0.01, 256);
+  std::vector<int> out;
+  wheel.collectExpired(1.0, &out);  // move the cursor well forward
+  // A deadline at/behind the cursor must land in the *next* tick, not a
+  // full revolution away.
+  wheel.schedule(7, 0.5);
+  EXPECT_LE(wheel.nextWakeSeconds(1.0), 0.01 + 1e-12);
+  wheel.collectExpired(1.02, &out);
+  EXPECT_EQ(out, std::vector<int>{7});
+}
+
+TEST(TimerWheel, BeyondHorizonDeadlineWrapsAndFiresEarly) {
+  // Horizon = 0.01 * 16 = 0.16s; a 1.0s deadline wraps. The contract is
+  // that it fires *early* (at most once per revolution), and the caller
+  // re-validates against the authoritative deadline and re-schedules.
+  TimerWheel wheel(0.01, 16);
+  wheel.schedule(9, 1.0);
+  std::vector<int> out;
+  wheel.collectExpired(0.2, &out);
+  EXPECT_EQ(out, std::vector<int>{9});  // early: 0.2 < 1.0
+  // The daemon's revalidation path: deadline not reached, re-schedule.
+  wheel.schedule(9, 1.0);
+  out.clear();
+  wheel.collectExpired(1.05, &out);
+  EXPECT_EQ(out, std::vector<int>{9});
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, NextWakeBoundsTheNearestDeadline) {
+  TimerWheel wheel(0.01, 256);
+  wheel.schedule(1, 0.50);
+  wheel.schedule(2, 0.90);
+  const double wake = wheel.nextWakeSeconds(0.1);
+  // Never later than one tick after the nearest real deadline, never
+  // negative.
+  EXPECT_GE(wake, 0.0);
+  EXPECT_LE(0.1 + wake, 0.50 + 0.01 + 1e-12);
+  EXPECT_GE(0.1 + wake, 0.50 - 0.01 - 1e-12);
+
+  // Once now has passed a nonempty slot boundary, the wake is 0 (fire
+  // immediately), not negative.
+  EXPECT_EQ(wheel.nextWakeSeconds(0.6), 0.0);
+}
+
+TEST(TimerWheel, DuplicateEntriesForOneFdAllSurface) {
+  // No cancel(): re-arming an fd leaves the older entry in place, and
+  // both come back from collectExpired (revalidation collapses them).
+  TimerWheel wheel(0.01, 64);
+  wheel.schedule(5, 0.03);
+  wheel.schedule(5, 0.07);
+  std::vector<int> out;
+  wheel.collectExpired(0.1, &out);
+  EXPECT_EQ(out, (std::vector<int>{5, 5}));
+}
+
+TEST(TimerWheel, CollectIsIncremental) {
+  // Collecting in several small steps sees exactly what one big step
+  // would: entries fire once, nothing is lost between calls.
+  TimerWheel stepped(0.01, 32);
+  TimerWheel oneshot(0.01, 32);
+  for (int fd = 0; fd < 8; ++fd) {
+    stepped.schedule(fd, 0.02 + fd * 0.013);
+    oneshot.schedule(fd, 0.02 + fd * 0.013);
+  }
+  std::vector<int> steppedOut;
+  for (double now = 0.0; now <= 0.2; now += 0.017) {
+    stepped.collectExpired(now, &steppedOut);
+  }
+  std::vector<int> oneshotOut;
+  oneshot.collectExpired(0.2, &oneshotOut);
+  std::sort(steppedOut.begin(), steppedOut.end());
+  std::sort(oneshotOut.begin(), oneshotOut.end());
+  EXPECT_EQ(steppedOut, oneshotOut);
+  EXPECT_EQ(steppedOut.size(), 8u);
+}
+
+}  // namespace
+}  // namespace pscd::net

@@ -161,7 +161,7 @@ TEST(Wire, ResponseValidationRejectsBadEnumBytes) {
   const std::string good = encodeFrame(frame);
   {
     std::string bytes = good;
-    bytes[kWireHeaderBytes + 0] = 2;  // status must be 0/1
+    bytes[kWireHeaderBytes + 0] = 3;  // status must be 0/1/2
     EXPECT_NE(errorFor(bytes).find("status"), std::string::npos);
   }
   {
@@ -179,6 +179,24 @@ TEST(Wire, ResponseValidationRejectsBadEnumBytes) {
     bytes[kWireHeaderBytes + 3] = 7;  // stale is a bool mirror
     EXPECT_NE(errorFor(bytes).find("stale"), std::string::npos);
   }
+}
+
+TEST(Wire, OverloadedStatusRoundTrips) {
+  // status=2 (kOverloaded) is a first-class wire value: the daemon's
+  // load shedder answers REQUEST frames with it instead of queueing.
+  WireFrame frame;
+  frame.seq = 7;
+  ResponseBody r;
+  r.status = static_cast<std::uint8_t>(ResponseStatus::kOverloaded);
+  r.op = static_cast<std::uint8_t>(FrameType::kRequest);
+  frame.body = r;
+  const std::string bytes = encodeFrame(frame);
+  const DecodeResult result = decodeFrame(bytes);
+  ASSERT_EQ(result.status, DecodeStatus::kOk) << result.error;
+  EXPECT_EQ(result.frame, frame);
+  const auto& body = std::get<ResponseBody>(result.frame.body);
+  EXPECT_TRUE(body.overloaded());
+  EXPECT_FALSE(body.ok());
 }
 
 TEST(Wire, NonFiniteResponseTimeRejectedOnDecode) {

@@ -4,6 +4,11 @@
 // from the given flags, and serves wire-protocol frames until SIGINT /
 // SIGTERM. Prints "listening on <port>" once ready so scripts (the CI
 // serve-smoke job) can scrape the ephemeral port.
+//
+// Operational signals: SIGUSR1 logs a stats snapshot without stopping;
+// when --drain-ms is set, SIGTERM drains (stop accepting, flush live
+// connections, then exit) instead of stopping immediately. SIGINT
+// always stops immediately. A stats line is printed on clean exit.
 #include <csignal>
 
 #include <cstdint>
@@ -18,9 +23,19 @@
 namespace {
 
 pscd::net::Daemon* g_daemon = nullptr;
+bool g_drainOnTerm = false;
 
-void handleSignal(int) {
-  if (g_daemon != nullptr) g_daemon->stop();
+void handleSignal(int sig) {
+  if (g_daemon == nullptr) return;
+  if (sig == SIGTERM && g_drainOnTerm) {
+    g_daemon->stopDrain();
+  } else {
+    g_daemon->stop();
+  }
+}
+
+void handleStatsSignal(int) {
+  if (g_daemon != nullptr) g_daemon->requestStatsDump();
 }
 
 }  // namespace
@@ -40,6 +55,21 @@ int main(int argc, char** argv) {
                  std::to_string(1u << 20));
   args.addOption("seed", "overlay topology seed", "42");
   args.addOption("max-connections", "concurrent connection cap", "1024");
+  args.addOption("idle-timeout-ms",
+                 "reap connections idle this long (0 = never)", "0");
+  args.addOption("read-timeout-ms",
+                 "reap connections stuck mid-frame this long (0 = never)",
+                 "0");
+  args.addOption("write-timeout-ms",
+                 "reap connections with an unflushed response this long "
+                 "(0 = never)",
+                 "0");
+  args.addOption("shed",
+                 "per-batch REQUEST load-shedding threshold (0 = off)", "0");
+  args.addOption("drain-ms",
+                 "drain budget for SIGTERM: stop accepting, flush live "
+                 "connections up to this long (0 = stop immediately)",
+                 "0");
   if (!args.parse(argc, argv)) {
     if (!args.error().empty()) {
       std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -67,11 +97,23 @@ int main(int argc, char** argv) {
     daemonConfig.port = static_cast<std::uint16_t>(args.optionInt("port"));
     daemonConfig.maxConnections =
         static_cast<std::size_t>(args.optionInt("max-connections"));
+    daemonConfig.idleTimeoutSeconds =
+        args.optionDouble("idle-timeout-ms") / 1000.0;
+    daemonConfig.readTimeoutSeconds =
+        args.optionDouble("read-timeout-ms") / 1000.0;
+    daemonConfig.writeTimeoutSeconds =
+        args.optionDouble("write-timeout-ms") / 1000.0;
+    daemonConfig.shedThreshold =
+        static_cast<std::size_t>(args.optionInt("shed"));
+    const double drainMs = args.optionDouble("drain-ms");
+    if (drainMs > 0) daemonConfig.drainSeconds = drainMs / 1000.0;
 
     pscd::net::ServeHost host(hostConfig, daemonConfig);
     g_daemon = &host.daemon();
+    g_drainOnTerm = drainMs > 0;
     std::signal(SIGINT, handleSignal);
     std::signal(SIGTERM, handleSignal);
+    std::signal(SIGUSR1, handleStatsSignal);
 
     // Line-buffered stdout handshake for scripts that spawn the daemon
     // and need the resolved ephemeral port.
@@ -92,6 +134,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.errorResponses),
         static_cast<unsigned long long>(counters.requests),
         counters.hitRatio());
+    std::printf("%s\n", pscd::net::formatDaemonStats(stats).c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pscd_daemon: %s\n", e.what());
